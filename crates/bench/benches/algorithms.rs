@@ -1,0 +1,49 @@
+//! Experiment E4 — the algorithm pool (§3 "algorithm interoperability"):
+//! all five pool members on identical encoded input, across support
+//! thresholds. The architecture claim is that they are interchangeable;
+//! the interesting measurement is how their relative cost shifts with the
+//! threshold (Apriori/gid-lists win at high support, partitioning and
+//! hash pruning pay off as thresholds drop and candidate sets grow).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{generate_quest, QuestConfig};
+use minerule::algo::{default_pool, SimpleInput};
+
+fn pool_input(transactions: usize, min_support: f64) -> SimpleInput {
+    let data = generate_quest(&QuestConfig {
+        transactions,
+        avg_transaction_size: 8.0,
+        avg_pattern_size: 3.0,
+        patterns: 50,
+        items: 200,
+        seed: 77,
+        ..QuestConfig::default()
+    });
+    let total = data.transactions.len() as u32;
+    SimpleInput {
+        groups: data.transactions,
+        total_groups: total,
+        min_groups: ((total as f64 * min_support).ceil() as u32).max(1),
+    }
+}
+
+fn e4_algorithm_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E4_algorithm_pool");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &support in &[0.05f64, 0.02, 0.01] {
+        let input = pool_input(1500, support);
+        for miner in default_pool() {
+            group.bench_with_input(
+                BenchmarkId::new(miner.name(), format!("s={support}")),
+                &input,
+                |b, input| b.iter(|| miner.mine(input)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, e4_algorithm_pool);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Experiment E8 — postprocessing (§4.4): cost of storing encoded rules
+//! and decoding them into the user tables, as a function of the number of
+//! rules produced (driven by the support threshold).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minerule::postprocess::{postprocess, store_encoded_rules};
+use minerule::preprocess::preprocess;
+use minerule::{core_op, encoded, parse_mine_rule, translate};
+use tcdm_bench::{quest_db, simple_statement};
+
+fn e8_decode_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E8_postprocess");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &support in &[0.05f64, 0.02, 0.01] {
+        // Fixed pipeline state: preprocessing + core done once, then the
+        // benchmark measures store + decode only.
+        let statement = simple_statement(support, 0.1);
+        let setup = || {
+            let mut db = quest_db(800, 29);
+            let stmt = parse_mine_rule(&statement).unwrap();
+            let translation = translate(&stmt, db.catalog()).unwrap();
+            preprocess(&mut db, &translation).unwrap();
+            let input = encoded::read_encoded(&mut db, &translation).unwrap();
+            let out = core_op::run_core(&input, &core_op::CoreOptions::default()).unwrap();
+            (db, translation, out.rules)
+        };
+        let (_, _, rules) = setup();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("s={support}_rules={}", rules.len())),
+            &support,
+            |b, _| {
+                b.iter_batched(
+                    setup,
+                    |(mut db, translation, rules)| {
+                        store_encoded_rules(&mut db, &translation, &rules).unwrap();
+                        postprocess(&mut db, &translation).unwrap();
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, e8_decode_cost);
+criterion_main!(benches);

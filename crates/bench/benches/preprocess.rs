@@ -1,0 +1,91 @@
+//! Experiments F4 and E3.
+//!
+//! F4 — cost of the preprocessing programs themselves: the simple chain
+//! `Q0..Q4` (Figure 4a) vs the general chain with clusters and the
+//! mining-condition queries `Q5..Q11` (Figure 4b).
+//!
+//! E3 — the borderline ablation: the same clustered task with the mining
+//! condition (elementary rules built *in SQL* by Q8/Q9/Q10) vs without it
+//! (elementary rules built *in the core operator*). Measures where the
+//! paper's chosen border moves work between the SQL server and the core.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minerule::preprocess::preprocess;
+use minerule::{parse_mine_rule, translate, MineRuleEngine};
+use tcdm_bench::{quest_db, retail_db, simple_statement, temporal_statement, temporal_statement_no_mining_cond};
+
+fn f4_preprocessing_chains(c: &mut Criterion) {
+    let mut group = c.benchmark_group("F4_preprocessing");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    group.bench_function("simple_Q0_Q4", |b| {
+        b.iter_batched(
+            || {
+                let db = quest_db(1000, 3);
+                let stmt = parse_mine_rule(&simple_statement(0.03, 0.4)).unwrap();
+                let t = translate(&stmt, db.catalog()).unwrap();
+                (db, t)
+            },
+            |(mut db, t)| preprocess(&mut db, &t).unwrap(),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.bench_function("general_Q0_Q11", |b| {
+        b.iter_batched(
+            || {
+                let db = retail_db(300, 3);
+                let stmt = parse_mine_rule(&temporal_statement(0.05, 0.3)).unwrap();
+                let t = translate(&stmt, db.catalog()).unwrap();
+                (db, t)
+            },
+            |(mut db, t)| preprocess(&mut db, &t).unwrap(),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+fn e3_borderline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E3_borderline");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &customers in &[150usize, 400] {
+        group.bench_with_input(
+            BenchmarkId::new("mining_cond_in_sql", customers),
+            &customers,
+            |b, &n| {
+                b.iter_batched(
+                    || retail_db(n, 5),
+                    |mut db| {
+                        MineRuleEngine::new()
+                            .execute(&mut db, &temporal_statement(0.05, 0.2))
+                            .unwrap()
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("elementary_in_core", customers),
+            &customers,
+            |b, &n| {
+                b.iter_batched(
+                    || retail_db(n, 5),
+                    |mut db| {
+                        MineRuleEngine::new()
+                            .execute(&mut db, &temporal_statement_no_mining_cond(0.05, 0.2))
+                            .unwrap()
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, f4_preprocessing_chains, e3_borderline);
+criterion_main!(benches);

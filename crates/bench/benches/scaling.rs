@@ -1,0 +1,60 @@
+//! Experiment E7 — scalability sweeps, the shape every evaluation in the
+//! paper's reference list reports: wall-clock vs number of groups and vs
+//! the support threshold (lower support → exponentially more candidates).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minerule::MineRuleEngine;
+use tcdm_bench::{quest_db, simple_statement};
+
+fn e7_group_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E7_group_scaling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &transactions in &[250usize, 500, 1000, 2000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(transactions),
+            &transactions,
+            |b, &n| {
+                b.iter_batched(
+                    || quest_db(n, 19),
+                    |mut db| {
+                        MineRuleEngine::new()
+                            .execute(&mut db, &simple_statement(0.03, 0.4))
+                            .unwrap()
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+fn e7_support_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E7_support_sweep");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &support in &[0.08f64, 0.04, 0.02, 0.01] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(support),
+            &support,
+            |b, &s| {
+                b.iter_batched(
+                    || quest_db(1000, 19),
+                    |mut db| {
+                        MineRuleEngine::new()
+                            .execute(&mut db, &simple_statement(s, 0.4))
+                            .unwrap()
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, e7_group_scaling, e7_support_sweep);
+criterion_main!(benches);

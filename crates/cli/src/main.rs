@@ -1,0 +1,128 @@
+//! `tcdm` — the interactive shell of the tightly-coupled mining system.
+//!
+//! The "user support" module of the paper's Figure 3: a front-end that
+//! accepts both SQL and MINE RULE statements against one database, with
+//! demo loaders and rule viewing. Statements may span multiple lines and
+//! end with `;` (a single-line statement needs no terminator).
+
+mod session;
+
+use std::io::{self, BufRead, Write};
+
+use session::{Outcome, Session};
+
+fn main() {
+    let mut session = Session::new();
+
+    // Script mode: `tcdm <file>` runs `;`-separated statements from a
+    // file and exits.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(path) = args.first() {
+        match std::fs::read_to_string(path) {
+            Ok(script) => {
+                for statement in script.split(';') {
+                    let statement = statement.trim();
+                    if statement.is_empty() {
+                        continue;
+                    }
+                    match session.process(statement) {
+                        Outcome::Quit => return,
+                        Outcome::Output(s) if s.is_empty() => {}
+                        Outcome::Output(s) => println!("{s}"),
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("tcdm: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let stdin = io::stdin();
+    let mut stdout = io::stdout();
+    let interactive = is_tty();
+
+    if interactive {
+        println!("tcdm — tightly-coupled data mining shell (\\help for help)");
+    }
+
+    let mut buffer = String::new();
+    let mut lines = stdin.lock().lines();
+    loop {
+        if interactive {
+            print!("{}", if buffer.is_empty() { "tcdm> " } else { "  ... " });
+            let _ = stdout.flush();
+        }
+        let Some(Ok(line)) = lines.next() else { break };
+        let trimmed = line.trim();
+        // Commands and empty lines act immediately; statements accumulate
+        // until a terminating `;` or a blank line on a one-liner.
+        if buffer.is_empty() && (trimmed.starts_with('\\') || trimmed.is_empty()) {
+            match session.process(trimmed) {
+                Outcome::Quit => break,
+                Outcome::Output(s) if s.is_empty() => {}
+                Outcome::Output(s) => println!("{s}"),
+            }
+            continue;
+        }
+        buffer.push_str(&line);
+        buffer.push('\n');
+        let complete = trimmed.ends_with(';')
+            || (buffer.lines().count() == 1 && !trimmed.is_empty() && !interactive)
+            || (interactive && trimmed.ends_with(';'))
+            || (interactive && buffer.lines().count() == 1 && !needs_continuation(trimmed));
+        if complete {
+            let statement = buffer.trim().trim_end_matches(';').to_string();
+            buffer.clear();
+            if statement.is_empty() {
+                continue;
+            }
+            match session.process(&statement) {
+                Outcome::Quit => break,
+                Outcome::Output(s) => println!("{s}"),
+            }
+        }
+    }
+    // Flush any trailing statement (piped input without a final `;`).
+    let tail = buffer.trim().trim_end_matches(';').to_string();
+    if !tail.is_empty() {
+        if let Outcome::Output(s) = session.process(&tail) {
+            println!("{s}");
+        }
+    }
+}
+
+/// A single interactive line continues when it opens a statement that
+/// clearly isn't finished (heuristic: unbalanced parentheses).
+fn needs_continuation(line: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    for c in line.chars() {
+        match c {
+            '\'' => in_str = !in_str,
+            '(' if !in_str => depth += 1,
+            ')' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth > 0
+}
+
+#[cfg(unix)]
+fn is_tty() -> bool {
+    // SAFETY: isatty is async-signal-safe and takes a plain fd.
+    unsafe { libc_isatty(0) == 1 }
+}
+
+#[cfg(unix)]
+extern "C" {
+    #[link_name = "isatty"]
+    fn libc_isatty(fd: i32) -> i32;
+}
+
+#[cfg(not(unix))]
+fn is_tty() -> bool {
+    false
+}

@@ -1,0 +1,424 @@
+//! The interactive session: one database, one mining engine, a command
+//! dispatcher. Split from `main.rs` so the whole surface is unit-testable
+//! without a terminal.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use datagen::{generate_quest, generate_retail, load_quest, QuestConfig, RetailConfig};
+use minerule::paper_example::load_purchase_table;
+use minerule::{is_mine_rule, MineRuleEngine};
+use relational::Database;
+
+/// What a processed input line produced.
+#[derive(Debug, PartialEq)]
+pub enum Outcome {
+    /// Text to print.
+    Output(String),
+    /// The user asked to leave.
+    Quit,
+}
+
+/// An interactive session over one in-memory database.
+pub struct Session {
+    db: Database,
+    engine: MineRuleEngine,
+    /// Print wall-clock timings after each statement.
+    timing: bool,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// A fresh session with an empty database.
+    pub fn new() -> Session {
+        Session {
+            db: Database::new(),
+            engine: MineRuleEngine::new(),
+            timing: false,
+        }
+    }
+
+    /// Process one input line (a `\`-command, a SQL statement or a MINE
+    /// RULE statement) and return what to print.
+    pub fn process(&mut self, line: &str) -> Outcome {
+        let line = line.trim();
+        if line.is_empty() {
+            return Outcome::Output(String::new());
+        }
+        if let Some(cmd) = line.strip_prefix('\\') {
+            return self.command(cmd);
+        }
+        let started = Instant::now();
+        let result = if is_mine_rule(line) {
+            self.run_mine_rule(line)
+        } else {
+            self.run_sql(line)
+        };
+        let mut out = match result {
+            Ok(text) => text,
+            Err(message) => format!("error: {message}"),
+        };
+        if self.timing {
+            let _ = write!(out, "\n({:.2} ms)", started.elapsed().as_secs_f64() * 1e3);
+        }
+        Outcome::Output(out)
+    }
+
+    fn run_sql(&mut self, sql: &str) -> Result<String, String> {
+        let outcome = self.db.execute(sql).map_err(|e| e.to_string())?;
+        Ok(match outcome.result {
+            Some(rs) => rs.to_string(),
+            None => format!("ok ({} rows affected)", outcome.rows_affected),
+        })
+    }
+
+    fn run_mine_rule(&mut self, text: &str) -> Result<String, String> {
+        let outcome = self
+            .engine
+            .execute(&mut self.db, text)
+            .map_err(|e| e.to_string())?;
+        let mut out = format!(
+            "mined {} rules ({} class, directives {})\n",
+            outcome.rules.len(),
+            outcome.translation.class,
+            outcome.translation.directives
+        );
+        for rule in outcome.rules.iter().take(25) {
+            let _ = writeln!(out, "  {}", rule.display());
+        }
+        if outcome.rules.len() > 25 {
+            let _ = writeln!(out, "  ... ({} more)", outcome.rules.len() - 25);
+        }
+        let _ = write!(
+            out,
+            "output tables: {out_t}, {out_t}_Bodies, {out_t}_Heads",
+            out_t = outcome.translation.stmt.output_table
+        );
+        Ok(out)
+    }
+
+    /// Pretty-print a MINE RULE output-table triple, strongest rules first.
+    fn show_rules(&mut self, table: &str) -> Outcome {
+        let sql = format!(
+            "SELECT r.BodyId, r.HeadId, b.SUPPORT, b.CONFIDENCE \
+             FROM {table} r, {table} b \
+             WHERE r.BodyId = b.BodyId AND r.HeadId = b.HeadId LIMIT 1"
+        );
+        // Probe that the table has the rule shape at all.
+        if self.db.query(&sql).is_err() {
+            return Outcome::Output(format!(
+                "error: '{table}' is not a MINE RULE output table"
+            ));
+        }
+        let q = format!(
+            "SELECT r.BodyId, r.HeadId, r.SUPPORT, r.CONFIDENCE FROM {table} r \
+             ORDER BY r.CONFIDENCE DESC, r.SUPPORT DESC LIMIT 20"
+        );
+        let rules = match self.db.query(&q) {
+            Ok(rs) => rs,
+            Err(e) => return Outcome::Output(format!("error: {e}")),
+        };
+        let mut out = String::new();
+        for row in rules.rows() {
+            let body_id = &row[0];
+            let head_id = &row[1];
+            let mut items = |side: &str, id: &relational::Value| -> String {
+                let q = format!(
+                    "SELECT * FROM {table}_{side} WHERE {col} = {id}",
+                    col = if side == "Bodies" { "BodyId" } else { "HeadId" }
+                );
+                match self.db.query(&q) {
+                    Ok(rs) => {
+                        let mut items: Vec<String> = rs
+                            .rows()
+                            .iter()
+                            .map(|r| {
+                                r.iter()
+                                    .skip(1)
+                                    .map(|v| v.to_string())
+                                    .collect::<Vec<_>>()
+                                    .join("|")
+                            })
+                            .collect();
+                        items.sort();
+                        items.join(", ")
+                    }
+                    Err(_) => format!("#{id}"),
+                }
+            };
+            let _ = writeln!(
+                out,
+                "  {{{}}} => {{{}}}  (s={}, c={})",
+                items("Bodies", body_id),
+                items("Heads", head_id),
+                row[2],
+                row[3]
+            );
+        }
+        if out.is_empty() {
+            out = "no rules".to_string();
+        }
+        Outcome::Output(out.trim_end().to_string())
+    }
+
+    fn command(&mut self, cmd: &str) -> Outcome {
+        let mut words = cmd.split_whitespace();
+        match words.next().unwrap_or("") {
+            "q" | "quit" | "exit" => Outcome::Quit,
+            "help" | "h" | "?" => Outcome::Output(HELP.to_string()),
+            "tables" | "dt" => {
+                let names = self.db.catalog().table_names();
+                if names.is_empty() {
+                    Outcome::Output("no tables".into())
+                } else {
+                    Outcome::Output(names.join("\n"))
+                }
+            }
+            "schema" | "d" => match words.next() {
+                None => Outcome::Output("usage: \\schema <table>".into()),
+                Some(name) => match self.db.catalog().table_schema(name) {
+                    Err(e) => Outcome::Output(format!("error: {e}")),
+                    Ok(schema) => {
+                        let mut out = String::new();
+                        for c in schema.columns() {
+                            let _ = writeln!(out, "{} {}", c.name, c.dtype);
+                        }
+                        Outcome::Output(out.trim_end().to_string())
+                    }
+                },
+            },
+            "timing" => {
+                self.timing = !self.timing;
+                Outcome::Output(format!(
+                    "timing is {}",
+                    if self.timing { "on" } else { "off" }
+                ))
+            }
+            "algorithm" => match words.next() {
+                None => Outcome::Output(format!(
+                    "current algorithm: {} (choose: apriori, count, dhp, partition, sampling, eclat, fpgrowth)",
+                    self.engine.core.algorithm
+                )),
+                Some(name) => {
+                    if minerule::algo::by_name(name).is_some() {
+                        self.engine.core.algorithm = name.to_string();
+                        Outcome::Output(format!("algorithm set to {name}"))
+                    } else {
+                        Outcome::Output(format!("unknown algorithm '{name}'"))
+                    }
+                }
+            },
+            "save" => match words.next() {
+                None => Outcome::Output("usage: \\save <directory>".into()),
+                Some(dir) => {
+                    match relational::persist::save(&self.db, std::path::Path::new(dir)) {
+                        Ok(()) => Outcome::Output(format!("database saved to {dir}")),
+                        Err(e) => Outcome::Output(format!("error: {e}")),
+                    }
+                }
+            },
+            "load" => match words.next() {
+                None => Outcome::Output("usage: \\load <directory>".into()),
+                Some(dir) => match relational::persist::load(std::path::Path::new(dir)) {
+                    Ok(db) => {
+                        self.db = db;
+                        Outcome::Output(format!(
+                            "database loaded from {dir} ({} tables)",
+                            self.db.catalog().table_names().len()
+                        ))
+                    }
+                    Err(e) => Outcome::Output(format!("error: {e}")),
+                },
+            },
+            "rules" => match words.next() {
+                None => Outcome::Output("usage: \\rules <output table>".into()),
+                Some(table) => self.show_rules(table),
+            },
+            "demo" => match words.next() {
+                Some("paper") => match load_purchase_table(&mut self.db) {
+                    Ok(()) => Outcome::Output(
+                        "loaded the paper's Purchase table (Figure 1); try:\n  \
+                         MINE RULE F AS SELECT DISTINCT 1..n item AS BODY, 1..n item AS HEAD, \
+                         SUPPORT, CONFIDENCE WHERE BODY.price >= 100 AND HEAD.price < 100 \
+                         FROM Purchase WHERE date BETWEEN DATE '1995-01-01' AND DATE '1995-12-31' \
+                         GROUP BY customer CLUSTER BY date HAVING BODY.date < HEAD.date \
+                         EXTRACTING RULES WITH SUPPORT: 0.2, CONFIDENCE: 0.3"
+                            .into(),
+                    ),
+                    Err(e) => Outcome::Output(format!("error: {e}")),
+                },
+                Some("quest") => {
+                    let n = words
+                        .next()
+                        .and_then(|w| w.parse().ok())
+                        .unwrap_or(1000usize);
+                    let data = generate_quest(&QuestConfig {
+                        transactions: n,
+                        ..QuestConfig::default()
+                    });
+                    match load_quest(&data, &mut self.db, "Baskets") {
+                        Ok(()) => Outcome::Output(format!(
+                            "loaded {} baskets into table Baskets (tr, item)",
+                            n
+                        )),
+                        Err(e) => Outcome::Output(format!("error: {e}")),
+                    }
+                }
+                Some("retail") => {
+                    let n = words
+                        .next()
+                        .and_then(|w| w.parse().ok())
+                        .unwrap_or(200usize);
+                    let data = generate_retail(&RetailConfig {
+                        customers: n,
+                        ..RetailConfig::default()
+                    });
+                    match data.load(&mut self.db, "Purchase") {
+                        Ok(()) => Outcome::Output(format!(
+                            "loaded {} purchase rows for {n} customers into table Purchase",
+                            data.rows.len()
+                        )),
+                        Err(e) => Outcome::Output(format!("error: {e}")),
+                    }
+                }
+                _ => Outcome::Output("usage: \\demo paper | quest [n] | retail [n]".into()),
+            },
+            other => Outcome::Output(format!("unknown command '\\{other}' — try \\help")),
+        }
+    }
+}
+
+const HELP: &str = "\
+tcdm — tightly-coupled data mining shell
+
+Type a SQL statement (CREATE TABLE / INSERT / SELECT / ...) or a
+MINE RULE statement; both run against the same in-memory database.
+
+Commands:
+  \\help                 this text
+  \\tables               list tables
+  \\schema <table>       show a table's columns
+  \\demo paper           load the paper's Figure 1 Purchase table
+  \\demo quest [n]       load n synthetic baskets (default 1000)
+  \\demo retail [n]      load a synthetic retail table (default 200 customers)
+  \\algorithm [name]     show or set the simple-class mining algorithm
+  \\rules <table>        pretty-print a MINE RULE output table
+  \\save <dir>           persist the database to a directory
+  \\load <dir>           load a previously saved database
+  \\timing               toggle per-statement timing
+  \\quit                 leave
+
+EXPLAIN <statement> shows the engine's plan for any SQL query.";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn out(session: &mut Session, line: &str) -> String {
+        match session.process(line) {
+            Outcome::Output(s) => s,
+            Outcome::Quit => panic!("unexpected quit"),
+        }
+    }
+
+    #[test]
+    fn sql_roundtrip() {
+        let mut s = Session::new();
+        assert!(out(&mut s, "CREATE TABLE t (a INT)").contains("ok"));
+        assert!(out(&mut s, "INSERT INTO t VALUES (1), (2)").contains("2 rows"));
+        let table = out(&mut s, "SELECT COUNT(*) FROM t");
+        assert!(table.contains('2'), "{table}");
+    }
+
+    #[test]
+    fn mine_rule_dispatch() {
+        let mut s = Session::new();
+        out(&mut s, "\\demo paper");
+        let result = out(
+            &mut s,
+            "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD, SUPPORT, CONFIDENCE \
+             FROM Purchase GROUP BY customer \
+             EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.1",
+        );
+        assert!(result.contains("mined"), "{result}");
+        assert!(result.contains("R_Bodies"));
+        // Output table is queryable afterwards.
+        assert!(out(&mut s, "SELECT COUNT(*) FROM R").contains("rows"));
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let mut s = Session::new();
+        assert!(out(&mut s, "SELECT * FROM missing").starts_with("error:"));
+        assert!(out(&mut s, "MINE RULE broken").starts_with("error:"));
+        // Session still usable.
+        assert!(out(&mut s, "CREATE TABLE t (a INT)").contains("ok"));
+    }
+
+    #[test]
+    fn commands() {
+        let mut s = Session::new();
+        assert_eq!(s.process("\\quit"), Outcome::Quit);
+        assert!(out(&mut s, "\\help").contains("MINE RULE"));
+        assert!(out(&mut s, "\\tables").contains("no tables"));
+        out(&mut s, "\\demo quest 50");
+        assert!(out(&mut s, "\\tables").contains("Baskets"));
+        assert!(out(&mut s, "\\schema Baskets").contains("tr INT"));
+        assert!(out(&mut s, "\\timing").contains("on"));
+        assert!(out(&mut s, "\\algorithm partition").contains("partition"));
+        assert!(out(&mut s, "\\algorithm bogus").contains("unknown"));
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("tcdm_cli_save_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut s = Session::new();
+        out(&mut s, "CREATE TABLE t (a INT)");
+        out(&mut s, "INSERT INTO t VALUES (1), (2)");
+        assert!(out(&mut s, &format!("\\save {}", dir.display())).contains("saved"));
+        let mut s2 = Session::new();
+        assert!(out(&mut s2, &format!("\\load {}", dir.display())).contains("loaded"));
+        assert!(out(&mut s2, "SELECT COUNT(*) FROM t").contains('2'));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rules_viewer() {
+        let mut s = Session::new();
+        out(&mut s, "\\demo paper");
+        out(
+            &mut s,
+            "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD, SUPPORT, CONFIDENCE \
+             FROM Purchase GROUP BY customer \
+             EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.1",
+        );
+        let view = out(&mut s, "\\rules R");
+        assert!(view.contains("=>"), "{view}");
+        assert!(out(&mut s, "\\rules Purchase").contains("not a MINE RULE output table"));
+    }
+
+    #[test]
+    fn explain_through_shell() {
+        let mut s = Session::new();
+        out(&mut s, "CREATE TABLE t (a INT)");
+        let p = out(&mut s, "EXPLAIN SELECT a FROM t WHERE a > 1");
+        assert!(p.contains("scan t"), "{p}");
+    }
+
+    #[test]
+    fn demo_paper_supports_full_statement() {
+        let mut s = Session::new();
+        out(&mut s, "\\demo paper");
+        let result = out(
+            &mut s,
+            minerule::paper_example::FILTERED_ORDERED_SETS,
+        );
+        assert!(result.contains("mined 3 rules"), "{result}");
+    }
+}

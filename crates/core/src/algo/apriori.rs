@@ -1,0 +1,228 @@
+//! Apriori variants: gid-list based (the paper's §4.3.1 description) and
+//! classical candidate counting.
+
+use std::collections::HashMap;
+
+use super::itemset::{apriori_join, immediate_subsets, intersect, is_subset, Itemset};
+use super::{ItemsetMiner, LargeItemset, SimpleInput};
+
+/// Apriori with group-identifier lists: each itemset carries the sorted
+/// list of groups containing it, and the list of a joined candidate is the
+/// intersection of its parents' lists. This is the variant §4.3.1 sketches
+/// ("support of an itemset is evaluated by counting elements in an
+/// associated list that contains identifiers of groups").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AprioriGidList;
+
+impl ItemsetMiner for AprioriGidList {
+    fn name(&self) -> &'static str {
+        "apriori-gidlist"
+    }
+
+    fn mine(&self, input: &SimpleInput) -> Vec<LargeItemset> {
+        let (large, _) = mine_gidlist_with_border(&input.groups, input.min_groups);
+        large
+    }
+}
+
+/// Gid-list mining that also reports the negative border (candidates that
+/// were generated and failed the threshold) — needed by the sampling
+/// algorithm's safety check.
+pub fn mine_gidlist_with_border(
+    groups: &[Vec<u32>],
+    min_groups: u32,
+) -> (Vec<LargeItemset>, Vec<Itemset>) {
+    let mut large: Vec<LargeItemset> = Vec::new();
+    let mut border: Vec<Itemset> = Vec::new();
+
+    // L1 with gid lists.
+    let mut gidlists: HashMap<u32, Vec<u32>> = HashMap::new();
+    for (g, items) in groups.iter().enumerate() {
+        for &it in items {
+            gidlists.entry(it).or_default().push(g as u32);
+        }
+    }
+    let mut level: Vec<(Itemset, Vec<u32>)> = Vec::new();
+    let mut items: Vec<u32> = gidlists.keys().copied().collect();
+    items.sort_unstable();
+    for it in items {
+        let gl = gidlists.remove(&it).unwrap(); // already sorted: groups scanned in order
+        if gl.len() as u32 >= min_groups {
+            level.push((vec![it], gl));
+        } else {
+            border.push(vec![it]);
+        }
+    }
+
+    while !level.is_empty() {
+        for (set, gl) in &level {
+            large.push((set.clone(), gl.len() as u32));
+        }
+        // Join step. `level` is sorted lexicographically, so joinable
+        // prefixes are adjacent runs.
+        let mut next: Vec<(Itemset, Vec<u32>)> = Vec::new();
+        let keys: HashMap<&[u32], ()> = level.iter().map(|(s, _)| (s.as_slice(), ())).collect();
+        for i in 0..level.len() {
+            for j in (i + 1)..level.len() {
+                let Some(cand) = apriori_join(&level[i].0, &level[j].0) else {
+                    break; // sorted: once prefixes diverge, no more joins
+                };
+                // Prune: every (k-1)-subset must be large.
+                if !immediate_subsets(&cand).all(|s| keys.contains_key(s.as_slice())) {
+                    continue;
+                }
+                let gl = intersect(&level[i].1, &level[j].1);
+                if gl.len() as u32 >= min_groups {
+                    next.push((cand, gl));
+                } else {
+                    border.push(cand);
+                }
+            }
+        }
+        level = next;
+    }
+    (large, border)
+}
+
+/// Classical Apriori: candidates generated level-wise, support obtained by
+/// scanning the groups and testing containment.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AprioriCount;
+
+impl ItemsetMiner for AprioriCount {
+    fn name(&self) -> &'static str {
+        "apriori-count"
+    }
+
+    fn mine(&self, input: &SimpleInput) -> Vec<LargeItemset> {
+        let mut large: Vec<LargeItemset> = Vec::new();
+
+        // L1.
+        let mut counts: HashMap<u32, u32> = HashMap::new();
+        for items in &input.groups {
+            for &it in items {
+                *counts.entry(it).or_insert(0) += 1;
+            }
+        }
+        let mut level: Vec<LargeItemset> = counts
+            .into_iter()
+            .filter(|(_, c)| *c >= input.min_groups)
+            .map(|(it, c)| (vec![it], c))
+            .collect();
+        level.sort_by(|a, b| a.0.cmp(&b.0));
+
+        while !level.is_empty() {
+            large.extend(level.iter().cloned());
+            let keys: HashMap<&[u32], ()> =
+                level.iter().map(|(s, _)| (s.as_slice(), ())).collect();
+            let mut candidates: Vec<Itemset> = Vec::new();
+            for i in 0..level.len() {
+                for j in (i + 1)..level.len() {
+                    let Some(cand) = apriori_join(&level[i].0, &level[j].0) else {
+                        break;
+                    };
+                    if immediate_subsets(&cand).all(|s| keys.contains_key(s.as_slice())) {
+                        candidates.push(cand);
+                    }
+                }
+            }
+            level = count_candidates(&input.groups, candidates)
+                .into_iter()
+                .filter(|(_, c)| *c >= input.min_groups)
+                .collect();
+        }
+        large
+    }
+}
+
+/// Count each candidate's support by one pass over the groups.
+pub fn count_candidates(groups: &[Vec<u32>], candidates: Vec<Itemset>) -> Vec<LargeItemset> {
+    let mut counts = vec![0u32; candidates.len()];
+    for items in groups {
+        for (i, cand) in candidates.iter().enumerate() {
+            if is_subset(cand, items) {
+                counts[i] += 1;
+            }
+        }
+    }
+    candidates.into_iter().zip(counts).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::sort_itemsets;
+
+    fn groups() -> Vec<Vec<u32>> {
+        vec![
+            vec![1, 2, 3, 4],
+            vec![1, 2, 4],
+            vec![1, 2],
+            vec![2, 3, 4],
+            vec![2, 3],
+            vec![3, 4],
+            vec![2, 4],
+        ]
+    }
+
+    #[test]
+    fn gidlist_finds_classic_inventory() {
+        let input = SimpleInput {
+            groups: groups(),
+            total_groups: 7,
+            min_groups: 3,
+        };
+        let mut got = AprioriGidList.mine(&input);
+        sort_itemsets(&mut got);
+        // Hand-checked counts.
+        assert!(got.contains(&(vec![2], 6)));
+        assert!(got.contains(&(vec![2, 4], 4)));
+        assert!(got.contains(&(vec![1, 2], 3)));
+        assert!(got.contains(&(vec![3, 4], 3)));
+        assert!(!got.iter().any(|(s, _)| s == &vec![1, 3]), "1,3 occurs twice only");
+    }
+
+    #[test]
+    fn count_variant_matches_gidlist() {
+        let input = SimpleInput {
+            groups: groups(),
+            total_groups: 7,
+            min_groups: 2,
+        };
+        let mut a = AprioriGidList.mine(&input);
+        let mut b = AprioriCount.mine(&input);
+        sort_itemsets(&mut a);
+        sort_itemsets(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn border_contains_failed_candidates() {
+        let (large, border) = mine_gidlist_with_border(&groups(), 3);
+        assert!(!large.iter().any(|(s, _)| s == &vec![1, 3]));
+        assert!(border.contains(&vec![1, 3]));
+    }
+
+    #[test]
+    fn empty_input_no_itemsets() {
+        let input = SimpleInput {
+            groups: vec![],
+            total_groups: 0,
+            min_groups: 1,
+        };
+        assert!(AprioriGidList.mine(&input).is_empty());
+        assert!(AprioriCount.mine(&input).is_empty());
+    }
+
+    #[test]
+    fn threshold_one_keeps_everything() {
+        let input = SimpleInput {
+            groups: vec![vec![5, 9]],
+            total_groups: 1,
+            min_groups: 1,
+        };
+        let mut got = AprioriGidList.mine(&input);
+        sort_itemsets(&mut got);
+        assert_eq!(got, vec![(vec![5], 1), (vec![5, 9], 1), (vec![9], 1)]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Eclat-style depth-first vertical mining (Zaki et al.): each itemset
+//! carries its group-id list; the search extends a prefix item by item,
+//! intersecting lists. Compared to level-wise Apriori it trades the
+//! subset-prune for cache-friendly depth-first list intersections — the
+//! natural "one more member" of the paper's interoperable pool.
+
+use std::collections::HashMap;
+
+use super::itemset::{intersect, Itemset};
+use super::{ItemsetMiner, LargeItemset, SimpleInput};
+
+/// Depth-first vertical miner.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Eclat;
+
+impl ItemsetMiner for Eclat {
+    fn name(&self) -> &'static str {
+        "eclat"
+    }
+
+    fn mine(&self, input: &SimpleInput) -> Vec<LargeItemset> {
+        // Vertical layout: item → sorted group ids.
+        let mut gidlists: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (g, items) in input.groups.iter().enumerate() {
+            for &it in items {
+                gidlists.entry(it).or_default().push(g as u32);
+            }
+        }
+        let mut frontier: Vec<(u32, Vec<u32>)> = gidlists
+            .into_iter()
+            .filter(|(_, gl)| gl.len() as u32 >= input.min_groups)
+            .collect();
+        frontier.sort_by_key(|(it, _)| *it);
+
+        let mut out: Vec<LargeItemset> = Vec::new();
+        let mut prefix: Itemset = Vec::new();
+        dfs(&frontier, &mut prefix, input.min_groups, &mut out);
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+/// Extend `prefix` with each frontier item; recurse on the conditional
+/// frontier of items that still qualify.
+fn dfs(
+    frontier: &[(u32, Vec<u32>)],
+    prefix: &mut Itemset,
+    min_groups: u32,
+    out: &mut Vec<LargeItemset>,
+) {
+    for (i, (item, gl)) in frontier.iter().enumerate() {
+        prefix.push(*item);
+        out.push((prefix.clone(), gl.len() as u32));
+        // Conditional frontier: later items intersected with this list.
+        let mut next: Vec<(u32, Vec<u32>)> = Vec::new();
+        for (other, other_gl) in &frontier[i + 1..] {
+            let joined = intersect(gl, other_gl);
+            if joined.len() as u32 >= min_groups {
+                next.push((*other, joined));
+            }
+        }
+        if !next.is_empty() {
+            dfs(&next, prefix, min_groups, out);
+        }
+        prefix.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::apriori::AprioriGidList;
+    use crate::algo::sort_itemsets;
+
+    #[test]
+    fn agrees_with_apriori() {
+        let input = SimpleInput {
+            groups: vec![
+                vec![1, 2, 3],
+                vec![1, 2],
+                vec![2, 3],
+                vec![1, 3],
+                vec![1, 2, 3],
+            ],
+            total_groups: 5,
+            min_groups: 2,
+        };
+        let mut a = AprioriGidList.mine(&input);
+        let mut e = Eclat.mine(&input);
+        sort_itemsets(&mut a);
+        sort_itemsets(&mut e);
+        assert_eq!(a, e);
+    }
+
+    #[test]
+    fn deep_itemsets_found() {
+        let input = SimpleInput {
+            groups: vec![vec![1, 2, 3, 4, 5], vec![1, 2, 3, 4, 5]],
+            total_groups: 2,
+            min_groups: 2,
+        };
+        let got = Eclat.mine(&input);
+        // 2^5 - 1 = 31 non-empty subsets, all with count 2.
+        assert_eq!(got.len(), 31);
+        assert!(got.iter().all(|(_, c)| *c == 2));
+    }
+
+    #[test]
+    fn empty_input() {
+        let input = SimpleInput {
+            groups: vec![],
+            total_groups: 0,
+            min_groups: 1,
+        };
+        assert!(Eclat.mine(&input).is_empty());
+    }
+}

@@ -1,0 +1,132 @@
+//! Itemset primitives shared by the algorithm pool.
+
+/// An itemset: encoded item identifiers, strictly ascending.
+pub type Itemset = Vec<u32>;
+
+/// True when `a ⊆ b`, both strictly ascending.
+pub fn is_subset(a: &[u32], b: &[u32]) -> bool {
+    let mut it = b.iter();
+    'outer: for x in a {
+        for y in it.by_ref() {
+            match y.cmp(x) {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Equal => continue 'outer,
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Intersect two strictly ascending id lists.
+pub fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Apriori join: combine two k-itemsets sharing their first k-1 items into
+/// a (k+1)-itemset; `None` if they don't join (requires `a < b` on the last
+/// item for canonical generation).
+pub fn apriori_join(a: &[u32], b: &[u32]) -> Option<Itemset> {
+    let k = a.len();
+    if k != b.len() || k == 0 || a[..k - 1] != b[..k - 1] || a[k - 1] >= b[k - 1] {
+        return None;
+    }
+    let mut out = a.to_vec();
+    out.push(b[k - 1]);
+    Some(out)
+}
+
+/// All (k-1)-subsets of a k-itemset.
+pub fn immediate_subsets(set: &[u32]) -> impl Iterator<Item = Itemset> + '_ {
+    (0..set.len()).map(move |skip| {
+        set.iter()
+            .enumerate()
+            .filter(|(i, _)| *i != skip)
+            .map(|(_, &x)| x)
+            .collect()
+    })
+}
+
+/// Enumerate every non-empty proper subset of `set` with size ≤ `max_size`,
+/// invoking `f(subset)` for each.
+pub fn for_each_proper_subset(set: &[u32], max_size: usize, f: &mut impl FnMut(&[u32])) {
+    let n = set.len();
+    let cap = max_size.min(n.saturating_sub(1));
+    let mut buf: Vec<u32> = Vec::with_capacity(cap);
+    fn rec(
+        set: &[u32],
+        start: usize,
+        cap: usize,
+        buf: &mut Vec<u32>,
+        f: &mut impl FnMut(&[u32]),
+    ) {
+        for i in start..set.len() {
+            buf.push(set[i]);
+            f(buf);
+            if buf.len() < cap {
+                rec(set, i + 1, cap, buf, f);
+            }
+            buf.pop();
+        }
+    }
+    if cap > 0 {
+        rec(set, 0, cap, &mut buf, f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subset_checks() {
+        assert!(is_subset(&[2, 5], &[1, 2, 3, 5]));
+        assert!(!is_subset(&[2, 6], &[1, 2, 3, 5]));
+        assert!(is_subset(&[], &[1]));
+        assert!(!is_subset(&[1], &[]));
+    }
+
+    #[test]
+    fn intersect_sorted() {
+        assert_eq!(intersect(&[1, 3, 5, 7], &[2, 3, 5, 8]), vec![3, 5]);
+        assert!(intersect(&[1], &[2]).is_empty());
+    }
+
+    #[test]
+    fn join_requires_shared_prefix() {
+        assert_eq!(apriori_join(&[1, 2], &[1, 3]), Some(vec![1, 2, 3]));
+        assert_eq!(apriori_join(&[1, 3], &[1, 2]), None); // wrong order
+        assert_eq!(apriori_join(&[1, 2], &[2, 3]), None); // prefix differs
+    }
+
+    #[test]
+    fn immediate_subsets_of_triple() {
+        let subs: Vec<Itemset> = immediate_subsets(&[1, 2, 3]).collect();
+        assert_eq!(subs, vec![vec![2, 3], vec![1, 3], vec![1, 2]]);
+    }
+
+    #[test]
+    fn proper_subsets_bounded() {
+        let mut seen = Vec::new();
+        for_each_proper_subset(&[1, 2, 3], 2, &mut |s| seen.push(s.to_vec()));
+        assert!(seen.contains(&vec![1]));
+        assert!(seen.contains(&vec![1, 2]));
+        assert!(seen.contains(&vec![2, 3]));
+        assert!(!seen.contains(&vec![1, 2, 3]), "proper subsets only");
+        assert_eq!(seen.len(), 6);
+    }
+}

@@ -1,0 +1,223 @@
+//! The core operator (§4.3): dispatches to the simple algorithm pool or
+//! the general rule lattice, based on the translator's directives.
+//!
+//! Inputs and outputs are fully encoded — the operator is oblivious to
+//! real schemas and values, which is what lets the architecture swap
+//! algorithms freely ("algorithm interoperability").
+
+use crate::algo::{self, EncodedRule, SimpleInput};
+use crate::encoded::{EncodedData, EncodedInput, GeneralTuple};
+use crate::error::{MineError, Result};
+use crate::lattice::elementary::{build_contexts, BuildOptions};
+use crate::lattice::{mine_general_with_stats, ExpansionOrder, GeneralParams, LatticeStats};
+
+/// Options steering the core operator (the "directives" of Figure 3a that
+/// aren't derivable from the statement alone).
+#[derive(Debug, Clone)]
+pub struct CoreOptions {
+    /// Which member of the algorithm pool handles simple statements.
+    pub algorithm: String,
+    /// Lattice expansion order for general statements.
+    pub order: ExpansionOrder,
+    /// Run even simple statements through the general lattice (used by the
+    /// E6 overhead experiment).
+    pub force_general: bool,
+}
+
+impl Default for CoreOptions {
+    fn default() -> Self {
+        CoreOptions {
+            algorithm: "apriori".into(),
+            order: ExpansionOrder::MinParent,
+            force_general: false,
+        }
+    }
+}
+
+/// What the core operator hands to the postprocessor.
+#[derive(Debug, Clone)]
+pub struct CoreOutput {
+    pub rules: Vec<EncodedRule>,
+    /// Which path ran, for reporting.
+    pub used_general: bool,
+    /// Lattice statistics (general path only).
+    pub lattice_stats: Option<LatticeStats>,
+}
+
+/// Run the core operator on encoded input.
+pub fn run_core(input: &EncodedInput, opts: &CoreOptions) -> Result<CoreOutput> {
+    match &input.data {
+        EncodedData::Simple { groups } if !opts.force_general => {
+            let miner = algo::by_name(&opts.algorithm).ok_or_else(|| MineError::Internal {
+                message: format!("unknown mining algorithm '{}'", opts.algorithm),
+            })?;
+            let simple = SimpleInput::from_groups(
+                groups.clone(),
+                input.total_groups,
+                input.min_groups,
+            );
+            let large = miner.mine(&simple);
+            let mut rules = algo::rules_from_itemsets(
+                &large,
+                input.total_groups,
+                input.body_card,
+                input.head_card,
+                input.min_confidence,
+            )?;
+            algo::sort_rules(&mut rules);
+            Ok(CoreOutput {
+                rules,
+                used_general: false,
+                lattice_stats: None,
+            })
+        }
+        EncodedData::Simple { groups } => {
+            // Forced general processing of a simple statement: synthesise
+            // the tuple encoding the general path expects.
+            let tuples: Vec<GeneralTuple> = groups
+                .iter()
+                .flat_map(|(gid, bids)| {
+                    bids.iter().map(move |&b| GeneralTuple {
+                        gid: *gid,
+                        cid: None,
+                        bid: Some(b),
+                        hid: Some(b),
+                    })
+                })
+                .collect();
+            run_general(input, &tuples, None, None, opts)
+        }
+        EncodedData::General {
+            tuples,
+            cluster_couples,
+            input_rules,
+        } => run_general(
+            input,
+            tuples,
+            cluster_couples.as_deref(),
+            input_rules.as_deref(),
+            opts,
+        ),
+    }
+}
+
+fn run_general(
+    input: &EncodedInput,
+    tuples: &[GeneralTuple],
+    couples: Option<&[(u32, u32, u32)]>,
+    elementary: Option<&[crate::encoded::ElemRule]>,
+    opts: &CoreOptions,
+) -> Result<CoreOutput> {
+    let contexts = build_contexts(
+        tuples,
+        couples,
+        elementary,
+        BuildOptions {
+            clustered: input.directives.c,
+            has_couples: input.directives.k,
+            distinct_head: input.directives.h,
+            min_groups: input.min_groups,
+        },
+    );
+    let (rules, stats) = mine_general_with_stats(
+        &contexts,
+        &GeneralParams {
+            total_groups: input.total_groups,
+            min_groups: input.min_groups,
+            min_confidence: input.min_confidence,
+            body_card: input.body_card,
+            head_card: input.head_card,
+            order: opts.order,
+        },
+    )?;
+    Ok(CoreOutput {
+        rules,
+        used_general: true,
+        lattice_stats: Some(stats),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::CardSpec;
+    use crate::directives::{Directives, StatementClass};
+
+    fn simple_input(groups: Vec<(u32, Vec<u32>)>, head_card: CardSpec) -> EncodedInput {
+        EncodedInput {
+            directives: Directives::default(),
+            class: StatementClass::Simple,
+            total_groups: groups.len() as u32,
+            min_groups: 1,
+            min_support: 0.1,
+            min_confidence: 0.01,
+            body_card: CardSpec::one_to_n(),
+            head_card,
+            data: EncodedData::Simple { groups },
+        }
+    }
+
+    #[test]
+    fn simple_and_forced_general_agree() {
+        let groups = vec![
+            (1, vec![1, 2, 3]),
+            (2, vec![1, 2]),
+            (3, vec![2, 3]),
+            (4, vec![1, 3]),
+        ];
+        // Head 1..n so both paths can express every split.
+        let input = simple_input(groups, CardSpec::one_to_n());
+        let simple = run_core(&input, &CoreOptions::default()).unwrap();
+        let general = run_core(
+            &input,
+            &CoreOptions {
+                force_general: true,
+                ..CoreOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(!simple.used_general && general.used_general);
+        assert_eq!(simple.rules, general.rules);
+        assert!(!simple.rules.is_empty());
+    }
+
+    #[test]
+    fn every_pool_member_yields_identical_rules() {
+        let groups = vec![
+            (1, vec![1, 2, 3]),
+            (2, vec![1, 2]),
+            (3, vec![2, 3]),
+            (4, vec![1, 2, 3]),
+        ];
+        let input = simple_input(groups, CardSpec::one_to_one());
+        let mut reference: Option<Vec<EncodedRule>> = None;
+        for name in ["apriori", "count", "dhp", "partition", "sampling", "eclat", "fpgrowth"] {
+            let out = run_core(
+                &input,
+                &CoreOptions {
+                    algorithm: name.into(),
+                    ..CoreOptions::default()
+                },
+            )
+            .unwrap();
+            match &reference {
+                None => reference = Some(out.rules),
+                Some(r) => assert_eq!(&out.rules, r, "{name} disagrees"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_algorithm_is_an_error() {
+        let input = simple_input(vec![(1, vec![1])], CardSpec::one_to_one());
+        let err = run_core(
+            &input,
+            &CoreOptions {
+                algorithm: "nope".into(),
+                ..CoreOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, MineError::Internal { .. }));
+    }
+}

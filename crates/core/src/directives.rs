@@ -1,0 +1,203 @@
+//! Statement classification: the boolean directives of §4.1.
+//!
+//! The translator classifies every MINE RULE statement with eight boolean
+//! variables. The first five (`H, W, M, G, C`) are orthogonal; the last
+//! three are dependent (`K ⇒ C`, `F ⇒ K`, `R ⇒ G`). The directives steer
+//! the preprocessor (which queries to generate), the core operator (simple
+//! vs general algorithm) and the postprocessor (which decode joins to run).
+
+use std::fmt;
+
+use crate::ast::MineRuleStatement;
+
+/// Which core-processing variant a statement needs (§3, Figure 3b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatementClass {
+    /// Simple association rules: body and head over the same attributes,
+    /// no CLUSTER BY, no mining condition.
+    Simple,
+    /// Everything else: the general algorithm over the rule lattice.
+    General,
+}
+
+impl fmt::Display for StatementClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatementClass::Simple => write!(f, "simple"),
+            StatementClass::General => write!(f, "general"),
+        }
+    }
+}
+
+/// The classification directives passed from the translator to the other
+/// kernel components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Directives {
+    /// H: body and head are relative to different attributes.
+    pub h: bool,
+    /// W: a source condition is present (or the FROM list joins tables).
+    pub w: bool,
+    /// M: a mining condition is present.
+    pub m: bool,
+    /// G: the GROUP BY clause has a HAVING condition.
+    pub g: bool,
+    /// C: a CLUSTER BY clause is present.
+    pub c: bool,
+    /// K: the CLUSTER BY clause has a HAVING condition (K ⇒ C).
+    pub k: bool,
+    /// F: the cluster condition contains aggregate functions (F ⇒ K).
+    pub f: bool,
+    /// R: the group condition contains aggregate functions (R ⇒ G).
+    pub r: bool,
+}
+
+impl Directives {
+    /// Classify a parsed statement.
+    pub fn classify(stmt: &MineRuleStatement) -> Directives {
+        let h = !same_attr_list(&stmt.body.schema, &stmt.head.schema);
+        let w = stmt.source_cond.is_some() || stmt.from.len() > 1;
+        let m = stmt.mining_cond.is_some();
+        let g = stmt.group_cond.is_some();
+        let c = !stmt.cluster_by.is_empty();
+        let k = stmt.cluster_cond.is_some();
+        let f = stmt
+            .cluster_cond
+            .as_ref()
+            .is_some_and(|e| e.contains_aggregate());
+        let r = stmt
+            .group_cond
+            .as_ref()
+            .is_some_and(|e| e.contains_aggregate());
+        Directives {
+            h,
+            w,
+            m,
+            g,
+            c,
+            k,
+            f,
+            r,
+        }
+    }
+
+    /// The processing class this statement falls into.
+    pub fn class(&self) -> StatementClass {
+        if self.h || self.c || self.m {
+            StatementClass::General
+        } else {
+            StatementClass::Simple
+        }
+    }
+
+    /// The dependency invariants of §4.1 (`K ⇒ C`, `F ⇒ K`, `R ⇒ G`).
+    /// Always true for directives built by [`Directives::classify`];
+    /// exposed for property tests.
+    pub fn invariants_hold(&self) -> bool {
+        (!self.k || self.c) && (!self.f || self.k) && (!self.r || self.g)
+    }
+}
+
+impl fmt::Display for Directives {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let flag = |b: bool| if b { '1' } else { '0' };
+        write!(
+            f,
+            "H={} W={} M={} G={} C={} K={} F={} R={}",
+            flag(self.h),
+            flag(self.w),
+            flag(self.m),
+            flag(self.g),
+            flag(self.c),
+            flag(self.k),
+            flag(self.f),
+            flag(self.r)
+        )
+    }
+}
+
+fn same_attr_list(a: &[String], b: &[String]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .all(|x| b.iter().any(|y| x.eq_ignore_ascii_case(y)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_mine_rule;
+
+    fn classify(text: &str) -> Directives {
+        Directives::classify(&parse_mine_rule(text).unwrap())
+    }
+
+    #[test]
+    fn simple_statement_classifies_simple() {
+        let d = classify(
+            "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD \
+             FROM t GROUP BY g EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.2",
+        );
+        assert_eq!(
+            d,
+            Directives::default(),
+            "all flags false for the plainest statement"
+        );
+        assert_eq!(d.class(), StatementClass::Simple);
+    }
+
+    #[test]
+    fn paper_statement_is_general() {
+        let d = classify(
+            "MINE RULE F AS SELECT DISTINCT 1..n item AS BODY, 1..n item AS HEAD \
+             WHERE BODY.price >= 100 AND HEAD.price < 100 \
+             FROM Purchase WHERE date BETWEEN DATE '1995-01-01' AND DATE '1995-12-31' \
+             GROUP BY customer CLUSTER BY date HAVING BODY.date < HEAD.date \
+             EXTRACTING RULES WITH SUPPORT: 0.2, CONFIDENCE: 0.3",
+        );
+        assert!(!d.h, "same attribute for body and head");
+        assert!(d.w && d.m && d.c && d.k);
+        assert!(!d.g && !d.f && !d.r);
+        assert_eq!(d.class(), StatementClass::General);
+        assert!(d.invariants_hold());
+    }
+
+    #[test]
+    fn h_flag_for_different_schemas() {
+        let d = classify(
+            "MINE RULE R AS SELECT DISTINCT item AS BODY, shop AS HEAD \
+             FROM t GROUP BY g EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.2",
+        );
+        assert!(d.h);
+        assert_eq!(d.class(), StatementClass::General);
+    }
+
+    #[test]
+    fn w_flag_for_join_without_condition() {
+        let d = classify(
+            "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD \
+             FROM t, u GROUP BY g EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.2",
+        );
+        assert!(d.w);
+        assert_eq!(d.class(), StatementClass::Simple, "W alone keeps it simple");
+    }
+
+    #[test]
+    fn r_and_f_track_aggregates() {
+        let d = classify(
+            "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD \
+             FROM t GROUP BY g HAVING COUNT(*) > 2 \
+             CLUSTER BY d HAVING SUM(BODY.price) > 100 \
+             EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.2",
+        );
+        assert!(d.g && d.r && d.c && d.k && d.f);
+        assert!(d.invariants_hold());
+    }
+
+    #[test]
+    fn attr_list_comparison_is_order_insensitive() {
+        let d = classify(
+            "MINE RULE R AS SELECT DISTINCT item, brand AS BODY, brand, item AS HEAD \
+             FROM t GROUP BY g EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.2",
+        );
+        assert!(!d.h);
+    }
+}

@@ -1,0 +1,361 @@
+//! The general core operator (§4.3.2): discovery of rules with bodies and
+//! heads of arbitrary cardinality over the m×n rule-set lattice.
+//!
+//! The lattice has the elementary 1×1 set at the top; the left child of a
+//! set m×n holds rules (m+1)×n (one more body item), the right child holds
+//! m×(n+1). A set with m,n > 1 is reachable from two parents; following
+//! the paper, efficiency is maximised by expanding from the parent with
+//! the lower rule count ([`ExpansionOrder::MinParent`]); the fixed order
+//! is kept as an ablation baseline.
+
+pub mod elementary;
+
+use std::collections::HashMap;
+
+use crate::algo::itemset::{apriori_join, intersect, Itemset};
+use crate::algo::EncodedRule;
+use crate::ast::CardSpec;
+use crate::error::{MineError, Result};
+use elementary::Contexts;
+
+/// Which parent a doubly-reachable rule set is generated from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpansionOrder {
+    /// Expand from the parent set with fewer rules (the paper's choice).
+    MinParent,
+    /// Always expand the body dimension first (ablation baseline).
+    BodyFirst,
+}
+
+/// Parameters of a general mining run.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneralParams {
+    pub total_groups: u32,
+    pub min_groups: u32,
+    pub min_confidence: f64,
+    pub body_card: CardSpec,
+    pub head_card: CardSpec,
+    pub order: ExpansionOrder,
+}
+
+/// Statistics of a lattice run (exposed for the E5 ablation bench).
+#[derive(Debug, Clone, Default)]
+pub struct LatticeStats {
+    /// Candidate rules whose context lists were intersected.
+    pub candidates_evaluated: u64,
+    /// Rules that survived the support prune, per (m, n) set.
+    pub set_sizes: Vec<((u32, u32), usize)>,
+}
+
+type RuleKey = (Itemset, Itemset);
+/// A rule with its supporting context list.
+type KeyedRule = (RuleKey, Vec<u32>);
+
+/// Mine general association rules from prepared contexts.
+pub fn mine_general(contexts: &Contexts, params: &GeneralParams) -> Result<Vec<EncodedRule>> {
+    mine_general_with_stats(contexts, params).map(|(rules, _)| rules)
+}
+
+/// [`mine_general`] also returning lattice statistics.
+pub fn mine_general_with_stats(
+    contexts: &Contexts,
+    params: &GeneralParams,
+) -> Result<(Vec<EncodedRule>, LatticeStats)> {
+    let mut stats = LatticeStats::default();
+
+    // Rules are kept sorted by (body, head) so join partners are adjacent.
+    let mut sets: HashMap<(u32, u32), Vec<KeyedRule>> = HashMap::new();
+    let mut top: Vec<KeyedRule> = contexts
+        .elem
+        .iter()
+        .map(|(&(b, h), ctxs)| ((vec![b], vec![h]), ctxs.clone()))
+        .collect();
+    top.sort_by(|a, b| a.0.cmp(&b.0));
+    sets.insert((1, 1), top);
+
+    // Hard caps keep `n`-style specs finite.
+    let max_body = params.body_card.upper_limit().min(64);
+    let max_head = params.head_card.upper_limit().min(64);
+
+    // Level-wise descent by m + n.
+    let mut level_sum = 2u32;
+    loop {
+        level_sum += 1;
+        let mut produced_any = false;
+        for m in 1..=level_sum.saturating_sub(1) {
+            let n = level_sum - m;
+            if m > max_body || n > max_head || n == 0 {
+                continue;
+            }
+            let body_parent = (m > 1).then(|| (m - 1, n));
+            let head_parent = (n > 1).then(|| (m, n - 1));
+            let pick = |p: Option<(u32, u32)>| p.and_then(|k| sets.get(&k).map(|s| (k, s.len())));
+            let chosen = match (pick(body_parent), pick(head_parent)) {
+                (None, None) => continue,
+                (Some((k, _)), None) => (k, true),
+                (None, Some((k, _))) => (k, false),
+                (Some((bk, bl)), Some((hk, hl))) => match params.order {
+                    ExpansionOrder::BodyFirst => (bk, true),
+                    ExpansionOrder::MinParent => {
+                        if bl <= hl {
+                            (bk, true)
+                        } else {
+                            (hk, false)
+                        }
+                    }
+                },
+            };
+            let (parent_key, expand_body) = chosen;
+            let parent = &sets[&parent_key];
+            let next = expand(parent, expand_body, contexts, params, &mut stats)?;
+            if !next.is_empty() {
+                produced_any = true;
+                stats.set_sizes.push(((m, n), next.len()));
+                sets.insert((m, n), next);
+            }
+        }
+        if !produced_any {
+            break;
+        }
+    }
+
+    // Emission: every stored rule within the cardinality specs and above
+    // the confidence threshold.
+    let mut body_gids_memo: HashMap<Itemset, u32> = HashMap::new();
+    let mut out = Vec::new();
+    for ((m, n), rules) in &sets {
+        if !params.body_card.admits(*m as usize) || !params.head_card.admits(*n as usize) {
+            continue;
+        }
+        for ((body, head), ctxs) in rules {
+            let gids = contexts.distinct_gids(ctxs);
+            let body_gids = match body_gids_memo.get(body) {
+                Some(&v) => v,
+                None => {
+                    let v = body_group_support(contexts, body)?;
+                    body_gids_memo.insert(body.clone(), v);
+                    v
+                }
+            };
+            if body_gids == 0 {
+                return Err(MineError::Internal {
+                    message: format!("rule body {body:?} has zero body support"),
+                });
+            }
+            let confidence = gids as f64 / body_gids as f64;
+            if confidence + 1e-12 >= params.min_confidence {
+                out.push(EncodedRule {
+                    body: body.clone(),
+                    head: head.clone(),
+                    group_count: gids,
+                    support: gids as f64 / params.total_groups.max(1) as f64,
+                    confidence,
+                });
+            }
+        }
+    }
+    crate::algo::sort_rules(&mut out);
+    Ok((out, stats))
+}
+
+/// Generate the child set by extending the body (or head) dimension:
+/// Apriori-join rules that agree on the other dimension, intersect their
+/// context lists, and keep those with enough supporting groups.
+fn expand(
+    parent: &[KeyedRule],
+    expand_body: bool,
+    contexts: &Contexts,
+    params: &GeneralParams,
+    stats: &mut LatticeStats,
+) -> Result<Vec<KeyedRule>> {
+    // Bucket rules by the fixed dimension so join partners meet.
+    let mut buckets: HashMap<&Itemset, Vec<usize>> = HashMap::new();
+    for (i, ((body, head), _)) in parent.iter().enumerate() {
+        let fixed = if expand_body { head } else { body };
+        buckets.entry(fixed).or_default().push(i);
+    }
+    let mut next: Vec<KeyedRule> = Vec::new();
+    for (fixed, idxs) in buckets {
+        // Within a bucket, the varying dimension is sorted (parent is
+        // globally sorted by (body, head); within equal fixed dimension
+        // the other dimension ascends for expand_body, and for heads we
+        // re-sort defensively).
+        let mut vary: Vec<(&Itemset, &Vec<u32>)> = idxs
+            .iter()
+            .map(|&i| {
+                let ((body, head), ctxs) = &parent[i];
+                (if expand_body { body } else { head }, ctxs)
+            })
+            .collect();
+        vary.sort_by(|a, b| a.0.cmp(b.0));
+        for i in 0..vary.len() {
+            for j in (i + 1)..vary.len() {
+                let Some(joined) = apriori_join(vary[i].0, vary[j].0) else {
+                    break;
+                };
+                stats.candidates_evaluated += 1;
+                let ctxs = intersect(vary[i].1, vary[j].1);
+                if contexts.distinct_gids(&ctxs) >= params.min_groups {
+                    let key = if expand_body {
+                        (joined, fixed.clone())
+                    } else {
+                        (fixed.clone(), joined)
+                    };
+                    next.push((key, ctxs));
+                }
+            }
+        }
+    }
+    next.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(next)
+}
+
+/// Groups in which the whole body occurs inside a single body cluster.
+fn body_group_support(contexts: &Contexts, body: &[u32]) -> Result<u32> {
+    let mut acc: Option<Vec<u32>> = None;
+    for b in body {
+        let occ = contexts.body_occ.get(b).ok_or_else(|| MineError::Internal {
+            message: format!("body item {b} missing from occurrence index"),
+        })?;
+        acc = Some(match acc {
+            None => occ.clone(),
+            Some(prev) => intersect(&prev, occ),
+        });
+    }
+    Ok(contexts.distinct_body_gids(&acc.unwrap_or_default()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoded::GeneralTuple;
+    use crate::lattice::elementary::{build_contexts, BuildOptions};
+
+    fn t(gid: u32, bid: u32) -> GeneralTuple {
+        GeneralTuple {
+            gid,
+            cid: None,
+            bid: Some(bid),
+            hid: Some(bid),
+        }
+    }
+
+    fn params(min_groups: u32, min_conf: f64, total: u32) -> GeneralParams {
+        GeneralParams {
+            total_groups: total,
+            min_groups,
+            min_confidence: min_conf,
+            body_card: CardSpec::one_to_n(),
+            head_card: CardSpec::one_to_n(),
+            order: ExpansionOrder::MinParent,
+        }
+    }
+
+    fn basket_contexts(groups: &[&[u32]], min_groups: u32) -> Contexts {
+        let mut tuples = Vec::new();
+        for (g, items) in groups.iter().enumerate() {
+            for &i in *items {
+                tuples.push(t(g as u32, i));
+            }
+        }
+        build_contexts(
+            &tuples,
+            None,
+            None,
+            BuildOptions {
+                clustered: false,
+                has_couples: false,
+                distinct_head: false,
+                min_groups,
+            },
+        )
+    }
+
+    #[test]
+    fn finds_composite_rules() {
+        // {1,2} ⇒ {3} holds in 2 of 3 groups.
+        let contexts = basket_contexts(&[&[1, 2, 3], &[1, 2, 3], &[1, 2]], 2);
+        let rules = mine_general(&contexts, &params(2, 0.5, 3)).unwrap();
+        let found = rules
+            .iter()
+            .find(|r| r.body == vec![1, 2] && r.head == vec![3])
+            .expect("{1,2} => {3} missing");
+        assert_eq!(found.group_count, 2);
+        assert!((found.support - 2.0 / 3.0).abs() < 1e-12);
+        assert!((found.confidence - 2.0 / 3.0).abs() < 1e-12);
+        // And a 1×2 rule as well: {1} ⇒ {2,3}.
+        assert!(rules
+            .iter()
+            .any(|r| r.body == vec![1] && r.head == vec![2, 3]));
+    }
+
+    #[test]
+    fn body_and_head_stay_disjoint() {
+        let contexts = basket_contexts(&[&[1, 2, 3], &[1, 2, 3]], 1);
+        let rules = mine_general(&contexts, &params(1, 0.0001, 2)).unwrap();
+        for r in &rules {
+            for b in &r.body {
+                assert!(!r.head.contains(b), "{r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn support_monotone_under_expansion() {
+        let contexts = basket_contexts(&[&[1, 2, 3], &[1, 2], &[1, 3], &[2, 3]], 1);
+        let rules = mine_general(&contexts, &params(1, 0.0001, 4)).unwrap();
+        let find = |b: &[u32], h: &[u32]| {
+            rules
+                .iter()
+                .find(|r| r.body == b && r.head == h)
+                .map(|r| r.group_count)
+        };
+        let s_12_3 = find(&[1, 2], &[3]).unwrap();
+        let s_1_3 = find(&[1], &[3]).unwrap();
+        let s_2_3 = find(&[2], &[3]).unwrap();
+        assert!(s_12_3 <= s_1_3 && s_12_3 <= s_2_3);
+    }
+
+    #[test]
+    fn expansion_orders_agree() {
+        let groups: Vec<Vec<u32>> = vec![
+            vec![1, 2, 3, 4],
+            vec![1, 2, 3],
+            vec![2, 3, 4],
+            vec![1, 3, 4],
+            vec![1, 2, 4],
+        ];
+        let refs: Vec<&[u32]> = groups.iter().map(|g| g.as_slice()).collect();
+        let contexts = basket_contexts(&refs, 2);
+        let mut a = mine_general(&contexts, &params(2, 0.01, 5)).unwrap();
+        let mut b = mine_general(
+            &contexts,
+            &GeneralParams {
+                order: ExpansionOrder::BodyFirst,
+                ..params(2, 0.01, 5)
+            },
+        )
+        .unwrap();
+        crate::algo::sort_rules(&mut a);
+        crate::algo::sort_rules(&mut b);
+        assert_eq!(a, b, "expansion order must not change the result");
+    }
+
+    #[test]
+    fn head_cardinality_caps_expansion() {
+        let contexts = basket_contexts(&[&[1, 2, 3], &[1, 2, 3]], 1);
+        let p = GeneralParams {
+            head_card: CardSpec::one_to_one(),
+            ..params(1, 0.0001, 2)
+        };
+        let rules = mine_general(&contexts, &p).unwrap();
+        assert!(rules.iter().all(|r| r.head.len() == 1));
+        assert!(rules.iter().any(|r| r.body.len() == 2));
+    }
+
+    #[test]
+    fn empty_contexts_give_no_rules() {
+        let contexts = basket_contexts(&[], 1);
+        assert!(mine_general(&contexts, &params(1, 0.1, 0)).unwrap().is_empty());
+    }
+}

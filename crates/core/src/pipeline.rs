@@ -1,0 +1,174 @@
+//! The end-to-end mining pipeline: the kernel of Figure 3a.
+//!
+//! [`MineRuleEngine::execute`] runs translator → preprocessor → core
+//! operator → postprocessor against a [`relational::Database`], exactly
+//! mirroring the process flow of the paper's architecture, and returns a
+//! [`MiningOutcome`] with the decoded rules and a per-phase breakdown.
+
+use std::time::{Duration, Instant};
+
+use relational::Database;
+
+use crate::core_op::{run_core, CoreOptions, CoreOutput};
+use crate::encoded::read_encoded;
+use crate::error::Result;
+use crate::parser::parse_mine_rule;
+use crate::postprocess::{postprocess, read_rules, store_encoded_rules, DecodedRule};
+use crate::preprocess::{preprocess, PreprocessReport};
+use crate::translator::{translate_with_prefix, Translation};
+
+/// Wall-clock breakdown of one mining run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    pub translate: Duration,
+    pub preprocess: Duration,
+    pub core: Duration,
+    pub postprocess: Duration,
+}
+
+impl PhaseTimings {
+    /// Total time across phases.
+    pub fn total(&self) -> Duration {
+        self.translate + self.preprocess + self.core + self.postprocess
+    }
+}
+
+/// Everything a mining run produces.
+#[derive(Debug, Clone)]
+pub struct MiningOutcome {
+    /// Decoded rules, sorted by (body, head).
+    pub rules: Vec<DecodedRule>,
+    /// The translation that drove the run.
+    pub translation: Translation,
+    /// Preprocessing row counts and thresholds.
+    pub preprocess_report: PreprocessReport,
+    /// Whether the general core path ran.
+    pub used_general: bool,
+    /// Per-phase wall-clock times.
+    pub timings: PhaseTimings,
+}
+
+/// The mining engine: core-operator options plus encoded-table naming.
+#[derive(Debug, Clone, Default)]
+pub struct MineRuleEngine {
+    /// Core-operator configuration (algorithm choice, lattice order).
+    pub core: CoreOptions,
+    /// Prefix for the encoded tables (lets several statements share one
+    /// catalog, and enables preprocessing reuse).
+    pub table_prefix: String,
+}
+
+impl MineRuleEngine {
+    /// An engine with default options.
+    pub fn new() -> MineRuleEngine {
+        MineRuleEngine::default()
+    }
+
+    /// Select the simple-class mining algorithm by pool name
+    /// (`"apriori"`, `"count"`, `"dhp"`, `"partition"`, `"sampling"`).
+    pub fn with_algorithm(mut self, name: &str) -> MineRuleEngine {
+        self.core.algorithm = name.to_string();
+        self
+    }
+
+    /// Use a table prefix for all encoded tables.
+    pub fn with_prefix(mut self, prefix: &str) -> MineRuleEngine {
+        self.table_prefix = prefix.to_string();
+        self
+    }
+
+    /// Parse and execute a MINE RULE statement end to end.
+    pub fn execute(&self, db: &mut Database, text: &str) -> Result<MiningOutcome> {
+        let stmt = parse_mine_rule(text)?;
+
+        let t0 = Instant::now();
+        let translation = translate_with_prefix(&stmt, db.catalog(), &self.table_prefix)?;
+        let translate_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        let preprocess_report = preprocess(db, &translation)?;
+        let preprocess_time = t1.elapsed();
+
+        self.finish(
+            db,
+            translation,
+            preprocess_report,
+            translate_time,
+            preprocess_time,
+        )
+    }
+
+    /// Execute against *already materialised* encoded tables (the shared
+    /// preprocessing of §3: "the same preprocessing could be in common to
+    /// the execution of several data mining queries"). The caller must
+    /// have run [`MineRuleEngine::execute`] for an identical statement
+    /// shape first; only core + postprocessing run here.
+    pub fn execute_reusing_preprocessing(
+        &self,
+        db: &mut Database,
+        text: &str,
+    ) -> Result<MiningOutcome> {
+        let stmt = parse_mine_rule(text)?;
+        let t0 = Instant::now();
+        let translation = translate_with_prefix(&stmt, db.catalog(), &self.table_prefix)?;
+        let translate_time = t0.elapsed();
+
+        // Drop only the output-side tables so the decode joins can rerun.
+        let out = &translation.stmt.output_table;
+        for table in [
+            translation.names.output_rules(),
+            translation.names.output_bodies(),
+            translation.names.output_heads(),
+            out.clone(),
+            format!("{out}_Bodies"),
+            format!("{out}_Heads"),
+        ] {
+            db.execute(&format!("DROP TABLE IF EXISTS {table}"))?;
+        }
+
+        self.finish(
+            db,
+            translation,
+            PreprocessReport::default(),
+            translate_time,
+            Duration::ZERO,
+        )
+    }
+
+    fn finish(
+        &self,
+        db: &mut Database,
+        translation: Translation,
+        preprocess_report: PreprocessReport,
+        translate_time: Duration,
+        preprocess_time: Duration,
+    ) -> Result<MiningOutcome> {
+        let t2 = Instant::now();
+        let encoded = read_encoded(db, &translation)?;
+        let CoreOutput {
+            rules,
+            used_general,
+            ..
+        } = run_core(&encoded, &self.core)?;
+        let core_time = t2.elapsed();
+
+        let t3 = Instant::now();
+        store_encoded_rules(db, &translation, &rules)?;
+        postprocess(db, &translation)?;
+        let decoded = read_rules(db, &translation)?;
+        let postprocess_time = t3.elapsed();
+
+        Ok(MiningOutcome {
+            rules: decoded,
+            translation,
+            preprocess_report,
+            used_general,
+            timings: PhaseTimings {
+                translate: translate_time,
+                preprocess: preprocess_time,
+                core: core_time,
+                postprocess: postprocess_time,
+            },
+        })
+    }
+}

@@ -1,0 +1,174 @@
+//! The postprocessor (§4.4): store the core operator's encoded rules in
+//! the DBMS and decode them into user-readable output tables.
+//!
+//! The core operator's output is the three-table normalised form of the
+//! paper — `OutputRules (BodyId, HeadId, SUPPORT, CONFIDENCE)` plus
+//! `OutputBodies (BodyId, Bid)` and `OutputHeads (HeadId, Hid)` — chosen
+//! precisely because SQL92 has no set-valued attributes. Decoding is then
+//! a pair of joins with `Bset`/`Hset`, executed as plain SQL.
+
+use std::collections::HashMap;
+
+use relational::{Database, Value};
+
+use crate::algo::EncodedRule;
+use crate::error::Result;
+use crate::preprocess::run_steps;
+use crate::translator::Translation;
+
+/// Write the encoded rules into `OutputRules` / `OutputBodies` /
+/// `OutputHeads`, assigning body/head identifiers (identical itemsets
+/// share an identifier, as the normalised form intends).
+pub fn store_encoded_rules(
+    db: &mut Database,
+    translation: &Translation,
+    rules: &[EncodedRule],
+) -> Result<()> {
+    let names = &translation.names;
+    db.execute(&format!(
+        "CREATE TABLE {} (BodyId INT, HeadId INT, SUPPORT FLOAT, CONFIDENCE FLOAT)",
+        names.output_rules()
+    ))?;
+    db.execute(&format!(
+        "CREATE TABLE {} (BodyId INT, Bid INT)",
+        names.output_bodies()
+    ))?;
+    db.execute(&format!(
+        "CREATE TABLE {} (HeadId INT, Hid INT)",
+        names.output_heads()
+    ))?;
+
+    let mut body_ids: HashMap<&[u32], i64> = HashMap::new();
+    let mut head_ids: HashMap<&[u32], i64> = HashMap::new();
+    let mut body_rows: Vec<Vec<Value>> = Vec::new();
+    let mut head_rows: Vec<Vec<Value>> = Vec::new();
+    let mut rule_rows: Vec<Vec<Value>> = Vec::with_capacity(rules.len());
+
+    for rule in rules {
+        let next_body = body_ids.len() as i64 + 1;
+        let body_id = *body_ids.entry(rule.body.as_slice()).or_insert_with(|| {
+            for &bid in &rule.body {
+                body_rows.push(vec![Value::Int(next_body), Value::Int(bid as i64)]);
+            }
+            next_body
+        });
+        let next_head = head_ids.len() as i64 + 1;
+        let head_id = *head_ids.entry(rule.head.as_slice()).or_insert_with(|| {
+            for &hid in &rule.head {
+                head_rows.push(vec![Value::Int(next_head), Value::Int(hid as i64)]);
+            }
+            next_head
+        });
+        rule_rows.push(vec![
+            Value::Int(body_id),
+            Value::Int(head_id),
+            Value::Float(rule.support),
+            Value::Float(rule.confidence),
+        ]);
+    }
+
+    let catalog = db.catalog_mut();
+    catalog
+        .table_mut(&names.output_rules())?
+        .insert_all(rule_rows)?;
+    catalog
+        .table_mut(&names.output_bodies())?
+        .insert_all(body_rows)?;
+    catalog
+        .table_mut(&names.output_heads())?
+        .insert_all(head_rows)?;
+    Ok(())
+}
+
+/// Run the decode joins, producing `<out>`, `<out>_Bodies`, `<out>_Heads`.
+pub fn postprocess(db: &mut Database, translation: &Translation) -> Result<()> {
+    run_steps(db, &translation.postprocess, translation.stmt.min_support)?;
+    Ok(())
+}
+
+/// A decoded rule, read back from the output tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedRule {
+    /// Sorted rendered body items (multi-attribute items join with `|`).
+    pub body: Vec<String>,
+    /// Sorted rendered head items.
+    pub head: Vec<String>,
+    pub support: f64,
+    pub confidence: f64,
+}
+
+impl DecodedRule {
+    /// `{a, b} => {c} (s=0.5, c=1)` rendering for examples and reports.
+    pub fn display(&self) -> String {
+        format!(
+            "{{{}}} => {{{}}} (s={:.3}, c={:.3})",
+            self.body.join(", "),
+            self.head.join(", "),
+            self.support,
+            self.confidence
+        )
+    }
+}
+
+/// Read the user-facing output tables back into decoded rules, sorted by
+/// (body, head) for stable comparison.
+pub fn read_rules(db: &mut Database, translation: &Translation) -> Result<Vec<DecodedRule>> {
+    let out = &translation.stmt.output_table;
+    let body_schema_len = translation.stmt.body.schema.len();
+    let head_schema_len = translation.stmt.head.schema.len();
+    let bodies = read_itemsets(db, &format!("{out}_Bodies"), "BodyId", body_schema_len)?;
+    let heads = read_itemsets(db, &format!("{out}_Heads"), "HeadId", head_schema_len)?;
+
+    // The rule table always carries SUPPORT/CONFIDENCE in OutputRules;
+    // the user projection may omit them, so fall back to the encoded table.
+    let (sup_col, conf_col, table) = if translation.stmt.select_support
+        && translation.stmt.select_confidence
+    {
+        ("SUPPORT", "CONFIDENCE", out.clone())
+    } else {
+        ("SUPPORT", "CONFIDENCE", translation.names.output_rules())
+    };
+    let rs = db.query(&format!(
+        "SELECT BodyId, HeadId, {sup_col}, {conf_col} FROM {table}"
+    ))?;
+    let mut rules = Vec::with_capacity(rs.len());
+    for row in rs.rows() {
+        let body_id = row[0].as_int().map_err(crate::error::MineError::from)?;
+        let head_id = row[1].as_int().map_err(crate::error::MineError::from)?;
+        rules.push(DecodedRule {
+            body: bodies.get(&body_id).cloned().unwrap_or_default(),
+            head: heads.get(&head_id).cloned().unwrap_or_default(),
+            support: row[2].as_float().map_err(crate::error::MineError::from)?,
+            confidence: row[3].as_float().map_err(crate::error::MineError::from)?,
+        });
+    }
+    rules.sort_by(|a, b| a.body.cmp(&b.body).then(a.head.cmp(&b.head)));
+    Ok(rules)
+}
+
+fn read_itemsets(
+    db: &mut Database,
+    table: &str,
+    id_col: &str,
+    attr_count: usize,
+) -> Result<HashMap<i64, Vec<String>>> {
+    let rs = db.query(&format!("SELECT * FROM {table}"))?;
+    let id_idx = rs.column_index(id_col).unwrap_or(0);
+    let mut map: HashMap<i64, Vec<String>> = HashMap::new();
+    for row in rs.rows() {
+        let id = row[id_idx].as_int().map_err(crate::error::MineError::from)?;
+        let rendered = row
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != id_idx)
+            .take(attr_count)
+            .map(|(_, v)| v.to_string())
+            .collect::<Vec<_>>()
+            .join("|");
+        map.entry(id).or_default().push(rendered);
+    }
+    for items in map.values_mut() {
+        items.sort();
+    }
+    Ok(map)
+}

@@ -1,0 +1,97 @@
+//! The preprocessor (§4.2): runs the translator's SQL program against the
+//! SQL server, producing the encoded tables the core operator works on.
+
+use relational::{Database, Value};
+
+use crate::error::{MineError, Result};
+use crate::translator::{Step, Translation};
+
+/// Timing/row-count breakdown of a preprocessing run, used by the
+/// benchmark harness (experiment E2/E3) and exposed for curiosity.
+#[derive(Debug, Clone, Default)]
+pub struct PreprocessReport {
+    /// `(query id, statement count)` per executed step.
+    pub executed: Vec<(String, usize)>,
+    /// Total number of groups in the source (`:totg`).
+    pub total_groups: u64,
+    /// The absolute large-element threshold (`:mingroups`).
+    pub min_groups: u64,
+}
+
+/// Run a sequence of translation steps on the database.
+pub fn run_steps(db: &mut Database, steps: &[Step], min_support: f64) -> Result<PreprocessReport> {
+    let mut report = PreprocessReport::default();
+    for step in steps {
+        match step {
+            Step::Sql { id, sql } => {
+                let outcome = db.execute(sql).map_err(|e| annotate(e, id, sql))?;
+                report
+                    .executed
+                    .push((id.clone(), outcome.rows_affected.max(1)));
+            }
+            Step::ComputeMinGroups => {
+                let totg = match db.var("totg") {
+                    Some(Value::Int(n)) => *n,
+                    other => {
+                        return Err(MineError::Internal {
+                            message: format!(":totg not set before ComputeMinGroups: {other:?}"),
+                        })
+                    }
+                };
+                let min_groups = min_groups_for(totg as u64, min_support);
+                db.set_var("mingroups", Value::Int(min_groups as i64));
+                report.total_groups = totg as u64;
+                report.min_groups = min_groups;
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// The smallest group count that satisfies `count / totg >= min_support`,
+/// never below 1 (a rule must occur somewhere).
+pub fn min_groups_for(total_groups: u64, min_support: f64) -> u64 {
+    let raw = (total_groups as f64 * min_support).ceil() as u64;
+    raw.max(1)
+}
+
+/// Run the full preprocessing phase of a translation: cleanup first, then
+/// `Q0`..`Q11`.
+pub fn preprocess(db: &mut Database, translation: &Translation) -> Result<PreprocessReport> {
+    run_steps(db, &translation.cleanup, translation.stmt.min_support)?;
+    run_steps(db, &translation.preprocess, translation.stmt.min_support)
+}
+
+fn annotate(e: relational::Error, id: &str, sql: &str) -> MineError {
+    match MineError::from(e) {
+        MineError::Sql(inner) => MineError::Internal {
+            message: format!("preprocessing query {id} failed: {inner} (sql: {sql})"),
+        },
+        MineError::Syntax { pos, message } => MineError::Internal {
+            message: format!(
+                "generated SQL for {id} failed to parse at {pos}: {message} (sql: {sql})"
+            ),
+        },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_groups_rounds_up() {
+        assert_eq!(min_groups_for(10, 0.25), 3);
+        assert_eq!(min_groups_for(10, 0.2), 2);
+        assert_eq!(min_groups_for(2, 0.2), 1);
+        assert_eq!(min_groups_for(1000, 0.001), 1);
+        assert_eq!(min_groups_for(4, 0.5), 2);
+    }
+
+    #[test]
+    fn min_groups_never_zero() {
+        assert_eq!(min_groups_for(100, 0.0001), 1);
+        assert_eq!(min_groups_for(0, 0.5), 1);
+    }
+}

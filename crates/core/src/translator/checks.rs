@@ -1,0 +1,468 @@
+//! The translator's semantic checks (§4.1, items 1–4).
+
+use relational::expr::Expr;
+
+use crate::ast::MineRuleStatement;
+use crate::directives::Directives;
+use crate::error::{MineError, Result, SemanticViolation};
+use crate::translator::SourceSchema;
+
+/// Run all semantic checks; the first violation is returned.
+pub fn check(stmt: &MineRuleStatement, source: &SourceSchema) -> Result<()> {
+    check_output_table(stmt)?;
+    check_thresholds(stmt)?;
+    check_cardinalities(stmt)?;
+    check_attributes_exist(stmt, source)?; // check 1
+    check_disjointness(stmt)?; // check 2
+    check_having_scopes(stmt)?; // check 3
+    check_mining_scope(stmt)?; // check 4
+    Ok(())
+}
+
+/// The run's cleanup drops `<out>` and its `_Bodies`/`_Heads` companions;
+/// refusing source-table collisions keeps that cleanup from destroying
+/// the data being mined.
+fn check_output_table(stmt: &MineRuleStatement) -> Result<()> {
+    for t in &stmt.from {
+        for candidate in [
+            stmt.output_table.clone(),
+            format!("{}_Bodies", stmt.output_table),
+            format!("{}_Heads", stmt.output_table),
+        ] {
+            if t.name.eq_ignore_ascii_case(&candidate) {
+                return Err(SemanticViolation::OutputClobbersSource {
+                    name: stmt.output_table.clone(),
+                }
+                .into());
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_thresholds(stmt: &MineRuleStatement) -> Result<()> {
+    for (what, v) in [
+        ("support", stmt.min_support),
+        ("confidence", stmt.min_confidence),
+    ] {
+        if !(v > 0.0 && v <= 1.0) {
+            return Err(MineError::BadThreshold { what, value: v });
+        }
+    }
+    Ok(())
+}
+
+fn check_cardinalities(stmt: &MineRuleStatement) -> Result<()> {
+    for spec in [&stmt.body.card, &stmt.head.card] {
+        if !spec.is_valid() {
+            return Err(SemanticViolation::BadCardinality {
+                spec: spec.to_string(),
+            }
+            .into());
+        }
+    }
+    Ok(())
+}
+
+/// Check 1: every attribute list is defined on the source table schemas.
+fn check_attributes_exist(stmt: &MineRuleStatement, source: &SourceSchema) -> Result<()> {
+    let lists: [(&'static str, &[String]); 4] = [
+        ("body schema", &stmt.body.schema),
+        ("head schema", &stmt.head.schema),
+        ("group attribute list", &stmt.group_by),
+        ("cluster attribute list", &stmt.cluster_by),
+    ];
+    for (clause, attrs) in lists {
+        for a in attrs {
+            if !source.has_attr(a) {
+                return Err(SemanticViolation::UnknownAttribute {
+                    clause,
+                    name: a.clone(),
+                }
+                .into());
+            }
+        }
+    }
+    // Source condition references resolve against the (qualified) source.
+    if let Some(cond) = &stmt.source_cond {
+        for (q, name) in cond.column_refs() {
+            if !source.resolves(q, name) {
+                return Err(SemanticViolation::UnknownAttribute {
+                    clause: "source condition",
+                    name: match q {
+                        Some(q) => format!("{q}.{name}"),
+                        None => name.to_string(),
+                    },
+                }
+                .into());
+            }
+        }
+    }
+    // Group / cluster / mining conditions reference bare attributes (the
+    // BODY/HEAD qualifiers are handled by checks 3 and 4).
+    for (clause, cond) in [
+        ("group condition", &stmt.group_cond),
+        ("cluster condition", &stmt.cluster_cond),
+        ("mining condition", &stmt.mining_cond),
+    ] {
+        if let Some(cond) = cond {
+            for (_, name) in cond.column_refs() {
+                if !source.has_attr(name) {
+                    return Err(SemanticViolation::UnknownAttribute {
+                        clause,
+                        name: name.to_string(),
+                    }
+                    .into());
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn overlap<'a>(a: &'a [String], b: &[String]) -> Option<&'a String> {
+    a.iter()
+        .find(|x| b.iter().any(|y| x.eq_ignore_ascii_case(y)))
+}
+
+/// Check 2: grouping/clustering disjoint; body/head schemas disjoint from
+/// grouping and clustering.
+fn check_disjointness(stmt: &MineRuleStatement) -> Result<()> {
+    let pairs: [(&'static str, &[String], &'static str, &[String]); 5] = [
+        (
+            "group attribute list",
+            &stmt.group_by,
+            "cluster attribute list",
+            &stmt.cluster_by,
+        ),
+        ("body schema", &stmt.body.schema, "group attribute list", &stmt.group_by),
+        ("body schema", &stmt.body.schema, "cluster attribute list", &stmt.cluster_by),
+        ("head schema", &stmt.head.schema, "group attribute list", &stmt.group_by),
+        ("head schema", &stmt.head.schema, "cluster attribute list", &stmt.cluster_by),
+    ];
+    for (first_name, first, second_name, second) in pairs {
+        if let Some(name) = overlap(first, second) {
+            return Err(SemanticViolation::OverlappingAttributes {
+                first: first_name,
+                second: second_name,
+                name: name.clone(),
+            }
+            .into());
+        }
+    }
+    Ok(())
+}
+
+/// Collect column references that are *not* inside an aggregate call.
+fn refs_outside_aggregates(expr: &Expr) -> Vec<(Option<&str>, &str)> {
+    fn rec<'a>(e: &'a Expr, out: &mut Vec<(Option<&'a str>, &'a str)>) {
+        match e {
+            Expr::Aggregate { .. } => {} // stop: inner refs are aggregated
+            Expr::Column { qualifier, name } => {
+                out.push((qualifier.as_deref(), name.as_str()));
+            }
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => rec(expr, out),
+            Expr::Binary { left, right, .. } => {
+                rec(left, out);
+                rec(right, out);
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                rec(expr, out);
+                rec(low, out);
+                rec(high, out);
+            }
+            Expr::InList { expr, list, .. } => {
+                rec(expr, out);
+                for x in list {
+                    rec(x, out);
+                }
+            }
+            Expr::Like { expr, pattern, .. } => {
+                rec(expr, out);
+                rec(pattern, out);
+            }
+            Expr::Func { args, .. } => {
+                for a in args {
+                    rec(a, out);
+                }
+            }
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
+                for (c, v) in branches {
+                    rec(c, out);
+                    rec(v, out);
+                }
+                if let Some(x) = else_expr {
+                    rec(x, out);
+                }
+            }
+            Expr::InSubquery { expr, .. } => rec(expr, out),
+            _ => {}
+        }
+    }
+    let mut out = Vec::new();
+    rec(expr, &mut out);
+    out
+}
+
+fn in_list(name: &str, list: &[String]) -> bool {
+    list.iter().any(|x| x.eq_ignore_ascii_case(name))
+}
+
+/// Check 3: the grouping (clustering) HAVING can refer only to grouping
+/// (clustering) attributes outside aggregates. In the cluster condition,
+/// references are qualified `BODY.attr` / `HEAD.attr` — the qualifier must
+/// be one of those two role names.
+fn check_having_scopes(stmt: &MineRuleStatement) -> Result<()> {
+    if let Some(cond) = &stmt.group_cond {
+        for (q, name) in refs_outside_aggregates(cond) {
+            if q.is_some() || !in_list(name, &stmt.group_by) {
+                return Err(SemanticViolation::HavingScope {
+                    clause: "GROUP BY",
+                    name: name.to_string(),
+                }
+                .into());
+            }
+        }
+    }
+    if stmt.cluster_cond.is_some() && stmt.cluster_by.is_empty() {
+        return Err(SemanticViolation::ClusterCondWithoutCluster.into());
+    }
+    if let Some(cond) = &stmt.cluster_cond {
+        for (q, name) in refs_outside_aggregates(cond) {
+            match q {
+                Some(q) if q.eq_ignore_ascii_case("BODY") || q.eq_ignore_ascii_case("HEAD") => {}
+                Some(q) => {
+                    return Err(SemanticViolation::BadClusterQualifier {
+                        qualifier: q.to_string(),
+                    }
+                    .into())
+                }
+                None => {}
+            }
+            if !in_list(name, &stmt.cluster_by) {
+                return Err(SemanticViolation::HavingScope {
+                    clause: "CLUSTER BY",
+                    name: name.to_string(),
+                }
+                .into());
+            }
+        }
+        // Aggregate arguments inside the cluster condition must be
+        // BODY/HEAD-qualified so Q6/Q7 know which side to aggregate.
+        let mut bad: Option<String> = None;
+        cond.walk(&mut |e| {
+            if let Expr::Aggregate { arg: Some(a), .. } = e {
+                for (q, _) in a.column_refs() {
+                    match q {
+                        Some(q)
+                            if q.eq_ignore_ascii_case("BODY")
+                                || q.eq_ignore_ascii_case("HEAD") => {}
+                        Some(q) => bad = Some(q.to_string()),
+                        None => bad = Some(String::new()),
+                    }
+                }
+            }
+        });
+        if let Some(q) = bad {
+            return Err(SemanticViolation::BadClusterQualifier { qualifier: q }.into());
+        }
+    }
+    Ok(())
+}
+
+/// Check 4: the mining condition can refer to every attribute *except*
+/// grouping and clustering ones, and its qualifiers must be BODY or HEAD.
+fn check_mining_scope(stmt: &MineRuleStatement) -> Result<()> {
+    if let Some(cond) = &stmt.mining_cond {
+        for (q, name) in cond.column_refs() {
+            match q {
+                Some(q) if q.eq_ignore_ascii_case("BODY") || q.eq_ignore_ascii_case("HEAD") => {}
+                Some(q) => {
+                    return Err(SemanticViolation::BadMiningQualifier {
+                        qualifier: q.to_string(),
+                    }
+                    .into())
+                }
+                None => {}
+            }
+            if in_list(name, &stmt.group_by) || in_list(name, &stmt.cluster_by) {
+                return Err(SemanticViolation::MiningCondScope {
+                    name: name.to_string(),
+                }
+                .into());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Convenience used by tests: directives of a statement that passed checks.
+pub fn classify_checked(
+    stmt: &MineRuleStatement,
+    source: &SourceSchema,
+) -> Result<Directives> {
+    check(stmt, source)?;
+    Ok(Directives::classify(stmt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_mine_rule;
+    use relational::Database;
+
+    fn catalog_db() -> Database {
+        let mut db = Database::new();
+        db.execute(
+            "CREATE TABLE Purchase (tr INT, customer VARCHAR, item VARCHAR, \
+             date DATE, price INT, qty INT)",
+        )
+        .unwrap();
+        db
+    }
+
+    fn check_text(text: &str) -> Result<()> {
+        let db = catalog_db();
+        let stmt = parse_mine_rule(text).unwrap();
+        let source = SourceSchema::build(&stmt, db.catalog())?;
+        check(&stmt, &source)
+    }
+
+    #[test]
+    fn paper_statement_passes() {
+        check_text(
+            "MINE RULE F AS SELECT DISTINCT 1..n item AS BODY, 1..n item AS HEAD \
+             WHERE BODY.price >= 100 AND HEAD.price < 100 \
+             FROM Purchase WHERE date BETWEEN DATE '1995-01-01' AND DATE '1995-12-31' \
+             GROUP BY customer CLUSTER BY date HAVING BODY.date < HEAD.date \
+             EXTRACTING RULES WITH SUPPORT: 0.2, CONFIDENCE: 0.3",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn check1_unknown_attribute() {
+        let err = check_text(
+            "MINE RULE R AS SELECT DISTINCT nosuch AS BODY, item AS HEAD \
+             FROM Purchase GROUP BY customer \
+             EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.2",
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            MineError::Semantic(SemanticViolation::UnknownAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn check2_body_overlaps_grouping() {
+        let err = check_text(
+            "MINE RULE R AS SELECT DISTINCT customer AS BODY, item AS HEAD \
+             FROM Purchase GROUP BY customer \
+             EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.2",
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            MineError::Semantic(SemanticViolation::OverlappingAttributes { .. })
+        ));
+    }
+
+    #[test]
+    fn check2_group_overlaps_cluster() {
+        let err = check_text(
+            "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD \
+             FROM Purchase GROUP BY customer CLUSTER BY customer \
+             EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.2",
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            MineError::Semantic(SemanticViolation::OverlappingAttributes { .. })
+        ));
+    }
+
+    #[test]
+    fn check3_group_having_scope() {
+        let err = check_text(
+            "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD \
+             FROM Purchase GROUP BY customer HAVING price > 10 \
+             EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.2",
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            MineError::Semantic(SemanticViolation::HavingScope { .. })
+        ));
+    }
+
+    #[test]
+    fn check3_group_having_aggregate_allowed() {
+        check_text(
+            "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD \
+             FROM Purchase GROUP BY customer HAVING COUNT(price) > 1 \
+             EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.2",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn check4_mining_cond_cannot_touch_grouping() {
+        let err = check_text(
+            "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD \
+             WHERE BODY.customer = 'c1' \
+             FROM Purchase GROUP BY customer \
+             EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.2",
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            MineError::Semantic(SemanticViolation::MiningCondScope { .. })
+        ));
+    }
+
+    #[test]
+    fn mining_qualifier_must_be_body_or_head() {
+        let err = check_text(
+            "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD \
+             WHERE X.price > 10 \
+             FROM Purchase GROUP BY customer \
+             EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.2",
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            MineError::Semantic(SemanticViolation::BadMiningQualifier { .. })
+        ));
+    }
+
+    #[test]
+    fn thresholds_must_be_in_unit_interval() {
+        let err = check_text(
+            "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD \
+             FROM Purchase GROUP BY customer \
+             EXTRACTING RULES WITH SUPPORT: 1.5, CONFIDENCE: 0.2",
+        )
+        .unwrap_err();
+        assert!(matches!(err, MineError::BadThreshold { .. }));
+    }
+
+    #[test]
+    fn bad_cardinality_rejected() {
+        let err = check_text(
+            "MINE RULE R AS SELECT DISTINCT 3..2 item AS BODY, item AS HEAD \
+             FROM Purchase GROUP BY customer \
+             EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.2",
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            MineError::Semantic(SemanticViolation::BadCardinality { .. })
+        ));
+    }
+}

@@ -1,0 +1,230 @@
+//! The translator (§4.1): statement checking, classification and SQL
+//! program generation.
+//!
+//! The translator is the only kernel component that reads the DBMS data
+//! dictionary. It validates the statement (four semantic checks), derives
+//! the boolean directives, and emits the SQL programs the preprocessor and
+//! postprocessor will run. The core operator never sees any of this — it
+//! receives only encoded tables and directives, which is what gives the
+//! architecture its algorithm interoperability.
+
+pub mod checks;
+pub mod queries;
+
+use relational::catalog::Catalog;
+use relational::types::{DataType, Schema};
+
+use crate::ast::MineRuleStatement;
+use crate::directives::{Directives, StatementClass};
+use crate::error::{MineError, Result};
+
+/// One step of a generated program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// Execute a SQL statement. `id` names the paper query it belongs to
+    /// (`"Q0"`, `"Q3.2"`, ...); `sql` is the statement text.
+    Sql { id: String, sql: String },
+    /// Compute `:mingroups = ceil(:totg * min_support)` on the session.
+    /// Runs between Q1 and Q3.
+    ComputeMinGroups,
+}
+
+impl Step {
+    /// Convenience constructor.
+    pub fn sql(id: impl Into<String>, sql: impl Into<String>) -> Step {
+        Step::Sql {
+            id: id.into(),
+            sql: sql.into(),
+        }
+    }
+}
+
+/// Names of every table/view/sequence a translation touches. All names are
+/// derived from a configurable prefix so concurrent mining sessions (or a
+/// shared-preprocessing cache) can coexist in one catalog.
+#[derive(Debug, Clone)]
+pub struct TableNames {
+    pub prefix: String,
+}
+
+impl TableNames {
+    /// Build names under `prefix` (empty prefix = the paper's names).
+    pub fn with_prefix(prefix: impl Into<String>) -> TableNames {
+        TableNames {
+            prefix: prefix.into(),
+        }
+    }
+
+    fn n(&self, base: &str) -> String {
+        format!("{}{base}", self.prefix)
+    }
+
+    pub fn source(&self) -> String {
+        self.n("Source")
+    }
+    pub fn valid_groups_view(&self) -> String {
+        self.n("ValidGroupsView")
+    }
+    pub fn valid_groups(&self) -> String {
+        self.n("ValidGroups")
+    }
+    pub fn distinct_groups_in_body(&self) -> String {
+        self.n("DistinctGroupsInBody")
+    }
+    pub fn distinct_groups_in_head(&self) -> String {
+        self.n("DistinctGroupsInHead")
+    }
+    pub fn bset(&self) -> String {
+        self.n("Bset")
+    }
+    pub fn hset(&self) -> String {
+        self.n("Hset")
+    }
+    pub fn clusters(&self) -> String {
+        self.n("Clusters")
+    }
+    pub fn cluster_couples(&self) -> String {
+        self.n("ClusterCouples")
+    }
+    pub fn mining_source(&self) -> String {
+        self.n("MiningSource")
+    }
+    pub fn coded_source(&self) -> String {
+        self.n("CodedSource")
+    }
+    pub fn input_rules_raw(&self) -> String {
+        self.n("InputRulesRaw")
+    }
+    pub fn large_rules(&self) -> String {
+        self.n("LargeRules")
+    }
+    pub fn input_rules(&self) -> String {
+        self.n("InputRules")
+    }
+    pub fn output_rules(&self) -> String {
+        self.n("OutputRules")
+    }
+    pub fn output_bodies(&self) -> String {
+        self.n("OutputBodies")
+    }
+    pub fn output_heads(&self) -> String {
+        self.n("OutputHeads")
+    }
+    pub fn gid_sequence(&self) -> String {
+        self.n("Gidsequence")
+    }
+    pub fn bid_sequence(&self) -> String {
+        self.n("Bidsequence")
+    }
+    pub fn hid_sequence(&self) -> String {
+        self.n("Hidsequence")
+    }
+    pub fn cid_sequence(&self) -> String {
+        self.n("Cidsequence")
+    }
+}
+
+/// The combined schema of the FROM list, with each table's columns visible
+/// under its alias (or name). Used by the semantic checks and by type
+/// lookups during query generation.
+#[derive(Debug, Clone)]
+pub struct SourceSchema {
+    schema: Schema,
+}
+
+impl SourceSchema {
+    /// Resolve the FROM list against the catalog.
+    pub fn build(stmt: &MineRuleStatement, catalog: &Catalog) -> Result<SourceSchema> {
+        let mut schema = Schema::default();
+        for t in &stmt.from {
+            let ts = catalog.table_schema(&t.name).map_err(MineError::from)?;
+            for c in ts.with_qualifier(t.visible_name()).columns() {
+                schema.push(c.clone());
+            }
+        }
+        Ok(SourceSchema { schema })
+    }
+
+    /// True when an unqualified attribute name exists in the source.
+    pub fn has_attr(&self, name: &str) -> bool {
+        self.schema
+            .columns()
+            .iter()
+            .any(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Resolve a possibly-qualified reference (errors map to check 1).
+    pub fn resolves(&self, qualifier: Option<&str>, name: &str) -> bool {
+        self.schema.resolve(qualifier, name).is_ok()
+            // Ambiguity still means the attribute exists on the source.
+            || matches!(
+                self.schema.resolve(qualifier, name),
+                Err(relational::Error::AmbiguousColumn { .. })
+            )
+    }
+
+    /// Data type of an unqualified attribute (first match wins).
+    pub fn attr_type(&self, name: &str) -> Option<DataType> {
+        self.schema
+            .columns()
+            .iter()
+            .find(|c| c.name.eq_ignore_ascii_case(name))
+            .map(|c| c.dtype)
+    }
+
+    /// The underlying combined schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+}
+
+/// The complete output of translating one MINE RULE statement.
+#[derive(Debug, Clone)]
+pub struct Translation {
+    /// The validated statement.
+    pub stmt: MineRuleStatement,
+    /// Classification directives.
+    pub directives: Directives,
+    /// Processing class (simple vs general core algorithm).
+    pub class: StatementClass,
+    /// Encoded-table naming.
+    pub names: TableNames,
+    /// Cleanup program: drops every object the translation may create.
+    pub cleanup: Vec<Step>,
+    /// Preprocessing program (`Q0`..`Q11`), in execution order.
+    pub preprocess: Vec<Step>,
+    /// Postprocessing program (decode joins), run after the core operator
+    /// has stored its encoded rules.
+    pub postprocess: Vec<Step>,
+}
+
+/// Translate: check the statement against the catalog, classify it, and
+/// generate the pre/postprocessing SQL programs.
+pub fn translate(stmt: &MineRuleStatement, catalog: &Catalog) -> Result<Translation> {
+    translate_with_prefix(stmt, catalog, "")
+}
+
+/// [`translate`] with a table-name prefix for the encoded tables.
+pub fn translate_with_prefix(
+    stmt: &MineRuleStatement,
+    catalog: &Catalog,
+    prefix: &str,
+) -> Result<Translation> {
+    let source = SourceSchema::build(stmt, catalog)?;
+    checks::check(stmt, &source)?;
+    let directives = Directives::classify(stmt);
+    let names = TableNames::with_prefix(prefix);
+    let gen = queries::ProgramGenerator::new(stmt, &directives, &names, &source);
+    let cleanup = gen.cleanup();
+    let preprocess = gen.preprocess()?;
+    let postprocess = gen.postprocess();
+    Ok(Translation {
+        stmt: stmt.clone(),
+        directives,
+        class: directives.class(),
+        names,
+        cleanup,
+        preprocess,
+        postprocess,
+    })
+}

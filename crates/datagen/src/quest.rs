@@ -1,0 +1,251 @@
+//! IBM Quest-style synthetic market-basket generator.
+//!
+//! Reimplements the synthetic data model of Agrawal & Srikant (VLDB '94),
+//! used by every algorithm the paper's core operator draws on
+//! (`T<avg basket>` `I<avg pattern>` `D<transactions>` families such as
+//! T10.I4.D100K). Transactions are built from a pool of *potential large
+//! itemsets*: pattern sizes are Poisson-distributed, patterns share items
+//! with their predecessor (correlation), pattern picks are
+//! exponentially-weighted, and patterns are corrupted before insertion.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the Quest model. Field names follow the original paper.
+#[derive(Debug, Clone, Copy)]
+pub struct QuestConfig {
+    /// `|D|` — number of transactions (groups).
+    pub transactions: usize,
+    /// `|T|` — average transaction size (Poisson mean).
+    pub avg_transaction_size: f64,
+    /// `|I|` — average size of potential large itemsets (Poisson mean).
+    pub avg_pattern_size: f64,
+    /// `|L|` — number of potential large itemsets in the pool.
+    pub patterns: usize,
+    /// `N` — number of distinct items.
+    pub items: u32,
+    /// Fraction of a pattern's items drawn from its predecessor.
+    pub correlation: f64,
+    /// Mean corruption level (items dropped from a pattern instance).
+    pub corruption: f64,
+    /// RNG seed — runs are fully deterministic.
+    pub seed: u64,
+}
+
+impl Default for QuestConfig {
+    /// A laptop-scale T10.I4 family default.
+    fn default() -> Self {
+        QuestConfig {
+            transactions: 1000,
+            avg_transaction_size: 10.0,
+            avg_pattern_size: 4.0,
+            patterns: 100,
+            items: 500,
+            correlation: 0.5,
+            corruption: 0.5,
+            seed: 42,
+        }
+    }
+}
+
+impl QuestConfig {
+    /// `T<t>.I<i>.D<d>` naming shorthand.
+    pub fn name(&self) -> String {
+        format!(
+            "T{}.I{}.D{}",
+            self.avg_transaction_size as u32, self.avg_pattern_size as u32, self.transactions
+        )
+    }
+}
+
+/// Sample a Poisson variate (Knuth's method; means here are small).
+fn poisson(rng: &mut StdRng, mean: f64) -> usize {
+    let l = (-mean).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            return k; // numeric guard for absurd means
+        }
+    }
+}
+
+/// The generated dataset: transactions of item identifiers.
+#[derive(Debug, Clone)]
+pub struct QuestData {
+    pub config: QuestConfig,
+    /// Sorted, deduplicated item lists, one per transaction.
+    pub transactions: Vec<Vec<u32>>,
+}
+
+/// Generate a dataset under the Quest model.
+pub fn generate(config: &QuestConfig) -> QuestData {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Pattern pool.
+    let mut patterns: Vec<Vec<u32>> = Vec::with_capacity(config.patterns);
+    for i in 0..config.patterns {
+        let size = poisson(&mut rng, config.avg_pattern_size).max(1);
+        let mut items: Vec<u32> = Vec::with_capacity(size);
+        // Correlated fraction from the previous pattern.
+        if i > 0 {
+            let prev = &patterns[i - 1];
+            for &it in prev {
+                if (items.len() as f64) < size as f64 * config.correlation
+                    && rng.gen::<f64>() < 0.5
+                {
+                    items.push(it);
+                }
+            }
+        }
+        while items.len() < size {
+            let it = rng.gen_range(0..config.items);
+            if !items.contains(&it) {
+                items.push(it);
+            }
+        }
+        items.sort_unstable();
+        items.dedup();
+        patterns.push(items);
+    }
+
+    // Exponentially-distributed pattern weights, normalised.
+    let mut weights: Vec<f64> = (0..config.patterns)
+        .map(|_| -(rng.gen::<f64>().max(1e-12)).ln())
+        .collect();
+    let total: f64 = weights.iter().sum();
+    for w in &mut weights {
+        *w /= total;
+    }
+    // Cumulative distribution for weighted picks.
+    let mut cdf = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w;
+        cdf.push(acc);
+    }
+    // Per-pattern corruption level (clamped normal around the mean).
+    let corruption: Vec<f64> = (0..config.patterns)
+        .map(|_| {
+            let u: f64 = rng.gen::<f64>() + rng.gen::<f64>() + rng.gen::<f64>() - 1.5;
+            (config.corruption + u * 0.1).clamp(0.0, 0.95)
+        })
+        .collect();
+
+    // Transactions.
+    let mut transactions = Vec::with_capacity(config.transactions);
+    for _ in 0..config.transactions {
+        let target = poisson(&mut rng, config.avg_transaction_size).max(1);
+        let mut items: Vec<u32> = Vec::with_capacity(target + 4);
+        let mut guard = 0;
+        while items.len() < target && guard < 50 {
+            guard += 1;
+            let pick = rng.gen::<f64>();
+            let idx = cdf.partition_point(|&c| c < pick).min(patterns.len() - 1);
+            for &it in &patterns[idx] {
+                // Corrupt: drop items with the pattern's corruption level.
+                if rng.gen::<f64>() >= corruption[idx] {
+                    items.push(it);
+                }
+            }
+        }
+        items.sort_unstable();
+        items.dedup();
+        items.truncate(target.max(1));
+        transactions.push(items);
+    }
+    QuestData {
+        config: *config,
+        transactions,
+    }
+}
+
+impl QuestData {
+    /// Rows `(transaction id, item id)` for loading into a database.
+    pub fn rows(&self) -> impl Iterator<Item = (i64, i64)> + '_ {
+        self.transactions
+            .iter()
+            .enumerate()
+            .flat_map(|(t, items)| items.iter().map(move |&i| (t as i64 + 1, i as i64)))
+    }
+
+    /// Total (transaction, item) row count.
+    pub fn row_count(&self) -> usize {
+        self.transactions.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = QuestConfig::default();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.transactions, b.transactions);
+        let c = generate(&QuestConfig { seed: 7, ..cfg });
+        assert_ne!(a.transactions, c.transactions);
+    }
+
+    #[test]
+    fn sizes_near_configured_mean() {
+        let data = generate(&QuestConfig {
+            transactions: 2000,
+            ..QuestConfig::default()
+        });
+        assert_eq!(data.transactions.len(), 2000);
+        let avg =
+            data.row_count() as f64 / data.transactions.len() as f64;
+        assert!(
+            (5.0..=12.0).contains(&avg),
+            "avg basket size {avg} far from T10 (truncation biases down)"
+        );
+    }
+
+    #[test]
+    fn items_in_range_sorted_dedup() {
+        let cfg = QuestConfig {
+            items: 50,
+            ..QuestConfig::default()
+        };
+        let data = generate(&cfg);
+        for t in &data.transactions {
+            assert!(!t.is_empty());
+            assert!(t.windows(2).all(|w| w[0] < w[1]), "sorted + dedup");
+            assert!(t.iter().all(|&i| i < 50));
+        }
+    }
+
+    #[test]
+    fn skewed_weights_make_frequent_patterns() {
+        // Some pair must be frequent: patterns repeat across transactions.
+        let data = generate(&QuestConfig {
+            transactions: 500,
+            items: 100,
+            patterns: 20,
+            ..QuestConfig::default()
+        });
+        let mut pair_counts = std::collections::HashMap::new();
+        for t in &data.transactions {
+            for i in 0..t.len() {
+                for j in (i + 1)..t.len() {
+                    *pair_counts.entry((t[i], t[j])).or_insert(0u32) += 1;
+                }
+            }
+        }
+        let max = pair_counts.values().copied().max().unwrap_or(0);
+        assert!(max >= 25, "expected a pair in ≥5% of baskets, max={max}");
+    }
+
+    #[test]
+    fn name_formats_family() {
+        assert_eq!(QuestConfig::default().name(), "T10.I4.D1000");
+    }
+}

@@ -1,0 +1,2 @@
+//! Integration-test host crate; the tests live in `/tests` at the
+//! workspace root (declared as explicit `[[test]]` targets).

@@ -1,0 +1,254 @@
+//! The catalog ("data dictionary"): tables, views, sequences.
+//!
+//! The MINE RULE translator consults the data dictionary to validate
+//! attribute lists (§4.1 of the paper), so the catalog exposes schema
+//! lookup as a first-class operation.
+
+use std::collections::HashMap;
+
+use crate::error::{Error, ObjectKind, Result};
+use crate::sequence::Sequence;
+use crate::sql::ast::SelectStmt;
+use crate::table::Table;
+use crate::types::Schema;
+
+/// A non-materialised view: a stored SELECT re-evaluated at use.
+#[derive(Debug, Clone)]
+pub struct View {
+    pub name: String,
+    pub query: SelectStmt,
+}
+
+/// All named objects known to a [`crate::engine::Database`].
+///
+/// Names are case-insensitive; the original spelling is preserved on the
+/// objects themselves for display.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: HashMap<String, Table>,
+    views: HashMap<String, View>,
+    sequences: HashMap<String, Sequence>,
+}
+
+fn key(name: &str) -> String {
+    name.to_ascii_lowercase()
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    fn check_free(&self, name: &str) -> Result<()> {
+        let k = key(name);
+        if self.tables.contains_key(&k) {
+            return Err(Error::DuplicateObject {
+                kind: ObjectKind::Table,
+                name: name.to_string(),
+            });
+        }
+        if self.views.contains_key(&k) {
+            return Err(Error::DuplicateObject {
+                kind: ObjectKind::View,
+                name: name.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Register a new base table.
+    pub fn create_table(&mut self, table: Table) -> Result<()> {
+        self.check_free(table.name())?;
+        self.tables.insert(key(table.name()), table);
+        Ok(())
+    }
+
+    /// Register a new view.
+    pub fn create_view(&mut self, view: View) -> Result<()> {
+        self.check_free(&view.name)?;
+        self.views.insert(key(&view.name), view);
+        Ok(())
+    }
+
+    /// Register a new sequence.
+    pub fn create_sequence(&mut self, seq: Sequence) -> Result<()> {
+        let k = key(seq.name());
+        if self.sequences.contains_key(&k) {
+            return Err(Error::DuplicateObject {
+                kind: ObjectKind::Sequence,
+                name: seq.name().to_string(),
+            });
+        }
+        self.sequences.insert(k, seq);
+        Ok(())
+    }
+
+    /// Drop a table. `if_exists` suppresses the missing-object error.
+    pub fn drop_table(&mut self, name: &str, if_exists: bool) -> Result<()> {
+        if self.tables.remove(&key(name)).is_none() && !if_exists {
+            return Err(Error::UnknownObject {
+                kind: ObjectKind::Table,
+                name: name.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Drop a view.
+    pub fn drop_view(&mut self, name: &str, if_exists: bool) -> Result<()> {
+        if self.views.remove(&key(name)).is_none() && !if_exists {
+            return Err(Error::UnknownObject {
+                kind: ObjectKind::View,
+                name: name.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Drop a sequence.
+    pub fn drop_sequence(&mut self, name: &str, if_exists: bool) -> Result<()> {
+        if self.sequences.remove(&key(name)).is_none() && !if_exists {
+            return Err(Error::UnknownObject {
+                kind: ObjectKind::Sequence,
+                name: name.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Look up a base table.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables.get(&key(name)).ok_or_else(|| Error::UnknownObject {
+            kind: ObjectKind::Table,
+            name: name.to_string(),
+        })
+    }
+
+    /// Mutable table lookup.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(&key(name))
+            .ok_or_else(|| Error::UnknownObject {
+                kind: ObjectKind::Table,
+                name: name.to_string(),
+            })
+    }
+
+    /// Look up a view.
+    pub fn view(&self, name: &str) -> Option<&View> {
+        self.views.get(&key(name))
+    }
+
+    /// Look up a sequence mutably (NEXTVAL advances it).
+    pub fn sequence_mut(&mut self, name: &str) -> Result<&mut Sequence> {
+        self.sequences
+            .get_mut(&key(name))
+            .ok_or_else(|| Error::UnknownObject {
+                kind: ObjectKind::Sequence,
+                name: name.to_string(),
+            })
+    }
+
+    /// True when a base table with this name exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(&key(name))
+    }
+
+    /// True when a view with this name exists.
+    pub fn has_view(&self, name: &str) -> bool {
+        self.views.contains_key(&key(name))
+    }
+
+    /// True when a sequence with this name exists.
+    pub fn has_sequence(&self, name: &str) -> bool {
+        self.sequences.contains_key(&key(name))
+    }
+
+    /// The schema of a base table (data-dictionary access for the
+    /// translator). Views are resolved by the executor, not here.
+    pub fn table_schema(&self, name: &str) -> Result<&Schema> {
+        Ok(self.table(name)?.schema())
+    }
+
+    /// `(name, SQL text)` of every view, sorted by name (persistence).
+    pub fn view_definitions(&self) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = self
+            .views
+            .values()
+            .map(|v| (v.name.clone(), v.query.to_string()))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// `(name, next value, increment)` of every sequence, sorted by name.
+    pub fn sequence_states(&self) -> Vec<(String, i64, i64)> {
+        let mut out: Vec<(String, i64, i64)> = self
+            .sequences
+            .values()
+            .map(|s| (s.name().to_string(), s.peek(), s.increment()))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Names of all base tables, sorted (deterministic listings).
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.values().map(|t| t.name()).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Column, DataType};
+
+    fn table(name: &str) -> Table {
+        Table::new(name, Schema::new(vec![Column::new("a", DataType::Int)]))
+    }
+
+    #[test]
+    fn create_and_lookup_case_insensitive() {
+        let mut c = Catalog::new();
+        c.create_table(table("Purchase")).unwrap();
+        assert!(c.table("purchase").is_ok());
+        assert!(c.table("PURCHASE").is_ok());
+        assert!(c.has_table("PuRcHaSe"));
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut c = Catalog::new();
+        c.create_table(table("t")).unwrap();
+        assert!(matches!(
+            c.create_table(table("T")),
+            Err(Error::DuplicateObject { .. })
+        ));
+    }
+
+    #[test]
+    fn drop_missing_table_errors_unless_if_exists() {
+        let mut c = Catalog::new();
+        assert!(c.drop_table("nope", false).is_err());
+        assert!(c.drop_table("nope", true).is_ok());
+    }
+
+    #[test]
+    fn sequences_are_separate_namespace() {
+        let mut c = Catalog::new();
+        c.create_table(table("x")).unwrap();
+        c.create_sequence(Sequence::new("x", 1, 1)).unwrap();
+        assert!(c.has_table("x") && c.has_sequence("x"));
+    }
+
+    #[test]
+    fn table_names_sorted() {
+        let mut c = Catalog::new();
+        c.create_table(table("b")).unwrap();
+        c.create_table(table("a")).unwrap();
+        assert_eq!(c.table_names(), vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,559 @@
+//! The database engine: a catalog plus a SQL entry point.
+
+use std::collections::HashMap;
+
+use crate::catalog::{Catalog, View};
+use crate::error::{Error, Result};
+use crate::exec::run_select;
+use crate::expr::eval::{eval_expr, QueryCtx};
+use crate::expr::Expr;
+use crate::resultset::ResultSet;
+use crate::row::Row;
+use crate::sequence::Sequence;
+use crate::sql::ast::{InsertSource, SelectStmt, Statement};
+use crate::sql::parser::{parse_statement, parse_statements};
+use crate::table::Table;
+use crate::types::{Column, Schema};
+use crate::value::Value;
+
+/// Counters exposed for benchmarking and tests.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ExecStats {
+    /// Statements executed through [`Database::run_statement`].
+    pub statements: u64,
+    /// Rows inserted into base tables.
+    pub rows_inserted: u64,
+}
+
+/// Result of executing one statement.
+#[derive(Debug)]
+pub struct ExecOutcome {
+    /// Rows inserted/deleted/updated (0 for DDL and SELECT).
+    pub rows_affected: usize,
+    /// Present for SELECT statements.
+    pub result: Option<ResultSet>,
+}
+
+/// An in-memory SQL database: the "SQL server" of the tightly-coupled
+/// architecture. Holds the catalog, session host variables and statistics.
+///
+/// ```
+/// use relational::Database;
+/// let mut db = Database::new();
+/// db.execute("CREATE TABLE t (a INT, b VARCHAR)").unwrap();
+/// db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')").unwrap();
+/// let rs = db.query("SELECT b FROM t WHERE a = 2").unwrap();
+/// assert_eq!(rs.rows()[0][0].to_string(), "y");
+/// ```
+#[derive(Debug, Default)]
+pub struct Database {
+    catalog: Catalog,
+    vars: HashMap<String, Value>,
+    stats: ExecStats,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Read-only catalog access.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable catalog access (programmatic table setup).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Execution statistics so far.
+    pub fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    /// Bind a host variable (`:name`).
+    pub fn set_var(&mut self, name: &str, value: Value) {
+        self.vars.insert(name.to_ascii_lowercase(), value);
+    }
+
+    /// Read a host variable.
+    pub fn var(&self, name: &str) -> Option<&Value> {
+        self.vars.get(&name.to_ascii_lowercase())
+    }
+
+    /// Parse and execute one statement.
+    pub fn execute(&mut self, sql: &str) -> Result<ExecOutcome> {
+        let stmt = parse_statement(sql)?;
+        self.run_statement(&stmt)
+    }
+
+    /// Parse and execute a `;`-separated script.
+    pub fn execute_script(&mut self, sql: &str) -> Result<Vec<ExecOutcome>> {
+        let stmts = parse_statements(sql)?;
+        stmts.iter().map(|s| self.run_statement(s)).collect()
+    }
+
+    /// Parse and execute a query, returning its result set.
+    pub fn query(&mut self, sql: &str) -> Result<ResultSet> {
+        match self.execute(sql)?.result {
+            Some(rs) => Ok(rs),
+            None => Err(Error::unsupported("statement did not produce rows")),
+        }
+    }
+
+    /// Execute an already-parsed statement.
+    pub fn run_statement(&mut self, stmt: &Statement) -> Result<ExecOutcome> {
+        self.stats.statements += 1;
+        match stmt {
+            Statement::Explain(inner) => {
+                let text = crate::exec::explain::explain_statement(self, inner)?;
+                let schema = Schema::new(vec![Column::new("plan", crate::types::DataType::Str)]);
+                let rows = text
+                    .lines()
+                    .map(|l| vec![Value::Str(l.to_string())])
+                    .collect();
+                Ok(ExecOutcome {
+                    rows_affected: 0,
+                    result: Some(ResultSet::new(schema, rows)),
+                })
+            }
+            Statement::Select(sel) => {
+                let rs = run_select(self, sel)?;
+                Ok(ExecOutcome {
+                    rows_affected: 0,
+                    result: Some(rs),
+                })
+            }
+            Statement::CreateTable {
+                name,
+                columns,
+                if_not_exists,
+            } => {
+                if *if_not_exists && self.catalog.has_table(name) {
+                    return Ok(ExecOutcome {
+                        rows_affected: 0,
+                        result: None,
+                    });
+                }
+                let schema = Schema::new(
+                    columns
+                        .iter()
+                        .map(|(n, t)| Column::new(n.clone(), *t))
+                        .collect(),
+                );
+                self.catalog.create_table(Table::new(name.clone(), schema))?;
+                Ok(ExecOutcome {
+                    rows_affected: 0,
+                    result: None,
+                })
+            }
+            Statement::CreateTableAs { name, query } => {
+                let rs = run_select(self, query)?;
+                let schema = rs.schema().unqualified();
+                let mut table = Table::new(name.clone(), schema);
+                let n = table.insert_all(rs.into_rows())?;
+                self.stats.rows_inserted += n as u64;
+                self.catalog.create_table(table)?;
+                Ok(ExecOutcome {
+                    rows_affected: n,
+                    result: None,
+                })
+            }
+            Statement::CreateView { name, query } => {
+                self.catalog.create_view(View {
+                    name: name.clone(),
+                    query: query.clone(),
+                })?;
+                Ok(ExecOutcome {
+                    rows_affected: 0,
+                    result: None,
+                })
+            }
+            Statement::CreateSequence {
+                name,
+                start,
+                increment,
+            } => {
+                self.catalog
+                    .create_sequence(Sequence::new(name.clone(), *start, *increment))?;
+                Ok(ExecOutcome {
+                    rows_affected: 0,
+                    result: None,
+                })
+            }
+            Statement::DropTable { name, if_exists } => {
+                self.catalog.drop_table(name, *if_exists)?;
+                Ok(ExecOutcome {
+                    rows_affected: 0,
+                    result: None,
+                })
+            }
+            Statement::DropView { name, if_exists } => {
+                self.catalog.drop_view(name, *if_exists)?;
+                Ok(ExecOutcome {
+                    rows_affected: 0,
+                    result: None,
+                })
+            }
+            Statement::DropSequence { name, if_exists } => {
+                self.catalog.drop_sequence(name, *if_exists)?;
+                Ok(ExecOutcome {
+                    rows_affected: 0,
+                    result: None,
+                })
+            }
+            Statement::Insert {
+                table,
+                columns,
+                source,
+            } => self.run_insert(table, columns.as_deref(), source),
+            Statement::Delete {
+                table,
+                where_clause,
+            } => self.run_delete(table, where_clause.as_ref()),
+            Statement::Update {
+                table,
+                assignments,
+                where_clause,
+            } => self.run_update(table, assignments, where_clause.as_ref()),
+        }
+    }
+
+    fn run_insert(
+        &mut self,
+        table: &str,
+        columns: Option<&[String]>,
+        source: &InsertSource,
+    ) -> Result<ExecOutcome> {
+        // Compute the incoming rows first (needs &mut self for NEXTVAL and
+        // subqueries), then touch the target table.
+        let incoming: Vec<Row> = match source {
+            InsertSource::Values(rows) => {
+                let empty_schema = Schema::default();
+                let empty_row: Row = Vec::new();
+                let mut out = Vec::with_capacity(rows.len());
+                for exprs in rows {
+                    let mut r = Vec::with_capacity(exprs.len());
+                    for e in exprs {
+                        r.push(eval_expr(e, &empty_schema, &empty_row, self)?);
+                    }
+                    out.push(r);
+                }
+                out
+            }
+            InsertSource::Query(q) => run_select(self, q)?.into_rows(),
+        };
+
+        // Map through the explicit column list, if present.
+        let target_schema = self.catalog.table(table)?.schema().clone();
+        let mapped: Vec<Row> = match columns {
+            None => incoming,
+            Some(cols) => {
+                let mut idxs = Vec::with_capacity(cols.len());
+                for c in cols {
+                    idxs.push(target_schema.resolve(None, c)?);
+                }
+                let mut out = Vec::with_capacity(incoming.len());
+                for r in incoming {
+                    if r.len() != idxs.len() {
+                        return Err(Error::Arity {
+                            expected: idxs.len(),
+                            got: r.len(),
+                        });
+                    }
+                    let mut full = vec![Value::Null; target_schema.len()];
+                    for (v, &i) in r.into_iter().zip(&idxs) {
+                        full[i] = v;
+                    }
+                    out.push(full);
+                }
+                out
+            }
+        };
+
+        let t = self.catalog.table_mut(table)?;
+        let n = t.insert_all(mapped)?;
+        self.stats.rows_inserted += n as u64;
+        Ok(ExecOutcome {
+            rows_affected: n,
+            result: None,
+        })
+    }
+
+    fn run_delete(&mut self, table: &str, pred: Option<&Expr>) -> Result<ExecOutcome> {
+        let schema = self.catalog.table(table)?.schema().clone();
+        // Take all rows out so we can evaluate the predicate with &mut self.
+        let rows: Vec<Row> = {
+            let t = self.catalog.table_mut(table)?;
+            let all = t.rows().to_vec();
+            t.truncate();
+            all
+        };
+        let mut kept = Vec::with_capacity(rows.len());
+        let mut removed = 0;
+        for row in rows {
+            let matches = match pred {
+                None => true,
+                Some(p) => eval_expr(p, &schema, &row, self)?.is_true(),
+            };
+            if matches {
+                removed += 1;
+            } else {
+                kept.push(row);
+            }
+        }
+        self.catalog.table_mut(table)?.insert_all(kept)?;
+        Ok(ExecOutcome {
+            rows_affected: removed,
+            result: None,
+        })
+    }
+
+    fn run_update(
+        &mut self,
+        table: &str,
+        assignments: &[(String, Expr)],
+        pred: Option<&Expr>,
+    ) -> Result<ExecOutcome> {
+        let schema = self.catalog.table(table)?.schema().clone();
+        let mut idxs = Vec::with_capacity(assignments.len());
+        for (c, _) in assignments {
+            idxs.push(schema.resolve(None, c)?);
+        }
+        let rows: Vec<Row> = {
+            let t = self.catalog.table_mut(table)?;
+            let all = t.rows().to_vec();
+            t.truncate();
+            all
+        };
+        let mut updated = 0;
+        let mut out = Vec::with_capacity(rows.len());
+        for mut row in rows {
+            let matches = match pred {
+                None => true,
+                Some(p) => eval_expr(p, &schema, &row, self)?.is_true(),
+            };
+            if matches {
+                let mut new_vals = Vec::with_capacity(assignments.len());
+                for (_, e) in assignments {
+                    new_vals.push(eval_expr(e, &schema, &row, self)?);
+                }
+                for (v, &i) in new_vals.into_iter().zip(&idxs) {
+                    row[i] = v;
+                }
+                updated += 1;
+            }
+            out.push(row);
+        }
+        self.catalog.table_mut(table)?.insert_all(out)?;
+        Ok(ExecOutcome {
+            rows_affected: updated,
+            result: None,
+        })
+    }
+}
+
+impl QueryCtx for Database {
+    fn run_subquery(&mut self, query: &SelectStmt) -> Result<ResultSet> {
+        run_select(self, query)
+    }
+
+    fn nextval(&mut self, sequence: &str) -> Result<i64> {
+        Ok(self.catalog.sequence_mut(sequence)?.nextval())
+    }
+
+    fn host_var(&self, name: &str) -> Result<Value> {
+        self.var(name).cloned().ok_or_else(|| Error::UnboundVariable {
+            name: name.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db_with_t() -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (a INT, b VARCHAR)").unwrap();
+        db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'x')")
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn select_where() {
+        let mut db = db_with_t();
+        let rs = db.query("SELECT a FROM t WHERE b = 'x'").unwrap();
+        assert_eq!(rs.len(), 2);
+    }
+
+    #[test]
+    fn select_order_and_limit() {
+        let mut db = db_with_t();
+        let rs = db.query("SELECT a FROM t ORDER BY a DESC LIMIT 2").unwrap();
+        assert_eq!(rs.rows()[0][0], Value::Int(3));
+        assert_eq!(rs.len(), 2);
+    }
+
+    #[test]
+    fn select_group_by_having() {
+        let mut db = db_with_t();
+        let rs = db
+            .query("SELECT b, COUNT(*) AS n FROM t GROUP BY b HAVING COUNT(*) > 1")
+            .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows()[0][0], Value::Str("x".into()));
+        assert_eq!(rs.rows()[0][1], Value::Int(2));
+    }
+
+    #[test]
+    fn select_distinct() {
+        let mut db = db_with_t();
+        let rs = db.query("SELECT DISTINCT b FROM t").unwrap();
+        assert_eq!(rs.len(), 2);
+    }
+
+    #[test]
+    fn aggregate_without_group_by() {
+        let mut db = db_with_t();
+        let rs = db.query("SELECT COUNT(*), SUM(a) FROM t").unwrap();
+        assert_eq!(rs.rows()[0], vec![Value::Int(3), Value::Int(6)]);
+    }
+
+    #[test]
+    fn join_two_tables() {
+        let mut db = db_with_t();
+        db.execute("CREATE TABLE u (a INT, c VARCHAR)").unwrap();
+        db.execute("INSERT INTO u VALUES (1, 'one'), (3, 'three')")
+            .unwrap();
+        let rs = db
+            .query("SELECT t.b, u.c FROM t, u WHERE t.a = u.a ORDER BY u.c")
+            .unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.rows()[0][1], Value::Str("one".into()));
+    }
+
+    #[test]
+    fn derived_table_in_from() {
+        let mut db = db_with_t();
+        let rs = db
+            .query("SELECT COUNT(*) FROM (SELECT DISTINCT b FROM t) d")
+            .unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn select_into_host_variable() {
+        let mut db = db_with_t();
+        db.query("SELECT COUNT(*) INTO :totg FROM t").unwrap();
+        assert_eq!(db.var("totg"), Some(&Value::Int(3)));
+        let rs = db.query("SELECT a FROM t WHERE a < :totg").unwrap();
+        assert_eq!(rs.len(), 2);
+    }
+
+    #[test]
+    fn views_reevaluate() {
+        let mut db = db_with_t();
+        db.execute("CREATE VIEW v AS (SELECT a FROM t WHERE b = 'x')")
+            .unwrap();
+        assert_eq!(db.query("SELECT * FROM v").unwrap().len(), 2);
+        db.execute("INSERT INTO t VALUES (9, 'x')").unwrap();
+        assert_eq!(db.query("SELECT * FROM v").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn sequences_via_sql() {
+        let mut db = db_with_t();
+        db.execute("CREATE SEQUENCE s START WITH 1 INCREMENT BY 1")
+            .unwrap();
+        db.execute("CREATE TABLE ids (id INT, b VARCHAR)").unwrap();
+        db.execute("INSERT INTO ids (SELECT s.NEXTVAL, b FROM t)")
+            .unwrap();
+        let rs = db.query("SELECT id FROM ids ORDER BY id").unwrap();
+        assert_eq!(
+            rs.rows().iter().map(|r| r[0].clone()).collect::<Vec<_>>(),
+            vec![Value::Int(1), Value::Int(2), Value::Int(3)]
+        );
+    }
+
+    #[test]
+    fn create_table_as() {
+        let mut db = db_with_t();
+        db.execute("CREATE TABLE c AS (SELECT b, COUNT(*) AS n FROM t GROUP BY b)")
+            .unwrap();
+        assert_eq!(db.query("SELECT * FROM c").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn delete_and_update() {
+        let mut db = db_with_t();
+        let out = db.execute("DELETE FROM t WHERE b = 'x'").unwrap();
+        assert_eq!(out.rows_affected, 2);
+        let out = db.execute("UPDATE t SET b = 'z' WHERE a = 2").unwrap();
+        assert_eq!(out.rows_affected, 1);
+        let rs = db.query("SELECT b FROM t").unwrap();
+        assert_eq!(rs.rows()[0][0], Value::Str("z".into()));
+    }
+
+    #[test]
+    fn scalar_subquery() {
+        let mut db = db_with_t();
+        let rs = db
+            .query("SELECT a FROM t WHERE a = (SELECT MAX(a) FROM t)")
+            .unwrap();
+        assert_eq!(rs.rows()[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn in_subquery() {
+        let mut db = db_with_t();
+        db.execute("CREATE TABLE u (a INT)").unwrap();
+        db.execute("INSERT INTO u VALUES (1), (3)").unwrap();
+        let rs = db
+            .query("SELECT a FROM t WHERE a IN (SELECT a FROM u) ORDER BY a")
+            .unwrap();
+        assert_eq!(rs.len(), 2);
+    }
+
+    #[test]
+    fn insert_with_column_list_fills_nulls() {
+        let mut db = db_with_t();
+        db.execute("INSERT INTO t (a) VALUES (9)").unwrap();
+        let rs = db.query("SELECT b FROM t WHERE a = 9").unwrap();
+        assert_eq!(rs.rows()[0][0], Value::Null);
+    }
+
+    #[test]
+    fn unknown_table_reported() {
+        let mut db = Database::new();
+        assert!(matches!(
+            db.query("SELECT * FROM nope"),
+            Err(Error::UnknownObject { .. })
+        ));
+    }
+
+    #[test]
+    fn date_columns_and_literals() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE d (x DATE)").unwrap();
+        db.execute("INSERT INTO d VALUES (DATE '1995-12-17'), (DATE '1996-01-02')")
+            .unwrap();
+        let rs = db
+            .query("SELECT x FROM d WHERE x BETWEEN DATE '1995-01-01' AND DATE '1995-12-31'")
+            .unwrap();
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn group_key_ordering_deterministic() {
+        let mut db = db_with_t();
+        let rs = db
+            .query("SELECT b, COUNT(*) FROM t GROUP BY b ORDER BY b")
+            .unwrap();
+        assert_eq!(rs.rows()[0][0], Value::Str("x".into()));
+        assert_eq!(rs.rows()[1][0], Value::Str("y".into()));
+    }
+}

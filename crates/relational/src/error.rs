@@ -1,0 +1,124 @@
+//! Error types for the relational engine.
+
+use std::fmt;
+
+/// Every failure the engine can report.
+///
+/// The engine is used programmatically by the mining kernel, so errors carry
+/// enough structure for callers to react (e.g. distinguish a missing table
+/// from a type error) while keeping a human-readable rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Lexical error while scanning SQL text.
+    Lex { pos: usize, message: String },
+    /// Syntax error while parsing SQL text.
+    Parse { pos: usize, message: String },
+    /// A referenced catalog object does not exist.
+    UnknownObject { kind: ObjectKind, name: String },
+    /// An object with this name already exists.
+    DuplicateObject { kind: ObjectKind, name: String },
+    /// A column reference could not be resolved.
+    UnknownColumn { name: String },
+    /// A column reference is ambiguous (matches more than one input column).
+    AmbiguousColumn { name: String },
+    /// Operation applied to incompatible value types.
+    TypeMismatch { message: String },
+    /// Arity mismatch (e.g. INSERT with the wrong number of values).
+    Arity { expected: usize, got: usize },
+    /// A scalar subquery returned more than one row or column.
+    ScalarSubquery { message: String },
+    /// Aggregate misuse (nesting, aggregate in WHERE, ...).
+    Aggregate { message: String },
+    /// Host variable not bound.
+    UnboundVariable { name: String },
+    /// Division by zero or other arithmetic failure.
+    Arithmetic { message: String },
+    /// Anything else.
+    Unsupported { message: String },
+}
+
+/// The kinds of catalog objects an [`Error`] can reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectKind {
+    Table,
+    View,
+    Sequence,
+}
+
+impl fmt::Display for ObjectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjectKind::Table => write!(f, "table"),
+            ObjectKind::View => write!(f, "view"),
+            ObjectKind::Sequence => write!(f, "sequence"),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Lex { pos, message } => write!(f, "lex error at {pos}: {message}"),
+            Error::Parse { pos, message } => write!(f, "parse error at {pos}: {message}"),
+            Error::UnknownObject { kind, name } => write!(f, "unknown {kind} '{name}'"),
+            Error::DuplicateObject { kind, name } => {
+                write!(f, "{kind} '{name}' already exists")
+            }
+            Error::UnknownColumn { name } => write!(f, "unknown column '{name}'"),
+            Error::AmbiguousColumn { name } => write!(f, "ambiguous column '{name}'"),
+            Error::TypeMismatch { message } => write!(f, "type mismatch: {message}"),
+            Error::Arity { expected, got } => {
+                write!(f, "arity mismatch: expected {expected}, got {got}")
+            }
+            Error::ScalarSubquery { message } => write!(f, "scalar subquery: {message}"),
+            Error::Aggregate { message } => write!(f, "aggregate: {message}"),
+            Error::UnboundVariable { name } => write!(f, "unbound host variable ':{name}'"),
+            Error::Arithmetic { message } => write!(f, "arithmetic error: {message}"),
+            Error::Unsupported { message } => write!(f, "unsupported: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+impl Error {
+    /// Build an [`Error::Unsupported`] from anything displayable.
+    pub fn unsupported(message: impl Into<String>) -> Self {
+        Error::Unsupported {
+            message: message.into(),
+        }
+    }
+
+    /// Build an [`Error::TypeMismatch`] from anything displayable.
+    pub fn type_mismatch(message: impl Into<String>) -> Self {
+        Error::TypeMismatch {
+            message: message.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_renders_kind_and_name() {
+        let e = Error::UnknownObject {
+            kind: ObjectKind::Table,
+            name: "purchase".into(),
+        };
+        assert_eq!(e.to_string(), "unknown table 'purchase'");
+    }
+
+    #[test]
+    fn display_renders_positions() {
+        let e = Error::Parse {
+            pos: 7,
+            message: "expected FROM".into(),
+        };
+        assert!(e.to_string().contains("at 7"));
+    }
+}

@@ -1,0 +1,365 @@
+//! FROM-clause materialisation and join planning.
+//!
+//! The engine plans the comma-join FROM list by splitting the WHERE clause
+//! into conjuncts, pushing single-table predicates down to scans, and
+//! turning `a.x = b.y` conjuncts into hash joins. Everything left over is
+//! applied as a residual filter by the caller. This is exactly enough for
+//! the preprocessing queries of the paper's Appendix A (multi-way
+//! equi-joins between `Source`, `ValidGroups`, `Bset`, ...) to run in
+//! linear-ish time instead of as nested loops.
+
+use std::collections::HashMap;
+
+use crate::error::Result;
+use crate::expr::eval::{eval_expr, QueryCtx};
+use crate::expr::{BinOp, Expr};
+use crate::row::Row;
+use crate::types::Schema;
+use crate::value::Value;
+
+/// A fully materialised intermediate relation.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    pub schema: Schema,
+    pub rows: Vec<Row>,
+}
+
+impl Relation {
+    /// A relation with no columns and a single empty row — the input for
+    /// FROM-less SELECTs (`SELECT 1`).
+    pub fn unit() -> Relation {
+        Relation {
+            schema: Schema::default(),
+            rows: vec![Vec::new()],
+        }
+    }
+}
+
+/// Split an expression into its top-level AND conjuncts.
+pub fn conjuncts(expr: &Expr) -> Vec<&Expr> {
+    let mut out = Vec::new();
+    fn rec<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+        if let Expr::Binary {
+            left,
+            op: BinOp::And,
+            right,
+        } = e
+        {
+            rec(left, out);
+            rec(right, out);
+        } else {
+            out.push(e);
+        }
+    }
+    rec(expr, &mut out);
+    out
+}
+
+/// True when every column reference in `expr` resolves against `schema`
+/// and the expression is safe to push below a join (no sequence draws,
+/// whose side effects must happen once per output row).
+pub fn resolves_in(expr: &Expr, schema: &Schema) -> bool {
+    let mut ok = true;
+    expr.walk(&mut |e| match e {
+        Expr::Column { qualifier, name }
+            if schema.resolve(qualifier.as_deref(), name).is_err() =>
+        {
+            ok = false;
+        }
+        Expr::NextVal(_) => ok = false,
+        _ => {}
+    });
+    ok
+}
+
+/// An equi-join conjunct `left_col = right_col` with sides resolved to two
+/// disjoint schemas.
+struct EquiPred<'a> {
+    left: &'a Expr,
+    right: &'a Expr,
+}
+
+fn as_equi<'a>(expr: &'a Expr) -> Option<EquiPred<'a>> {
+    if let Expr::Binary {
+        left,
+        op: BinOp::Eq,
+        right,
+    } = expr
+    {
+        if matches!(**left, Expr::Column { .. }) && matches!(**right, Expr::Column { .. }) {
+            return Some(EquiPred {
+                left: left.as_ref(),
+                right: right.as_ref(),
+            });
+        }
+    }
+    None
+}
+
+/// Filter `rel` in place by `pred`.
+pub fn filter_relation(
+    rel: &mut Relation,
+    pred: &Expr,
+    ctx: &mut dyn QueryCtx,
+) -> Result<()> {
+    let schema = rel.schema.clone();
+    let mut err = None;
+    rel.rows.retain(|row| {
+        if err.is_some() {
+            return false;
+        }
+        match eval_expr(pred, &schema, row, ctx) {
+            Ok(v) => v.is_true(),
+            Err(e) => {
+                err = Some(e);
+                false
+            }
+        }
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Join the factors of a FROM list, consuming the usable conjuncts of the
+/// WHERE clause. Returns the joined relation and the conjuncts that were
+/// *not* consumed (the caller must apply them afterwards).
+pub fn join_factors<'a>(
+    mut factors: Vec<Relation>,
+    where_conjuncts: Vec<&'a Expr>,
+    ctx: &mut dyn QueryCtx,
+) -> Result<(Relation, Vec<&'a Expr>)> {
+    // Push single-factor predicates down to their scans.
+    let mut remaining: Vec<&Expr> = Vec::new();
+    'conj: for c in where_conjuncts {
+        for factor in factors.iter_mut() {
+            if resolves_in(c, &factor.schema) {
+                filter_relation(factor, c, ctx)?;
+                continue 'conj;
+            }
+        }
+        remaining.push(c);
+    }
+
+    // Collect equi-join candidates from what's left.
+    let mut equis: Vec<(&Expr, EquiPred)> = Vec::new();
+    let mut residual: Vec<&Expr> = Vec::new();
+    for c in remaining {
+        match as_equi(c) {
+            Some(e) => equis.push((c, e)),
+            None => residual.push(c),
+        }
+    }
+
+    let mut factors: std::collections::VecDeque<Relation> = factors.into();
+    let mut current = match factors.pop_front() {
+        Some(f) => f,
+        None => Relation::unit(),
+    };
+
+    while let Some(next) = factors.pop_front() {
+        // Find every equi predicate linking `current` and `next`.
+        let mut build_keys: Vec<&Expr> = Vec::new();
+        let mut probe_keys: Vec<&Expr> = Vec::new();
+        let mut used = vec![false; equis.len()];
+        for (i, (_, e)) in equis.iter().enumerate() {
+            let l_cur = resolves_in(e.left, &current.schema);
+            let r_nxt = resolves_in(e.right, &next.schema);
+            let l_nxt = resolves_in(e.left, &next.schema);
+            let r_cur = resolves_in(e.right, &current.schema);
+            if l_cur && r_nxt && !l_nxt && !r_cur {
+                probe_keys.push(e.left);
+                build_keys.push(e.right);
+                used[i] = true;
+            } else if l_nxt && r_cur && !l_cur && !r_nxt {
+                probe_keys.push(e.right);
+                build_keys.push(e.left);
+                used[i] = true;
+            }
+        }
+        // Drop consumed predicates; keep the rest for later factors or
+        // the residual pass.
+        let mut kept = Vec::new();
+        for (i, pair) in equis.into_iter().enumerate() {
+            if !used[i] {
+                kept.push(pair);
+            }
+        }
+        equis = kept;
+
+        current = if build_keys.is_empty() {
+            cross_join(&current, &next)
+        } else {
+            hash_join(&current, &next, &probe_keys, &build_keys, ctx)?
+        };
+    }
+
+    // Unconsumed equi predicates (self-comparisons, three-way references)
+    // fall back to residual evaluation.
+    for (orig, _) in equis {
+        residual.push(orig);
+    }
+    Ok((current, residual))
+}
+
+fn cross_join(a: &Relation, b: &Relation) -> Relation {
+    let schema = a.schema.join(&b.schema);
+    let mut rows = Vec::with_capacity(a.rows.len() * b.rows.len());
+    for ra in &a.rows {
+        for rb in &b.rows {
+            let mut r = ra.clone();
+            r.extend(rb.iter().cloned());
+            rows.push(r);
+        }
+    }
+    Relation { schema, rows }
+}
+
+/// Hash join `probe ⋈ build` on the given key expressions. NULL keys never
+/// match (SQL equality semantics).
+fn hash_join(
+    probe: &Relation,
+    build: &Relation,
+    probe_keys: &[&Expr],
+    build_keys: &[&Expr],
+    ctx: &mut dyn QueryCtx,
+) -> Result<Relation> {
+    let schema = probe.schema.join(&build.schema);
+    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(build.rows.len());
+    'build: for (i, row) in build.rows.iter().enumerate() {
+        let mut key = Vec::with_capacity(build_keys.len());
+        for k in build_keys {
+            let v = eval_expr(k, &build.schema, row, ctx)?;
+            if v.is_null() {
+                continue 'build;
+            }
+            key.push(v);
+        }
+        table.entry(key).or_default().push(i);
+    }
+    let mut rows = Vec::new();
+    'probe: for row in &probe.rows {
+        let mut key = Vec::with_capacity(probe_keys.len());
+        for k in probe_keys {
+            let v = eval_expr(k, &probe.schema, row, ctx)?;
+            if v.is_null() {
+                continue 'probe;
+            }
+            key.push(v);
+        }
+        if let Some(matches) = table.get(&key) {
+            for &bi in matches {
+                let mut r = row.clone();
+                r.extend(build.rows[bi].iter().cloned());
+                rows.push(r);
+            }
+        }
+    }
+    Ok(Relation { schema, rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::eval::NoCtx;
+    use crate::row;
+    use crate::sql::parser::parse_expression;
+    use crate::types::{Column, DataType};
+
+    fn rel(q: &str, names: &[(&str, DataType)], rows: Vec<Row>) -> Relation {
+        Relation {
+            schema: Schema::new(
+                names
+                    .iter()
+                    .map(|(n, t)| Column::qualified(q, *n, *t))
+                    .collect(),
+            ),
+            rows,
+        }
+    }
+
+    #[test]
+    fn conjuncts_splits_top_level_ands() {
+        let e = parse_expression("a = 1 AND (b = 2 OR c = 3) AND d = 4").unwrap();
+        assert_eq!(conjuncts(&e).len(), 3);
+    }
+
+    #[test]
+    fn hash_join_matches_equal_keys() {
+        let a = rel(
+            "a",
+            &[("x", DataType::Int)],
+            vec![row![1], row![2], row![3]],
+        );
+        let b = rel(
+            "b",
+            &[("y", DataType::Int), ("z", DataType::Str)],
+            vec![row![2, "two"], row![3, "three"], row![3, "III"]],
+        );
+        let pred = parse_expression("a.x = b.y").unwrap();
+        let (joined, residual) =
+            join_factors(vec![a, b], conjuncts(&pred), &mut NoCtx).unwrap();
+        assert!(residual.is_empty());
+        assert_eq!(joined.rows.len(), 3); // 2-two, 3-three, 3-III
+        assert_eq!(joined.schema.len(), 3);
+    }
+
+    #[test]
+    fn null_keys_do_not_join() {
+        let a = rel("a", &[("x", DataType::Int)], vec![vec![Value::Null]]);
+        let b = rel("b", &[("y", DataType::Int)], vec![vec![Value::Null]]);
+        let pred = parse_expression("a.x = b.y").unwrap();
+        let (joined, _) = join_factors(vec![a, b], conjuncts(&pred), &mut NoCtx).unwrap();
+        assert!(joined.rows.is_empty());
+    }
+
+    #[test]
+    fn no_predicate_gives_cross_product() {
+        let a = rel("a", &[("x", DataType::Int)], vec![row![1], row![2]]);
+        let b = rel("b", &[("y", DataType::Int)], vec![row![10], row![20]]);
+        let (joined, residual) = join_factors(vec![a, b], vec![], &mut NoCtx).unwrap();
+        assert!(residual.is_empty());
+        assert_eq!(joined.rows.len(), 4);
+    }
+
+    #[test]
+    fn single_factor_predicate_pushed_down() {
+        let a = rel("a", &[("x", DataType::Int)], vec![row![1], row![2]]);
+        let b = rel("b", &[("y", DataType::Int)], vec![row![10]]);
+        let pred = parse_expression("a.x = 2").unwrap();
+        let (joined, residual) =
+            join_factors(vec![a, b], conjuncts(&pred), &mut NoCtx).unwrap();
+        assert!(residual.is_empty());
+        assert_eq!(joined.rows.len(), 1);
+        assert_eq!(joined.rows[0], row![2, 10]);
+    }
+
+    #[test]
+    fn non_equi_predicate_returned_as_residual() {
+        let a = rel("a", &[("x", DataType::Int)], vec![row![1]]);
+        let b = rel("b", &[("y", DataType::Int)], vec![row![10]]);
+        let pred = parse_expression("a.x < b.y").unwrap();
+        let (joined, residual) =
+            join_factors(vec![a, b], conjuncts(&pred), &mut NoCtx).unwrap();
+        assert_eq!(joined.rows.len(), 1); // cross join, filter left to caller
+        assert_eq!(residual.len(), 1);
+    }
+
+    #[test]
+    fn three_way_equi_join_chains() {
+        let a = rel("a", &[("x", DataType::Int)], vec![row![1], row![2]]);
+        let b = rel(
+            "b",
+            &[("x", DataType::Int), ("y", DataType::Int)],
+            vec![row![1, 10], row![2, 20]],
+        );
+        let c = rel("c", &[("y", DataType::Int)], vec![row![20]]);
+        let pred = parse_expression("a.x = b.x AND b.y = c.y").unwrap();
+        let (joined, residual) =
+            join_factors(vec![a, b, c], conjuncts(&pred), &mut NoCtx).unwrap();
+        assert!(residual.is_empty());
+        assert_eq!(joined.rows.len(), 1);
+        assert_eq!(joined.rows[0], row![2, 2, 20, 20]);
+    }
+}

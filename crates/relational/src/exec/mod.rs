@@ -1,0 +1,8 @@
+//! Query execution.
+
+pub mod explain;
+pub mod join;
+pub mod select;
+
+pub use join::Relation;
+pub use select::run_select;

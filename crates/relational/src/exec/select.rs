@@ -1,0 +1,545 @@
+//! SELECT execution: scan/join → filter → group/aggregate → project →
+//! distinct → order → limit, all fully materialised.
+
+use std::collections::HashMap;
+
+use crate::engine::Database;
+use crate::error::{Error, Result};
+use crate::exec::join::{conjuncts, filter_relation, join_factors, Relation};
+use crate::expr::eval::{eval_expr, eval_grouped, QueryCtx};
+use crate::expr::{AggFunc, BinOp, Expr};
+use crate::resultset::ResultSet;
+use crate::row::Row;
+use crate::sql::ast::{JoinKind, SelectItem, SelectStmt, SetOpKind, TableSource};
+use crate::types::{Column, DataType, Schema};
+use crate::value::Value;
+
+/// Execute a SELECT against the database.
+pub fn run_select(db: &mut Database, stmt: &SelectStmt) -> Result<ResultSet> {
+    if stmt.set_op.is_some() {
+        return run_set_op(db, stmt);
+    }
+    run_plain_select(db, stmt)
+}
+
+/// Execute a SELECT combined with UNION/INTERSECT/EXCEPT: evaluate both
+/// sides, combine with SQL set semantics, then apply the trailing
+/// ORDER BY / LIMIT to the combined rows.
+fn run_set_op(db: &mut Database, stmt: &SelectStmt) -> Result<ResultSet> {
+    let (kind, rhs) = stmt.set_op.as_ref().expect("checked by run_select");
+    let mut left_stmt = stmt.clone();
+    left_stmt.set_op = None;
+    left_stmt.order_by = Vec::new();
+    left_stmt.limit = None;
+    let left = run_plain_select(db, &left_stmt)?;
+    let right = run_select(db, rhs)?;
+    if left.schema().len() != right.schema().len() {
+        return Err(Error::Arity {
+            expected: left.schema().len(),
+            got: right.schema().len(),
+        });
+    }
+    let schema = left.schema().clone();
+    let mut rows: Vec<Row> = match kind {
+        SetOpKind::UnionAll => {
+            let mut rows = left.into_rows();
+            rows.extend(right.into_rows());
+            rows
+        }
+        SetOpKind::Union => {
+            let mut seen: HashMap<Row, ()> = HashMap::new();
+            let mut rows = Vec::new();
+            for r in left.into_rows().into_iter().chain(right.into_rows()) {
+                if seen.insert(r.clone(), ()).is_none() {
+                    rows.push(r);
+                }
+            }
+            rows
+        }
+        SetOpKind::Intersect => {
+            let right_set: HashMap<Row, ()> =
+                right.into_rows().into_iter().map(|r| (r, ())).collect();
+            let mut seen: HashMap<Row, ()> = HashMap::new();
+            left.into_rows()
+                .into_iter()
+                .filter(|r| right_set.contains_key(r) && seen.insert(r.clone(), ()).is_none())
+                .collect()
+        }
+        SetOpKind::Except => {
+            let right_set: HashMap<Row, ()> =
+                right.into_rows().into_iter().map(|r| (r, ())).collect();
+            let mut seen: HashMap<Row, ()> = HashMap::new();
+            left.into_rows()
+                .into_iter()
+                .filter(|r| !right_set.contains_key(r) && seen.insert(r.clone(), ()).is_none())
+                .collect()
+        }
+    };
+    // Trailing ORDER BY: output positions or column names only.
+    if !stmt.order_by.is_empty() {
+        let names: Vec<String> = schema.columns().iter().map(|c| c.name.clone()).collect();
+        let mut keyed: Vec<(Row, Vec<Value>)> = Vec::with_capacity(rows.len());
+        for r in rows {
+            let mut keys = Vec::with_capacity(stmt.order_by.len());
+            for o in &stmt.order_by {
+                keys.push(output_key(&o.expr, &r, &names).ok_or_else(|| {
+                    Error::unsupported(
+                        "ORDER BY after a set operation must reference output columns",
+                    )
+                })?);
+            }
+            keyed.push((r, keys));
+        }
+        let dirs: Vec<bool> = stmt.order_by.iter().map(|o| o.asc).collect();
+        keyed.sort_by(|(_, ka), (_, kb)| {
+            for ((a, b), asc) in ka.iter().zip(kb.iter()).zip(&dirs) {
+                let ord = a.total_cmp(b);
+                if ord != std::cmp::Ordering::Equal {
+                    return if *asc { ord } else { ord.reverse() };
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        rows = keyed.into_iter().map(|(r, _)| r).collect();
+    }
+    if let Some(l) = stmt.limit {
+        rows.truncate(l as usize);
+    }
+    Ok(ResultSet::new(schema, rows))
+}
+
+fn run_plain_select(db: &mut Database, stmt: &SelectStmt) -> Result<ResultSet> {
+    // 1. FROM: materialise factors, plan joins, push filters.
+    let mut factors = Vec::with_capacity(stmt.from.len());
+    for tref in &stmt.from {
+        let mut current = materialize_factor(db, &tref.source, tref.alias.as_deref())?;
+        // Explicit JOIN ... ON chain on this factor.
+        for join in &tref.joins {
+            let right = materialize_factor(db, &join.source, join.alias.as_deref())?;
+            current = explicit_join(db, current, right, join.kind, join.on.as_ref())?;
+        }
+        factors.push(current);
+    }
+
+    let where_conjuncts = stmt
+        .where_clause
+        .as_ref()
+        .map(|w| conjuncts(w))
+        .unwrap_or_default();
+
+    let (mut input, residual) = if factors.is_empty() {
+        (Relation::unit(), where_conjuncts)
+    } else {
+        join_factors(factors, where_conjuncts, db)?
+    };
+    if let Some(pred) = Expr::conjoin(residual.into_iter().cloned()) {
+        filter_relation(&mut input, &pred, db)?;
+    }
+
+    // 2. Expand projection items.
+    let items = expand_items(&stmt.items, &input.schema)?;
+
+    let has_agg = items.iter().any(|(e, _)| e.contains_aggregate())
+        || stmt
+            .having
+            .as_ref()
+            .is_some_and(|h| h.contains_aggregate());
+    let grouped = !stmt.group_by.is_empty() || has_agg;
+
+    // 3/4. Evaluate rows (grouped or per-row) together with sort keys.
+    let out_names: Vec<String> = items.iter().map(|(_, n)| n.clone()).collect();
+    let mut projected: Vec<(Row, Vec<Value>)> = if grouped {
+        run_grouped(db, &input, stmt, &items, &out_names)?
+    } else {
+        if stmt.having.is_some() {
+            return Err(Error::Aggregate {
+                message: "HAVING requires GROUP BY or aggregates".into(),
+            });
+        }
+        let mut out = Vec::with_capacity(input.rows.len());
+        for row in &input.rows {
+            let mut o = Vec::with_capacity(items.len());
+            for (e, _) in &items {
+                o.push(eval_expr(e, &input.schema, row, db)?);
+            }
+            let keys = order_keys_for_row(db, stmt, &input.schema, row, &o, &out_names)?;
+            out.push((o, keys));
+        }
+        out
+    };
+
+    // 5. DISTINCT.
+    if stmt.distinct {
+        let mut seen: HashMap<Row, ()> = HashMap::with_capacity(projected.len());
+        projected.retain(|(row, _)| seen.insert(row.clone(), ()).is_none());
+    }
+
+    // 6. ORDER BY.
+    if !stmt.order_by.is_empty() {
+        let dirs: Vec<bool> = stmt.order_by.iter().map(|o| o.asc).collect();
+        projected.sort_by(|(_, ka), (_, kb)| {
+            for ((a, b), asc) in ka.iter().zip(kb.iter()).zip(&dirs) {
+                let ord = a.total_cmp(b);
+                if ord != std::cmp::Ordering::Equal {
+                    return if *asc { ord } else { ord.reverse() };
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    // 7. LIMIT.
+    if let Some(l) = stmt.limit {
+        projected.truncate(l as usize);
+    }
+
+    let rows: Vec<Row> = projected.into_iter().map(|(r, _)| r).collect();
+    let schema = output_schema(&items, &input.schema, &rows);
+    let rs = ResultSet::new(schema, rows);
+
+    // 8. INTO :var — store the scalar on the session.
+    if let Some(var) = &stmt.into_var {
+        let v = rs.scalar().cloned().ok_or_else(|| Error::ScalarSubquery {
+            message: format!(
+                "SELECT INTO :{var} requires a 1x1 result, got {}x{}",
+                rs.len(),
+                rs.schema().len()
+            ),
+        })?;
+        db.set_var(var, v);
+    }
+    Ok(rs)
+}
+
+/// Materialise one table factor (named table, view or derived table),
+/// applying its alias as the column qualifier.
+fn materialize_factor(
+    db: &mut Database,
+    source: &TableSource,
+    alias: Option<&str>,
+) -> Result<Relation> {
+    let base = match source {
+        TableSource::Named(name) => materialize_named(db, name)?,
+        TableSource::Subquery(q) => {
+            let rs = run_select(db, q)?;
+            Relation {
+                schema: rs.schema().clone(),
+                rows: rs.into_rows(),
+            }
+        }
+    };
+    let qualifier: Option<String> = match (alias, source) {
+        (Some(a), _) => Some(a.to_string()),
+        (None, TableSource::Named(n)) => Some(n.clone()),
+        (None, TableSource::Subquery(_)) => None,
+    };
+    Ok(Relation {
+        schema: match &qualifier {
+            Some(q) => base.schema.with_qualifier(q),
+            None => base.schema,
+        },
+        rows: base.rows,
+    })
+}
+
+/// Evaluate an explicit `[LEFT] JOIN ... ON ...`: nested-loop with the ON
+/// predicate (the comma-join path keeps its hash-join planning; explicit
+/// joins appear in user queries, not the generated mining programs).
+fn explicit_join(
+    db: &mut Database,
+    left: Relation,
+    right: Relation,
+    kind: JoinKind,
+    on: Option<&Expr>,
+) -> Result<Relation> {
+    let schema = left.schema.join(&right.schema);
+    let null_right: Row = vec![Value::Null; right.schema.len()];
+    let mut rows = Vec::new();
+    for lrow in &left.rows {
+        let mut matched = false;
+        for rrow in &right.rows {
+            let mut combined = lrow.clone();
+            combined.extend(rrow.iter().cloned());
+            let keep = match on {
+                None => true,
+                Some(pred) => eval_expr(pred, &schema, &combined, db)?.is_true(),
+            };
+            if keep {
+                matched = true;
+                rows.push(combined);
+            }
+        }
+        if !matched && kind == JoinKind::LeftOuter {
+            let mut combined = lrow.clone();
+            combined.extend(null_right.iter().cloned());
+            rows.push(combined);
+        }
+    }
+    Ok(Relation { schema, rows })
+}
+
+/// Materialise a named table or view.
+fn materialize_named(db: &mut Database, name: &str) -> Result<Relation> {
+    if let Some(view) = db.catalog().view(name).cloned() {
+        let rs = run_select(db, &view.query)?;
+        return Ok(Relation {
+            schema: rs.schema().clone(),
+            rows: rs.into_rows(),
+        });
+    }
+    let table = db.catalog().table(name)?;
+    Ok(Relation {
+        schema: table.schema().clone(),
+        rows: table.rows().to_vec(),
+    })
+}
+
+/// Expand wildcards and name every projection item.
+fn expand_items(
+    items: &[SelectItem],
+    input: &Schema,
+) -> Result<Vec<(Expr, String)>> {
+    let mut out = Vec::new();
+    for item in items {
+        match item {
+            SelectItem::Wildcard => {
+                for c in input.columns() {
+                    out.push((
+                        Expr::Column {
+                            qualifier: c.qualifier.clone(),
+                            name: c.name.clone(),
+                        },
+                        c.name.clone(),
+                    ));
+                }
+            }
+            SelectItem::QualifiedWildcard(q) => {
+                let idxs = input.columns_of(q);
+                if idxs.is_empty() {
+                    return Err(Error::UnknownColumn {
+                        name: format!("{q}.*"),
+                    });
+                }
+                for i in idxs {
+                    let c = input.column(i);
+                    out.push((
+                        Expr::Column {
+                            qualifier: c.qualifier.clone(),
+                            name: c.name.clone(),
+                        },
+                        c.name.clone(),
+                    ));
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let name = match alias {
+                    Some(a) => a.clone(),
+                    None => match expr {
+                        Expr::Column { name, .. } => name.clone(),
+                        other => other.to_sql(),
+                    },
+                };
+                out.push((expr.clone(), name));
+            }
+        }
+    }
+    if out.is_empty() {
+        return Err(Error::unsupported("empty projection list"));
+    }
+    Ok(out)
+}
+
+/// Grouped execution: hash rows into groups on the GROUP BY keys, filter
+/// groups with HAVING, evaluate projections per group.
+fn run_grouped(
+    db: &mut Database,
+    input: &Relation,
+    stmt: &SelectStmt,
+    items: &[(Expr, String)],
+    out_names: &[String],
+) -> Result<Vec<(Row, Vec<Value>)>> {
+    // Bucket row indices by key.
+    let mut buckets: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    let mut order: Vec<Vec<Value>> = Vec::new(); // first-seen group order
+    if stmt.group_by.is_empty() {
+        buckets.insert(Vec::new(), (0..input.rows.len()).collect());
+        order.push(Vec::new());
+    } else {
+        for (i, row) in input.rows.iter().enumerate() {
+            let mut key = Vec::with_capacity(stmt.group_by.len());
+            for g in &stmt.group_by {
+                key.push(eval_expr(g, &input.schema, row, db)?);
+            }
+            match buckets.entry(key.clone()) {
+                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push(i),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(vec![i]);
+                    order.push(key);
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::with_capacity(order.len());
+    for key in order {
+        let idxs = &buckets[&key];
+        let rows: Vec<&Row> = idxs.iter().map(|&i| &input.rows[i]).collect();
+        if let Some(h) = &stmt.having {
+            let keep = eval_grouped(h, &input.schema, &rows, &stmt.group_by, &key, db)?;
+            if !keep.is_true() {
+                continue;
+            }
+        }
+        let mut o = Vec::with_capacity(items.len());
+        for (e, _) in items {
+            o.push(eval_grouped(e, &input.schema, &rows, &stmt.group_by, &key, db)?);
+        }
+        // Order keys for the grouped row.
+        let mut keys = Vec::with_capacity(stmt.order_by.len());
+        for ord in &stmt.order_by {
+            if let Some(v) = output_key(&ord.expr, &o, out_names) {
+                keys.push(v);
+            } else {
+                keys.push(eval_grouped(
+                    &ord.expr,
+                    &input.schema,
+                    &rows,
+                    &stmt.group_by,
+                    &key,
+                    db,
+                )?);
+            }
+        }
+        out.push((o, keys));
+    }
+    Ok(out)
+}
+
+/// Resolve an ORDER BY expression against the projected output row:
+/// positional (`ORDER BY 2`) or by output name/alias.
+fn output_key(expr: &Expr, out_row: &Row, out_names: &[String]) -> Option<Value> {
+    match expr {
+        Expr::Literal(Value::Int(i)) => {
+            let idx = (*i as usize).checked_sub(1)?;
+            out_row.get(idx).cloned()
+        }
+        Expr::Column {
+            qualifier: None,
+            name,
+        } => out_names
+            .iter()
+            .position(|n| n.eq_ignore_ascii_case(name))
+            .and_then(|i| out_row.get(i).cloned()),
+        _ => None,
+    }
+}
+
+fn order_keys_for_row(
+    db: &mut Database,
+    stmt: &SelectStmt,
+    schema: &Schema,
+    row: &Row,
+    out_row: &Row,
+    out_names: &[String],
+) -> Result<Vec<Value>> {
+    let mut keys = Vec::with_capacity(stmt.order_by.len());
+    for ord in &stmt.order_by {
+        if let Some(v) = output_key(&ord.expr, out_row, out_names) {
+            keys.push(v);
+        } else {
+            keys.push(eval_expr(&ord.expr, schema, row, db)?);
+        }
+    }
+    Ok(keys)
+}
+
+/// Infer the output schema: static expression typing refined by the first
+/// non-null value actually produced.
+fn output_schema(items: &[(Expr, String)], input: &Schema, rows: &[Row]) -> Schema {
+    let mut cols = Vec::with_capacity(items.len());
+    for (i, (expr, name)) in items.iter().enumerate() {
+        let from_rows = rows
+            .iter()
+            .find_map(|r| value_type(&r[i]));
+        let dtype = from_rows
+            .or_else(|| infer_type(expr, input))
+            .unwrap_or(DataType::Str);
+        cols.push(Column::new(name.clone(), dtype));
+    }
+    Schema::new(cols)
+}
+
+fn value_type(v: &Value) -> Option<DataType> {
+    match v {
+        Value::Null => None,
+        Value::Int(_) => Some(DataType::Int),
+        Value::Float(_) => Some(DataType::Float),
+        Value::Str(_) => Some(DataType::Str),
+        Value::Bool(_) => Some(DataType::Bool),
+        Value::Date(_) => Some(DataType::Date),
+    }
+}
+
+/// Best-effort static type of an expression.
+pub fn infer_type(expr: &Expr, input: &Schema) -> Option<DataType> {
+    match expr {
+        Expr::Literal(v) => value_type(v),
+        Expr::Column { qualifier, name } => input
+            .resolve(qualifier.as_deref(), name)
+            .ok()
+            .map(|i| input.column(i).dtype),
+        Expr::HostVar(_) | Expr::ScalarSubquery(_) => None,
+        Expr::NextVal(_) => Some(DataType::Int),
+        Expr::Unary { expr, .. } => infer_type(expr, input),
+        Expr::Binary { left, op, right } => match op {
+            BinOp::And
+            | BinOp::Or
+            | BinOp::Eq
+            | BinOp::NotEq
+            | BinOp::Lt
+            | BinOp::LtEq
+            | BinOp::Gt
+            | BinOp::GtEq => Some(DataType::Bool),
+            BinOp::Concat => Some(DataType::Str),
+            BinOp::Div => Some(DataType::Float),
+            _ => match (infer_type(left, input), infer_type(right, input)) {
+                (Some(DataType::Float), _) | (_, Some(DataType::Float)) => {
+                    Some(DataType::Float)
+                }
+                (Some(DataType::Date), _) => Some(DataType::Date),
+                (a, _) => a,
+            },
+        },
+        Expr::Between { .. }
+        | Expr::InList { .. }
+        | Expr::IsNull { .. }
+        | Expr::Like { .. }
+        | Expr::Exists { .. }
+        | Expr::InSubquery { .. } => Some(DataType::Bool),
+        Expr::Func { name, args } => match name.to_ascii_uppercase().as_str() {
+            "UPPER" | "LOWER" => Some(DataType::Str),
+            "LENGTH" | "FLOOR" | "CEIL" | "CEILING" => Some(DataType::Int),
+            "ROUND" => Some(DataType::Float),
+            "ABS" | "COALESCE" => args.first().and_then(|a| infer_type(a, input)),
+            _ => None,
+        },
+        Expr::Aggregate { func, arg, .. } => match func {
+            AggFunc::Count => Some(DataType::Int),
+            AggFunc::Avg => Some(DataType::Float),
+            AggFunc::Sum | AggFunc::Min | AggFunc::Max => {
+                arg.as_ref().and_then(|a| infer_type(a, input))
+            }
+        },
+        Expr::Case { branches, .. } => branches
+            .first()
+            .and_then(|(_, v)| infer_type(v, input)),
+        Expr::Cast { dtype, .. } => Some(*dtype),
+    }
+}
+
+// The QueryCtx impl for Database lives in engine.rs; select execution only
+// uses it through the trait.
+#[allow(unused)]
+fn _assert_ctx_impl(db: &mut Database) -> &mut dyn QueryCtx {
+    db
+}

@@ -1,0 +1,182 @@
+//! Query results.
+
+use std::fmt;
+
+use crate::row::Row;
+use crate::types::Schema;
+use crate::value::Value;
+
+/// The materialised result of a query: a schema plus rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    schema: Schema,
+    rows: Vec<Row>,
+}
+
+impl ResultSet {
+    /// Build a result set.
+    pub fn new(schema: Schema, rows: Vec<Row>) -> ResultSet {
+        ResultSet { schema, rows }
+    }
+
+    /// An empty result with an empty schema.
+    pub fn empty() -> ResultSet {
+        ResultSet {
+            schema: Schema::default(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Result schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Result rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Consume into rows.
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The single scalar of a 1×1 result, if the shape matches.
+    pub fn scalar(&self) -> Option<&Value> {
+        if self.rows.len() == 1 && self.schema.len() == 1 {
+            Some(&self.rows[0][0])
+        } else {
+            None
+        }
+    }
+
+    /// Index of a column by (unqualified) name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.schema
+            .columns()
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Sort rows lexicographically (stable presentation for tests/examples).
+    pub fn sorted(mut self) -> ResultSet {
+        self.rows.sort_by(|a, b| {
+            for (x, y) in a.iter().zip(b.iter()) {
+                let o = x.total_cmp(y);
+                if o != std::cmp::Ordering::Equal {
+                    return o;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        self
+    }
+}
+
+impl fmt::Display for ResultSet {
+    /// ASCII table rendering, used by the examples.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let headers: Vec<String> = self
+            .schema
+            .columns()
+            .iter()
+            .map(|c| match &c.qualifier {
+                Some(q) => format!("{q}.{}", c.name),
+                None => c.name.clone(),
+            })
+            .collect();
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        let cells: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &cells {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let sep = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            write!(f, "+")?;
+            for w in &widths {
+                write!(f, "{}+", "-".repeat(w + 2))?;
+            }
+            writeln!(f)
+        };
+        sep(f)?;
+        write!(f, "|")?;
+        for (h, w) in headers.iter().zip(&widths) {
+            write!(f, " {h:<w$} |")?;
+        }
+        writeln!(f)?;
+        sep(f)?;
+        for row in &cells {
+            write!(f, "|")?;
+            for (c, w) in row.iter().zip(&widths) {
+                write!(f, " {c:<w$} |")?;
+            }
+            writeln!(f)?;
+        }
+        sep(f)?;
+        writeln!(f, "({} rows)", self.rows.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::types::{Column, DataType};
+
+    fn rs() -> ResultSet {
+        ResultSet::new(
+            Schema::new(vec![
+                Column::new("a", DataType::Int),
+                Column::new("b", DataType::Str),
+            ]),
+            vec![row![2, "y"], row![1, "x"]],
+        )
+    }
+
+    #[test]
+    fn scalar_requires_1x1() {
+        assert!(rs().scalar().is_none());
+        let one = ResultSet::new(
+            Schema::new(vec![Column::new("n", DataType::Int)]),
+            vec![row![42]],
+        );
+        assert_eq!(one.scalar(), Some(&Value::Int(42)));
+    }
+
+    #[test]
+    fn sorted_orders_rows() {
+        let s = rs().sorted();
+        assert_eq!(s.rows()[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let text = rs().to_string();
+        assert!(text.contains("| a | b |"));
+        assert!(text.contains("(2 rows)"));
+    }
+
+    #[test]
+    fn column_index_is_case_insensitive() {
+        assert_eq!(rs().column_index("B"), Some(1));
+        assert_eq!(rs().column_index("zz"), None);
+    }
+}

@@ -1,0 +1,15 @@
+//! Row representation.
+
+use crate::value::Value;
+
+/// A row is an ordered vector of values matching some [`crate::types::Schema`].
+pub type Row = Vec<Value>;
+
+/// Build a row from anything convertible to values. Handy in tests:
+/// `row![1, "x", 2.5]`.
+#[macro_export]
+macro_rules! row {
+    ($($v:expr),* $(,)?) => {
+        vec![$($crate::value::Value::from($v)),*]
+    };
+}

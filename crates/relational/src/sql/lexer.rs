@@ -1,0 +1,384 @@
+//! SQL lexer, shared by the SQL parser and the MINE RULE parser.
+//!
+//! Identifiers are case-preserving; keyword recognition happens in the
+//! parsers. The token set includes `..` (used by MINE RULE cardinality
+//! specifications such as `1..n`) and host variables (`:totg`).
+
+use crate::error::{Error, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    /// `:name`
+    HostVar(String),
+    /// Bare `:` (used by MINE RULE's `SUPPORT: 0.2` syntax).
+    Colon,
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    /// `..`
+    DotDot,
+    Semi,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    /// `||`
+    Concat,
+}
+
+/// A token plus its byte offset in the source (for error reporting).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub tok: Tok,
+    pub pos: usize,
+}
+
+/// Tokenise `input`. Comments (`-- ...` to end of line) are skipped.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token { tok: Tok::LParen, pos: i });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token { tok: Tok::RParen, pos: i });
+                i += 1;
+            }
+            ',' => {
+                out.push(Token { tok: Tok::Comma, pos: i });
+                i += 1;
+            }
+            ';' => {
+                out.push(Token { tok: Tok::Semi, pos: i });
+                i += 1;
+            }
+            '*' => {
+                out.push(Token { tok: Tok::Star, pos: i });
+                i += 1;
+            }
+            '+' => {
+                out.push(Token { tok: Tok::Plus, pos: i });
+                i += 1;
+            }
+            '-' => {
+                out.push(Token { tok: Tok::Minus, pos: i });
+                i += 1;
+            }
+            '/' => {
+                out.push(Token { tok: Tok::Slash, pos: i });
+                i += 1;
+            }
+            '%' => {
+                out.push(Token { tok: Tok::Percent, pos: i });
+                i += 1;
+            }
+            '=' => {
+                out.push(Token { tok: Tok::Eq, pos: i });
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token { tok: Tok::NotEq, pos: i });
+                i += 2;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { tok: Tok::LtEq, pos: i });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Token { tok: Tok::NotEq, pos: i });
+                    i += 2;
+                } else {
+                    out.push(Token { tok: Tok::Lt, pos: i });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { tok: Tok::GtEq, pos: i });
+                    i += 2;
+                } else {
+                    out.push(Token { tok: Tok::Gt, pos: i });
+                    i += 1;
+                }
+            }
+            '|' if bytes.get(i + 1) == Some(&b'|') => {
+                out.push(Token { tok: Tok::Concat, pos: i });
+                i += 2;
+            }
+            '.' => {
+                if bytes.get(i + 1) == Some(&b'.') {
+                    out.push(Token { tok: Tok::DotDot, pos: i });
+                    i += 2;
+                } else {
+                    out.push(Token { tok: Tok::Dot, pos: i });
+                    i += 1;
+                }
+            }
+            ':' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                if j == start {
+                    out.push(Token { tok: Tok::Colon, pos: i });
+                    i += 1;
+                } else {
+                    out.push(Token {
+                        tok: Tok::HostVar(input[start..j].to_string()),
+                        pos: i,
+                    });
+                    i = j;
+                }
+            }
+            '\'' => {
+                let start = i;
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(Error::Lex {
+                                pos: start,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            // Strings are UTF-8: copy the whole char.
+                            let ch = input[i..].chars().next().unwrap();
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                out.push(Token {
+                    tok: Tok::Str(s),
+                    pos: start,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                // A '.' followed by a digit continues the number; `1..n`
+                // must lex as Int(1) DotDot Ident(n).
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &input[start..i];
+                let tok = if is_float {
+                    Tok::Float(text.parse().map_err(|_| Error::Lex {
+                        pos: start,
+                        message: format!("bad float literal '{text}'"),
+                    })?)
+                } else {
+                    Tok::Int(text.parse().map_err(|_| Error::Lex {
+                        pos: start,
+                        message: format!("bad integer literal '{text}'"),
+                    })?)
+                };
+                out.push(Token { tok, pos: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '"' => {
+                let start = i;
+                let name = if c == '"' {
+                    // Delimited identifier.
+                    i += 1;
+                    let s = i;
+                    while i < bytes.len() && bytes[i] != b'"' {
+                        i += 1;
+                    }
+                    if i >= bytes.len() {
+                        return Err(Error::Lex {
+                            pos: start,
+                            message: "unterminated delimited identifier".into(),
+                        });
+                    }
+                    let name = input[s..i].to_string();
+                    i += 1;
+                    name
+                } else {
+                    while i < bytes.len()
+                        && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    input[start..i].to_string()
+                };
+                out.push(Token {
+                    tok: Tok::Ident(name),
+                    pos: start,
+                });
+            }
+            other => {
+                return Err(Error::Lex {
+                    pos: i,
+                    message: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Tok> {
+        lex(s).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lex_basic_select() {
+        assert_eq!(
+            toks("SELECT a, b FROM t"),
+            vec![
+                Tok::Ident("SELECT".into()),
+                Tok::Ident("a".into()),
+                Tok::Comma,
+                Tok::Ident("b".into()),
+                Tok::Ident("FROM".into()),
+                Tok::Ident("t".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_numbers_and_dotdot() {
+        assert_eq!(
+            toks("1..n 2.5 0.2"),
+            vec![
+                Tok::Int(1),
+                Tok::DotDot,
+                Tok::Ident("n".into()),
+                Tok::Float(2.5),
+                Tok::Float(0.2),
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_qualified_and_nextval() {
+        assert_eq!(
+            toks("Gidsequence.NEXTVAL"),
+            vec![
+                Tok::Ident("Gidsequence".into()),
+                Tok::Dot,
+                Tok::Ident("NEXTVAL".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_operators() {
+        assert_eq!(
+            toks("< <= > >= <> != = ||"),
+            vec![
+                Tok::Lt,
+                Tok::LtEq,
+                Tok::Gt,
+                Tok::GtEq,
+                Tok::NotEq,
+                Tok::NotEq,
+                Tok::Eq,
+                Tok::Concat,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_string_with_escape() {
+        assert_eq!(toks("'it''s'"), vec![Tok::Str("it's".into())]);
+    }
+
+    #[test]
+    fn lex_host_var() {
+        assert_eq!(toks(":totg"), vec![Tok::HostVar("totg".into())]);
+    }
+
+    #[test]
+    fn lex_bare_colon() {
+        assert_eq!(
+            toks("SUPPORT: 0.2"),
+            vec![
+                Tok::Ident("SUPPORT".into()),
+                Tok::Colon,
+                Tok::Float(0.2)
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_comment_skipped() {
+        assert_eq!(toks("a -- comment\n b"), vec![
+            Tok::Ident("a".into()),
+            Tok::Ident("b".into())
+        ]);
+    }
+
+    #[test]
+    fn lex_unterminated_string_errors() {
+        assert!(lex("'abc").is_err());
+    }
+
+    #[test]
+    fn lex_delimited_identifier() {
+        assert_eq!(toks("\"Group By\""), vec![Tok::Ident("Group By".into())]);
+    }
+}

@@ -1,0 +1,148 @@
+//! In-memory base tables.
+
+use crate::error::{Error, Result};
+use crate::row::Row;
+use crate::types::Schema;
+
+/// A materialised table: a schema plus row storage.
+///
+/// Storage is a plain `Vec<Row>`; the engine targets the working-set sizes
+/// of the mining preprocessor (encoded tables of at most a few million
+/// small rows), for which contiguous row vectors beat any paging scheme.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Table {
+        Table {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Table name as stored in the catalog.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Stored rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Number of stored rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Append a row after checking arity and column types.
+    pub fn insert(&mut self, row: Row) -> Result<()> {
+        if row.len() != self.schema.len() {
+            return Err(Error::Arity {
+                expected: self.schema.len(),
+                got: row.len(),
+            });
+        }
+        for (value, column) in row.iter().zip(self.schema.columns()) {
+            if !column.dtype.admits(value) {
+                return Err(Error::type_mismatch(format!(
+                    "column '{}' of table '{}' is {} but value is {}",
+                    column.name,
+                    self.name,
+                    column.dtype,
+                    value.type_name()
+                )));
+            }
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Append many rows; stops at the first bad row.
+    pub fn insert_all(&mut self, rows: impl IntoIterator<Item = Row>) -> Result<usize> {
+        let mut n = 0;
+        for row in rows {
+            self.insert(row)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Remove all rows matching the predicate; returns how many were removed.
+    pub fn delete_where(&mut self, mut pred: impl FnMut(&Row) -> bool) -> usize {
+        let before = self.rows.len();
+        self.rows.retain(|r| !pred(r));
+        before - self.rows.len()
+    }
+
+    /// Drop every row.
+    pub fn truncate(&mut self) {
+        self.rows.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::types::{Column, DataType};
+    use crate::value::Value;
+
+    fn t() -> Table {
+        Table::new(
+            "t",
+            Schema::new(vec![
+                Column::new("a", DataType::Int),
+                Column::new("b", DataType::Str),
+            ]),
+        )
+    }
+
+    #[test]
+    fn insert_and_read_back() {
+        let mut table = t();
+        table.insert(row![1, "x"]).unwrap();
+        assert_eq!(table.row_count(), 1);
+        assert_eq!(table.rows()[0][1], Value::Str("x".into()));
+    }
+
+    #[test]
+    fn insert_rejects_wrong_arity() {
+        let mut table = t();
+        assert!(matches!(table.insert(row![1]), Err(Error::Arity { .. })));
+    }
+
+    #[test]
+    fn insert_rejects_wrong_type() {
+        let mut table = t();
+        assert!(table.insert(row!["no", "x"]).is_err());
+    }
+
+    #[test]
+    fn insert_accepts_null_anywhere() {
+        let mut table = t();
+        table.insert(vec![Value::Null, Value::Null]).unwrap();
+    }
+
+    #[test]
+    fn delete_where_removes_matching() {
+        let mut table = t();
+        table
+            .insert_all(vec![row![1, "x"], row![2, "y"], row![3, "x"]])
+            .unwrap();
+        let removed = table.delete_where(|r| r[1] == Value::Str("x".into()));
+        assert_eq!(removed, 2);
+        assert_eq!(table.row_count(), 1);
+    }
+}

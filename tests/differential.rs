@@ -1,0 +1,192 @@
+//! Differential testing: the full pipeline (translator → preprocessor →
+//! core operator → postprocessor) against the brute-force reference
+//! evaluator of MINE RULE's operational semantics, on randomized small
+//! datasets across every statement class.
+
+use proptest::prelude::*;
+
+use minerule::reference::reference_mine;
+use minerule::{parse_mine_rule, DecodedRule, MineRuleEngine};
+use relational::{Database, Value};
+
+/// Build a random Purchase-like database from a compact description:
+/// for each customer, a list of (date index, item id) purchases. Item
+/// prices are deterministic: items 0..3 cost ≥ 100, the rest < 100.
+fn build_db(purchases: &[Vec<(u8, u8)>]) -> Database {
+    let mut db = Database::new();
+    db.execute(
+        "CREATE TABLE Purchase (tr INT, customer VARCHAR, item VARCHAR, \
+         date DATE, price INT, qty INT)",
+    )
+    .unwrap();
+    let base = relational::Date::from_ymd(1995, 3, 1).unwrap();
+    let table = db.catalog_mut().table_mut("Purchase").unwrap();
+    let mut tr = 0i64;
+    for (c, items) in purchases.iter().enumerate() {
+        for &(d, k) in items {
+            tr += 1;
+            table
+                .insert(vec![
+                    Value::Int(tr),
+                    Value::Str(format!("c{c}")),
+                    Value::Str(format!("it{k}")),
+                    Value::Date(base.plus_days(d as i32)),
+                    Value::Int(if k < 4 { 120 + k as i64 } else { 10 + k as i64 }),
+                    Value::Int(1),
+                ])
+                .unwrap();
+        }
+    }
+    db
+}
+
+fn compare(db: &mut Database, statement: &str) -> Result<(), TestCaseError> {
+    let stmt = parse_mine_rule(statement).unwrap();
+    let expected = reference_mine(db, &stmt).unwrap();
+    let outcome = MineRuleEngine::new().execute(db, statement).unwrap();
+    let norm = |rules: &[DecodedRule]| -> Vec<(Vec<String>, Vec<String>, String, String)> {
+        let mut v: Vec<_> = rules
+            .iter()
+            .map(|r| {
+                (
+                    r.body.clone(),
+                    r.head.clone(),
+                    format!("{:.6}", r.support),
+                    format!("{:.6}", r.confidence),
+                )
+            })
+            .collect();
+        v.sort();
+        v
+    };
+    prop_assert_eq!(
+        norm(&outcome.rules),
+        norm(&expected),
+        "pipeline vs reference diverge on:\n{}",
+        statement
+    );
+    Ok(())
+}
+
+/// Strategy: up to 5 customers, each with up to 6 purchases over 3 dates
+/// and 8 items.
+fn purchases_strategy() -> impl Strategy<Value = Vec<Vec<(u8, u8)>>> {
+    prop::collection::vec(
+        prop::collection::vec((0u8..3, 0u8..8), 1..6),
+        1..5,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn simple_class_matches_reference(purchases in purchases_strategy(),
+                                      support in prop::sample::select(vec![0.2, 0.4, 0.6]),
+                                      confidence in prop::sample::select(vec![0.1, 0.5])) {
+        let mut db = build_db(&purchases);
+        let stmt = format!(
+            "MINE RULE Diff AS SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD, \
+             SUPPORT, CONFIDENCE FROM Purchase GROUP BY customer \
+             EXTRACTING RULES WITH SUPPORT: {support}, CONFIDENCE: {confidence}"
+        );
+        compare(&mut db, &stmt)?;
+    }
+
+    #[test]
+    fn wide_heads_match_reference(purchases in purchases_strategy()) {
+        let mut db = build_db(&purchases);
+        let stmt = "MINE RULE Diff AS SELECT DISTINCT 1..n item AS BODY, 1..2 item AS HEAD, \
+             SUPPORT, CONFIDENCE FROM Purchase GROUP BY customer \
+             EXTRACTING RULES WITH SUPPORT: 0.3, CONFIDENCE: 0.1";
+        compare(&mut db, stmt)?;
+    }
+
+    #[test]
+    fn mining_condition_matches_reference(purchases in purchases_strategy()) {
+        let mut db = build_db(&purchases);
+        let stmt = "MINE RULE Diff AS SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD, \
+             SUPPORT, CONFIDENCE WHERE BODY.price >= 100 AND HEAD.price < 100 \
+             FROM Purchase GROUP BY customer \
+             EXTRACTING RULES WITH SUPPORT: 0.2, CONFIDENCE: 0.1";
+        compare(&mut db, stmt)?;
+    }
+
+    #[test]
+    fn clustered_statement_matches_reference(purchases in purchases_strategy()) {
+        let mut db = build_db(&purchases);
+        let stmt = "MINE RULE Diff AS SELECT DISTINCT 1..n item AS BODY, 1..n item AS HEAD, \
+             SUPPORT, CONFIDENCE FROM Purchase GROUP BY customer CLUSTER BY date \
+             EXTRACTING RULES WITH SUPPORT: 0.25, CONFIDENCE: 0.1";
+        compare(&mut db, stmt)?;
+    }
+
+    #[test]
+    fn temporal_statement_matches_reference(purchases in purchases_strategy()) {
+        let mut db = build_db(&purchases);
+        // The paper's full shape: mining condition + ordered clusters.
+        let stmt = "MINE RULE Diff AS SELECT DISTINCT 1..n item AS BODY, 1..n item AS HEAD, \
+             SUPPORT, CONFIDENCE WHERE BODY.price >= 100 AND HEAD.price < 100 \
+             FROM Purchase GROUP BY customer CLUSTER BY date HAVING BODY.date < HEAD.date \
+             EXTRACTING RULES WITH SUPPORT: 0.2, CONFIDENCE: 0.1";
+        compare(&mut db, stmt)?;
+    }
+
+    #[test]
+    fn group_having_matches_reference(purchases in purchases_strategy()) {
+        let mut db = build_db(&purchases);
+        let stmt = "MINE RULE Diff AS SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD, \
+             SUPPORT, CONFIDENCE FROM Purchase GROUP BY customer HAVING COUNT(item) >= 2 \
+             EXTRACTING RULES WITH SUPPORT: 0.2, CONFIDENCE: 0.1";
+        compare(&mut db, stmt)?;
+    }
+
+    #[test]
+    fn source_condition_matches_reference(purchases in purchases_strategy()) {
+        let mut db = build_db(&purchases);
+        let stmt = "MINE RULE Diff AS SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD, \
+             SUPPORT, CONFIDENCE FROM Purchase WHERE price < 125 GROUP BY customer \
+             EXTRACTING RULES WITH SUPPORT: 0.3, CONFIDENCE: 0.2";
+        compare(&mut db, stmt)?;
+    }
+
+    #[test]
+    fn coupled_mining_condition_matches_reference(purchases in purchases_strategy()) {
+        // A condition relating BODY and HEAD attributes of the *pair*
+        // (not decomposable per side) exercises the Q8 join fully.
+        let mut db = build_db(&purchases);
+        let stmt = "MINE RULE Diff AS SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD, \
+             SUPPORT, CONFIDENCE WHERE BODY.price > HEAD.price \
+             FROM Purchase GROUP BY customer \
+             EXTRACTING RULES WITH SUPPORT: 0.2, CONFIDENCE: 0.1";
+        compare(&mut db, stmt)?;
+    }
+
+    #[test]
+    fn aggregate_cluster_condition_matches_reference(purchases in purchases_strategy()) {
+        let mut db = build_db(&purchases);
+        let stmt = "MINE RULE Diff AS SELECT DISTINCT 1..n item AS BODY, 1..n item AS HEAD, \
+             SUPPORT, CONFIDENCE FROM Purchase GROUP BY customer \
+             CLUSTER BY date HAVING SUM(BODY.price) > SUM(HEAD.price) \
+             EXTRACTING RULES WITH SUPPORT: 0.25, CONFIDENCE: 0.1";
+        compare(&mut db, stmt)?;
+    }
+}
+
+#[test]
+fn cross_schema_matches_reference() {
+    // H = true: body on item, head on qty (deterministic dataset).
+    let mut db = build_db(&[
+        vec![(0, 1), (0, 5), (1, 5)],
+        vec![(0, 1), (1, 5)],
+        vec![(0, 2), (1, 1)],
+    ]);
+    let stmt = "MINE RULE Diff AS SELECT DISTINCT 1..1 item AS BODY, 1..1 qty AS HEAD, \
+         SUPPORT, CONFIDENCE FROM Purchase GROUP BY customer \
+         EXTRACTING RULES WITH SUPPORT: 0.3, CONFIDENCE: 0.1";
+    let parsed = parse_mine_rule(stmt).unwrap();
+    let expected = reference_mine(&mut db, &parsed).unwrap();
+    let outcome = MineRuleEngine::new().execute(&mut db, stmt).unwrap();
+    assert_eq!(outcome.rules, expected);
+    assert!(!outcome.rules.is_empty());
+}

@@ -1,0 +1,158 @@
+//! Failure injection across the pipeline: errors at each stage must be
+//! typed, descriptive and non-destructive (the session and the user's
+//! data survive every failure).
+
+use minerule::paper_example::purchase_db;
+use minerule::{MineError, MineRuleEngine, SemanticViolation};
+use relational::Value;
+
+#[test]
+fn syntax_error_is_reported_with_position() {
+    let mut db = purchase_db();
+    let err = MineRuleEngine::new()
+        .execute(&mut db, "MINE RULE Broken AS SELECT")
+        .unwrap_err();
+    assert!(matches!(err, MineError::Syntax { .. }), "{err:?}");
+}
+
+#[test]
+fn missing_source_table_is_a_sql_error() {
+    let mut db = purchase_db();
+    let err = MineRuleEngine::new()
+        .execute(
+            &mut db,
+            "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD \
+             FROM NoSuchTable GROUP BY customer \
+             EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.1",
+        )
+        .unwrap_err();
+    assert!(matches!(err, MineError::Sql(_)), "{err:?}");
+}
+
+#[test]
+fn semantic_violation_reported_before_any_side_effect() {
+    let mut db = purchase_db();
+    let tables_before = db.catalog().table_names().len();
+    let err = MineRuleEngine::new()
+        .execute(
+            &mut db,
+            // body overlaps grouping: check 2.
+            "MINE RULE R AS SELECT DISTINCT customer AS BODY, item AS HEAD \
+             FROM Purchase GROUP BY customer \
+             EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.1",
+        )
+        .unwrap_err();
+    assert!(matches!(err, MineError::Semantic(_)));
+    assert_eq!(
+        db.catalog().table_names().len(),
+        tables_before,
+        "translation failures must not touch the catalog"
+    );
+}
+
+#[test]
+fn output_table_cannot_clobber_source() {
+    let mut db = purchase_db();
+    let err = MineRuleEngine::new()
+        .execute(
+            &mut db,
+            "MINE RULE Purchase AS SELECT DISTINCT item AS BODY, item AS HEAD \
+             FROM Purchase GROUP BY customer \
+             EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.1",
+        )
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            MineError::Semantic(SemanticViolation::OutputClobbersSource { .. })
+        ),
+        "{err:?}"
+    );
+    // Crucially, the source data is intact.
+    let rs = db.query("SELECT COUNT(*) FROM Purchase").unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Int(8)));
+}
+
+#[test]
+fn preprocessing_conflict_names_the_failing_query() {
+    let mut db = purchase_db();
+    // A *view* named Bset survives the cleanup's DROP TABLE IF EXISTS and
+    // collides with Q3's CREATE TABLE.
+    db.execute("CREATE VIEW Bset AS (SELECT item FROM Purchase)")
+        .unwrap();
+    let err = MineRuleEngine::new()
+        .execute(
+            &mut db,
+            "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD \
+             FROM Purchase GROUP BY customer \
+             EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.1",
+        )
+        .unwrap_err();
+    let text = err.to_string();
+    assert!(text.contains("Q3"), "failing query id missing: {text}");
+}
+
+#[test]
+fn reuse_without_prior_preprocessing_fails_cleanly() {
+    let mut db = purchase_db();
+    let err = MineRuleEngine::new()
+        .execute_reusing_preprocessing(
+            &mut db,
+            "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD \
+             FROM Purchase GROUP BY customer \
+             EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.1",
+        )
+        .unwrap_err();
+    assert!(matches!(err, MineError::Internal { .. }), "{err:?}");
+}
+
+#[test]
+fn session_survives_every_failure() {
+    let mut db = purchase_db();
+    let engine = MineRuleEngine::new();
+    let bad = [
+        "MINE RULE R AS nonsense",
+        "MINE RULE R AS SELECT DISTINCT ghost AS BODY, item AS HEAD FROM Purchase \
+         GROUP BY customer EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.1",
+        "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD FROM Purchase \
+         GROUP BY customer EXTRACTING RULES WITH SUPPORT: 2.0, CONFIDENCE: 0.1",
+    ];
+    for stmt in bad {
+        assert!(engine.execute(&mut db, stmt).is_err());
+    }
+    // After all that, a good statement still runs.
+    let outcome = engine
+        .execute(
+            &mut db,
+            "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD, SUPPORT, CONFIDENCE \
+             FROM Purchase GROUP BY customer \
+             EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.1",
+        )
+        .unwrap();
+    assert!(!outcome.rules.is_empty());
+}
+
+#[test]
+fn unknown_algorithm_fails_after_preprocessing_but_session_recovers() {
+    let mut db = purchase_db();
+    let mut engine = MineRuleEngine::new();
+    engine.core.algorithm = "made-up".into();
+    let err = engine
+        .execute(
+            &mut db,
+            "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD \
+             FROM Purchase GROUP BY customer \
+             EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.1",
+        )
+        .unwrap_err();
+    assert!(matches!(err, MineError::Internal { .. }));
+    engine.core.algorithm = "apriori".into();
+    assert!(engine
+        .execute(
+            &mut db,
+            "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD \
+             FROM Purchase GROUP BY customer \
+             EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.1",
+        )
+        .is_ok());
+}
