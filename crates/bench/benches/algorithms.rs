@@ -1,13 +1,13 @@
 //! Experiment E4 — the algorithm pool (§3 "algorithm interoperability"):
-//! all five pool members on identical encoded input, across support
+//! all pool members on identical encoded input, across support
 //! thresholds. The architecture claim is that they are interchangeable;
 //! the interesting measurement is how their relative cost shifts with the
 //! threshold (Apriori/gid-lists win at high support, partitioning and
 //! hash pruning pay off as thresholds drop and candidate sets grow).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datagen::{generate_quest, QuestConfig};
-use minerule::algo::{default_pool, SimpleInput};
+use minerule::algo::{default_pool, ShardExec, SimpleInput};
+use tcdm_bench::bench::Group;
 
 fn pool_input(transactions: usize, min_support: f64) -> SimpleInput {
     let data = generate_quest(&QuestConfig {
@@ -27,23 +27,34 @@ fn pool_input(transactions: usize, min_support: f64) -> SimpleInput {
     }
 }
 
-fn e4_algorithm_pool(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E4_algorithm_pool");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn e4_algorithm_pool() {
+    let mut group = Group::new("E4_algorithm_pool");
     for &support in &[0.05f64, 0.02, 0.01] {
         let input = pool_input(1500, support);
         for miner in default_pool() {
-            group.bench_with_input(
-                BenchmarkId::new(miner.name(), format!("s={support}")),
-                &input,
-                |b, input| b.iter(|| miner.mine(input)),
-            );
+            group.bench(&format!("{}/s={support}", miner.name()), || {
+                miner.mine(&input)
+            });
         }
     }
-    group.finish();
 }
 
-criterion_group!(benches, e4_algorithm_pool);
-criterion_main!(benches);
+fn e4_pool_workers() {
+    // Every pool member through the sharded executor: identical
+    // inventories, counting passes spread across workers.
+    let mut group = Group::new("E4_pool_workers");
+    let input = pool_input(1500, 0.02);
+    for &workers in &[1usize, 2, 4] {
+        let exec = ShardExec::new(workers);
+        for miner in default_pool() {
+            group.bench(&format!("{}/w={workers}", miner.name()), || {
+                miner.mine_sharded(&input, &exec)
+            });
+        }
+    }
+}
+
+fn main() {
+    e4_algorithm_pool();
+    e4_pool_workers();
+}

@@ -6,86 +6,74 @@
 //! E2 — shared preprocessing (§3): re-running a statement against already
 //! materialised encoded tables skips `Q0`..`Q11` entirely.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use minerule::{decoupled, MineRuleEngine};
+use tcdm_bench::bench::Group;
 use tcdm_bench::{quest_db, simple_statement};
 
-fn e1_coupled_vs_decoupled(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E1_coupling");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn e1_coupled_vs_decoupled() {
+    let mut group = Group::new("E1_coupling");
     for &transactions in &[500usize, 1500] {
-        group.bench_with_input(
-            BenchmarkId::new("tightly_coupled", transactions),
-            &transactions,
-            |b, &n| {
-                b.iter_batched(
-                    || quest_db(n, 7),
-                    |mut db| {
-                        MineRuleEngine::new()
-                            .execute(&mut db, &simple_statement(0.03, 0.4))
-                            .unwrap()
-                    },
-                    criterion::BatchSize::LargeInput,
-                );
+        group.bench_batched(
+            &format!("tightly_coupled/{transactions}"),
+            || quest_db(transactions, 7),
+            |mut db| {
+                MineRuleEngine::new()
+                    .execute(&mut db, &simple_statement(0.03, 0.4))
+                    .unwrap()
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("decoupled", transactions),
-            &transactions,
-            |b, &n| {
-                b.iter_batched(
-                    || quest_db(n, 7),
-                    |mut db| {
-                        decoupled::run_decoupled(
-                            &mut db,
-                            "SELECT tr, item FROM Baskets",
-                            0.03,
-                            0.4,
-                            "FlatRules",
-                        )
-                        .unwrap()
-                    },
-                    criterion::BatchSize::LargeInput,
-                );
+        group.bench_batched(
+            &format!("tightly_coupled_4workers/{transactions}"),
+            || quest_db(transactions, 7),
+            |mut db| {
+                MineRuleEngine::new()
+                    .with_workers(4)
+                    .execute(&mut db, &simple_statement(0.03, 0.4))
+                    .unwrap()
+            },
+        );
+        group.bench_batched(
+            &format!("decoupled/{transactions}"),
+            || quest_db(transactions, 7),
+            |mut db| {
+                decoupled::run_decoupled(
+                    &mut db,
+                    "SELECT tr, item FROM Baskets",
+                    0.03,
+                    0.4,
+                    "FlatRules",
+                )
+                .unwrap()
             },
         );
     }
-    group.finish();
 }
 
-fn e2_shared_preprocessing(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E2_shared_preprocessing");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn e2_shared_preprocessing() {
+    let mut group = Group::new("E2_shared_preprocessing");
     let statement = simple_statement(0.03, 0.4);
 
-    group.bench_function("cold_full_pipeline", |b| {
-        b.iter_batched(
-            || quest_db(1000, 9),
-            |mut db| MineRuleEngine::new().execute(&mut db, &statement).unwrap(),
-            criterion::BatchSize::LargeInput,
-        );
-    });
-    group.bench_function("warm_reused_encoding", |b| {
-        b.iter_batched(
-            || {
-                let mut db = quest_db(1000, 9);
-                MineRuleEngine::new().execute(&mut db, &statement).unwrap();
-                db
-            },
-            |mut db| {
-                MineRuleEngine::new()
-                    .execute_reusing_preprocessing(&mut db, &statement)
-                    .unwrap()
-            },
-            criterion::BatchSize::LargeInput,
-        );
-    });
-    group.finish();
+    group.bench_batched(
+        "cold_full_pipeline",
+        || quest_db(1000, 9),
+        |mut db| MineRuleEngine::new().execute(&mut db, &statement).unwrap(),
+    );
+    group.bench_batched(
+        "warm_reused_encoding",
+        || {
+            let mut db = quest_db(1000, 9);
+            MineRuleEngine::new().execute(&mut db, &statement).unwrap();
+            db
+        },
+        |mut db| {
+            MineRuleEngine::new()
+                .execute_reusing_preprocessing(&mut db, &statement)
+                .unwrap()
+        },
+    );
 }
 
-criterion_group!(benches, e1_coupled_vs_decoupled, e2_shared_preprocessing);
-criterion_main!(benches);
+fn main() {
+    e1_coupled_vs_decoupled();
+    e2_shared_preprocessing();
+}

@@ -7,9 +7,9 @@
 //! E6 — generality overhead: the same simple-class statement through the
 //! simple algorithm pool vs forced through the general lattice.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use minerule::lattice::ExpansionOrder;
 use minerule::MineRuleEngine;
+use tcdm_bench::bench::Group;
 use tcdm_bench::{quest_db, retail_db};
 
 fn wide_head_statement(support: f64) -> String {
@@ -23,59 +23,47 @@ fn wide_head_statement(support: f64) -> String {
     )
 }
 
-fn e5_expansion_order(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E5_lattice_order");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn e5_expansion_order() {
+    let mut group = Group::new("E5_lattice_order");
     for (name, order) in [
         ("min_parent", ExpansionOrder::MinParent),
         ("body_first", ExpansionOrder::BodyFirst),
     ] {
-        group.bench_with_input(BenchmarkId::new(name, 250), &order, |b, &order| {
-            b.iter_batched(
-                || retail_db(250, 13),
-                |mut db| {
-                    let mut engine = MineRuleEngine::new();
-                    engine.core.order = order;
-                    engine.execute(&mut db, &wide_head_statement(0.08)).unwrap()
-                },
-                criterion::BatchSize::LargeInput,
-            );
-        });
+        group.bench_batched(
+            &format!("{name}/250"),
+            || retail_db(250, 13),
+            |mut db| {
+                let mut engine = MineRuleEngine::new();
+                engine.core.order = order;
+                engine.execute(&mut db, &wide_head_statement(0.08)).unwrap()
+            },
+        );
     }
-    group.finish();
 }
 
-fn e6_simple_vs_general(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E6_generality_overhead");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn e6_simple_vs_general() {
+    let mut group = Group::new("E6_generality_overhead");
     let statement = "MINE RULE Both AS \
         SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD, SUPPORT, CONFIDENCE \
         FROM Baskets GROUP BY tr \
         EXTRACTING RULES WITH SUPPORT: 0.03, CONFIDENCE: 0.3";
-    group.bench_function("simple_core", |b| {
-        b.iter_batched(
-            || quest_db(800, 17),
-            |mut db| MineRuleEngine::new().execute(&mut db, statement).unwrap(),
-            criterion::BatchSize::LargeInput,
-        );
-    });
-    group.bench_function("forced_general_lattice", |b| {
-        b.iter_batched(
-            || quest_db(800, 17),
-            |mut db| {
-                let mut engine = MineRuleEngine::new();
-                engine.core.force_general = true;
-                engine.execute(&mut db, statement).unwrap()
-            },
-            criterion::BatchSize::LargeInput,
-        );
-    });
-    group.finish();
+    group.bench_batched(
+        "simple_core",
+        || quest_db(800, 17),
+        |mut db| MineRuleEngine::new().execute(&mut db, statement).unwrap(),
+    );
+    group.bench_batched(
+        "forced_general_lattice",
+        || quest_db(800, 17),
+        |mut db| {
+            let mut engine = MineRuleEngine::new();
+            engine.core.force_general = true;
+            engine.execute(&mut db, statement).unwrap()
+        },
+    );
 }
 
-criterion_group!(benches, e5_expansion_order, e6_simple_vs_general);
-criterion_main!(benches);
+fn main() {
+    e5_expansion_order();
+    e6_simple_vs_general();
+}

@@ -3,12 +3,12 @@
 //! sampling fraction. These are the knobs the respective papers expose;
 //! the architecture makes them swappable without touching the kernel.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datagen::{generate_quest, QuestConfig};
 use minerule::algo::dhp::Dhp;
 use minerule::algo::partition::Partition;
 use minerule::algo::sampling::Sampling;
 use minerule::algo::{ItemsetMiner, SimpleInput};
+use tcdm_bench::bench::Group;
 
 fn input(min_support: f64) -> SimpleInput {
     let data = generate_quest(&QuestConfig {
@@ -28,11 +28,8 @@ fn input(min_support: f64) -> SimpleInput {
     }
 }
 
-fn e9_partition_count(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E9_partition_count");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn e9_partition_count() {
+    let mut group = Group::new("E9_partition_count");
     let input = input(0.02);
     for &parts in &[1usize, 2, 4, 8, 16] {
         for parallel in [false, true] {
@@ -40,55 +37,35 @@ fn e9_partition_count(c: &mut Criterion) {
                 partitions: parts,
                 parallel,
             };
-            group.bench_with_input(
-                BenchmarkId::new(
-                    if parallel { "parallel" } else { "sequential" },
-                    parts,
-                ),
-                &input,
-                |b, input| b.iter(|| miner.mine(input)),
-            );
+            let mode = if parallel { "parallel" } else { "sequential" };
+            group.bench(&format!("{mode}/{parts}"), || miner.mine(&input));
         }
     }
-    group.finish();
 }
 
-fn e9_dhp_buckets(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E9_dhp_buckets");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn e9_dhp_buckets() {
+    let mut group = Group::new("E9_dhp_buckets");
     let input = input(0.02);
     for &buckets in &[1usize << 8, 1 << 12, 1 << 16, 1 << 20] {
         let miner = Dhp { buckets };
-        group.bench_with_input(
-            BenchmarkId::from_parameter(buckets),
-            &input,
-            |b, input| b.iter(|| miner.mine(input)),
-        );
+        group.bench(&buckets.to_string(), || miner.mine(&input));
     }
-    group.finish();
 }
 
-fn e9_sampling_fraction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E9_sampling_fraction");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn e9_sampling_fraction() {
+    let mut group = Group::new("E9_sampling_fraction");
     let input = input(0.02);
     for &fraction in &[0.1f64, 0.25, 0.5, 0.75] {
         let miner = Sampling {
             sample_fraction: fraction,
             ..Sampling::default()
         };
-        group.bench_with_input(
-            BenchmarkId::from_parameter(fraction),
-            &input,
-            |b, input| b.iter(|| miner.mine(input)),
-        );
+        group.bench(&fraction.to_string(), || miner.mine(&input));
     }
-    group.finish();
 }
 
-criterion_group!(benches, e9_partition_count, e9_dhp_buckets, e9_sampling_fraction);
-criterion_main!(benches);
+fn main() {
+    e9_partition_count();
+    e9_dhp_buckets();
+    e9_sampling_fraction();
+}

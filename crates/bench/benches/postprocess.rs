@@ -2,17 +2,14 @@
 //! and decoding them into the user tables, as a function of the number of
 //! rules produced (driven by the support threshold).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use minerule::postprocess::{postprocess, store_encoded_rules};
 use minerule::preprocess::preprocess;
 use minerule::{core_op, encoded, parse_mine_rule, translate};
+use tcdm_bench::bench::Group;
 use tcdm_bench::{quest_db, simple_statement};
 
-fn e8_decode_cost(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E8_postprocess");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn e8_decode_cost() {
+    let mut group = Group::new("E8_postprocess");
     for &support in &[0.05f64, 0.02, 0.01] {
         // Fixed pipeline state: preprocessing + core done once, then the
         // benchmark measures store + decode only.
@@ -27,23 +24,17 @@ fn e8_decode_cost(c: &mut Criterion) {
             (db, translation, out.rules)
         };
         let (_, _, rules) = setup();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("s={support}_rules={}", rules.len())),
-            &support,
-            |b, _| {
-                b.iter_batched(
-                    setup,
-                    |(mut db, translation, rules)| {
-                        store_encoded_rules(&mut db, &translation, &rules).unwrap();
-                        postprocess(&mut db, &translation).unwrap();
-                    },
-                    criterion::BatchSize::LargeInput,
-                );
+        group.bench_batched(
+            &format!("s={support}_rules={}", rules.len()),
+            setup,
+            |(mut db, translation, rules)| {
+                store_encoded_rules(&mut db, &translation, &rules).unwrap();
+                postprocess(&mut db, &translation).unwrap();
             },
         );
     }
-    group.finish();
 }
 
-criterion_group!(benches, e8_decode_cost);
-criterion_main!(benches);
+fn main() {
+    e8_decode_cost();
+}

@@ -9,83 +9,63 @@
 //! (elementary rules built *in the core operator*). Measures where the
 //! paper's chosen border moves work between the SQL server and the core.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use minerule::preprocess::preprocess;
 use minerule::{parse_mine_rule, translate, MineRuleEngine};
-use tcdm_bench::{quest_db, retail_db, simple_statement, temporal_statement, temporal_statement_no_mining_cond};
+use tcdm_bench::bench::Group;
+use tcdm_bench::{
+    quest_db, retail_db, simple_statement, temporal_statement, temporal_statement_no_mining_cond,
+};
 
-fn f4_preprocessing_chains(c: &mut Criterion) {
-    let mut group = c.benchmark_group("F4_preprocessing");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn f4_preprocessing_chains() {
+    let mut group = Group::new("F4_preprocessing");
 
-    group.bench_function("simple_Q0_Q4", |b| {
-        b.iter_batched(
-            || {
-                let db = quest_db(1000, 3);
-                let stmt = parse_mine_rule(&simple_statement(0.03, 0.4)).unwrap();
-                let t = translate(&stmt, db.catalog()).unwrap();
-                (db, t)
-            },
-            |(mut db, t)| preprocess(&mut db, &t).unwrap(),
-            criterion::BatchSize::LargeInput,
-        );
-    });
-    group.bench_function("general_Q0_Q11", |b| {
-        b.iter_batched(
-            || {
-                let db = retail_db(300, 3);
-                let stmt = parse_mine_rule(&temporal_statement(0.05, 0.3)).unwrap();
-                let t = translate(&stmt, db.catalog()).unwrap();
-                (db, t)
-            },
-            |(mut db, t)| preprocess(&mut db, &t).unwrap(),
-            criterion::BatchSize::LargeInput,
-        );
-    });
-    group.finish();
+    group.bench_batched(
+        "simple_Q0_Q4",
+        || {
+            let db = quest_db(1000, 3);
+            let stmt = parse_mine_rule(&simple_statement(0.03, 0.4)).unwrap();
+            let t = translate(&stmt, db.catalog()).unwrap();
+            (db, t)
+        },
+        |(mut db, t)| preprocess(&mut db, &t).unwrap(),
+    );
+    group.bench_batched(
+        "general_Q0_Q11",
+        || {
+            let db = retail_db(300, 3);
+            let stmt = parse_mine_rule(&temporal_statement(0.05, 0.3)).unwrap();
+            let t = translate(&stmt, db.catalog()).unwrap();
+            (db, t)
+        },
+        |(mut db, t)| preprocess(&mut db, &t).unwrap(),
+    );
 }
 
-fn e3_borderline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E3_borderline");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn e3_borderline() {
+    let mut group = Group::new("E3_borderline");
     for &customers in &[150usize, 400] {
-        group.bench_with_input(
-            BenchmarkId::new("mining_cond_in_sql", customers),
-            &customers,
-            |b, &n| {
-                b.iter_batched(
-                    || retail_db(n, 5),
-                    |mut db| {
-                        MineRuleEngine::new()
-                            .execute(&mut db, &temporal_statement(0.05, 0.2))
-                            .unwrap()
-                    },
-                    criterion::BatchSize::LargeInput,
-                );
+        group.bench_batched(
+            &format!("mining_cond_in_sql/{customers}"),
+            || retail_db(customers, 5),
+            |mut db| {
+                MineRuleEngine::new()
+                    .execute(&mut db, &temporal_statement(0.05, 0.2))
+                    .unwrap()
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("elementary_in_core", customers),
-            &customers,
-            |b, &n| {
-                b.iter_batched(
-                    || retail_db(n, 5),
-                    |mut db| {
-                        MineRuleEngine::new()
-                            .execute(&mut db, &temporal_statement_no_mining_cond(0.05, 0.2))
-                            .unwrap()
-                    },
-                    criterion::BatchSize::LargeInput,
-                );
+        group.bench_batched(
+            &format!("elementary_in_core/{customers}"),
+            || retail_db(customers, 5),
+            |mut db| {
+                MineRuleEngine::new()
+                    .execute(&mut db, &temporal_statement_no_mining_cond(0.05, 0.2))
+                    .unwrap()
             },
         );
     }
-    group.finish();
 }
 
-criterion_group!(benches, f4_preprocessing_chains, e3_borderline);
-criterion_main!(benches);
+fn main() {
+    f4_preprocessing_chains();
+    e3_borderline();
+}

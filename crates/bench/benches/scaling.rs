@@ -2,59 +2,61 @@
 //! paper's reference list reports: wall-clock vs number of groups and vs
 //! the support threshold (lower support → exponentially more candidates).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use minerule::MineRuleEngine;
+use tcdm_bench::bench::Group;
 use tcdm_bench::{quest_db, simple_statement};
 
-fn e7_group_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E7_group_scaling");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn e7_group_scaling() {
+    let mut group = Group::new("E7_group_scaling");
     for &transactions in &[250usize, 500, 1000, 2000] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(transactions),
-            &transactions,
-            |b, &n| {
-                b.iter_batched(
-                    || quest_db(n, 19),
-                    |mut db| {
-                        MineRuleEngine::new()
-                            .execute(&mut db, &simple_statement(0.03, 0.4))
-                            .unwrap()
-                    },
-                    criterion::BatchSize::LargeInput,
-                );
+        group.bench_batched(
+            &transactions.to_string(),
+            || quest_db(transactions, 19),
+            |mut db| {
+                MineRuleEngine::new()
+                    .execute(&mut db, &simple_statement(0.03, 0.4))
+                    .unwrap()
             },
         );
     }
-    group.finish();
 }
 
-fn e7_support_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E7_support_sweep");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn e7_worker_scaling() {
+    // The parallel-executor dimension: same statement, same rules, the
+    // worker knob swept. On a multi-core host the core phase shrinks;
+    // rule output is bit-identical throughout.
+    let mut group = Group::new("E7_worker_scaling");
+    for &workers in &[1usize, 2, 4, 8] {
+        group.bench_batched(
+            &format!("workers={workers}"),
+            || quest_db(1000, 19),
+            move |mut db| {
+                MineRuleEngine::new()
+                    .with_workers(workers)
+                    .execute(&mut db, &simple_statement(0.02, 0.4))
+                    .unwrap()
+            },
+        );
+    }
+}
+
+fn e7_support_sweep() {
+    let mut group = Group::new("E7_support_sweep");
     for &support in &[0.08f64, 0.04, 0.02, 0.01] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(support),
-            &support,
-            |b, &s| {
-                b.iter_batched(
-                    || quest_db(1000, 19),
-                    |mut db| {
-                        MineRuleEngine::new()
-                            .execute(&mut db, &simple_statement(s, 0.4))
-                            .unwrap()
-                    },
-                    criterion::BatchSize::LargeInput,
-                );
+        group.bench_batched(
+            &support.to_string(),
+            || quest_db(1000, 19),
+            |mut db| {
+                MineRuleEngine::new()
+                    .execute(&mut db, &simple_statement(support, 0.4))
+                    .unwrap()
             },
         );
     }
-    group.finish();
 }
 
-criterion_group!(benches, e7_group_scaling, e7_support_sweep);
-criterion_main!(benches);
+fn main() {
+    e7_group_scaling();
+    e7_worker_scaling();
+    e7_support_sweep();
+}

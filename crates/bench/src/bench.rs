@@ -1,0 +1,92 @@
+//! A minimal, self-contained micro-benchmark harness, so the bench
+//! targets run without external crates. It mirrors the criterion idioms
+//! the harness previously used — named groups, `bench`/`bench_batched`
+//! (setup excluded from timing) — and reports median/min/max over a
+//! fixed sample count.
+//!
+//! Samples default to 10 and can be overridden with `TCDM_BENCH_SAMPLES`
+//! (e.g. `TCDM_BENCH_SAMPLES=3 cargo bench` for a smoke run).
+
+use std::time::{Duration, Instant};
+
+/// Number of timed samples per benchmark id.
+pub fn samples() -> usize {
+    std::env::var("TCDM_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(10)
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// A named group of related measurements (one table section in the
+/// output).
+pub struct Group {
+    name: String,
+}
+
+impl Group {
+    /// Open a group; prints its header.
+    pub fn new(name: &str) -> Group {
+        println!("\n## {name}");
+        Group { name: name.into() }
+    }
+
+    /// Measure `routine` run against fresh `setup` output each sample;
+    /// only `routine` is timed.
+    pub fn bench_batched<S, T>(
+        &mut self,
+        id: &str,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> T,
+    ) {
+        let n = samples();
+        // One untimed warm-up pass.
+        std::hint::black_box(routine(setup()));
+        let mut times: Vec<Duration> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let state = setup();
+            let t = Instant::now();
+            let out = routine(state);
+            times.push(t.elapsed());
+            std::hint::black_box(out);
+        }
+        times.sort();
+        println!(
+            "{}/{id}: median {:.3} ms (min {:.3}, max {:.3}, n={n})",
+            self.name,
+            ms(times[times.len() / 2]),
+            ms(times[0]),
+            ms(*times.last().unwrap()),
+        );
+    }
+
+    /// Measure a self-contained routine (no setup phase).
+    pub fn bench<T>(&mut self, id: &str, mut routine: impl FnMut() -> T) {
+        self.bench_batched(id, || (), |()| routine());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times() {
+        let mut g = Group::new("smoke");
+        let mut calls = 0usize;
+        g.bench_batched(
+            "id",
+            || 21u64,
+            |x| {
+                calls += 1;
+                x * 2
+            },
+        );
+        // warm-up + samples() timed runs
+        assert_eq!(calls, samples() + 1);
+    }
+}

@@ -12,8 +12,7 @@ use minerule::lattice::ExpansionOrder;
 use minerule::paper_example::{run_paper_example, FIGURE_2B};
 use minerule::{decoupled, MineRuleEngine};
 use tcdm_bench::{
-    quest_db, retail_db, simple_statement, temporal_statement,
-    temporal_statement_no_mining_cond,
+    quest_db, retail_db, simple_statement, temporal_statement, temporal_statement_no_mining_cond,
 };
 
 fn best_of<R>(n: usize, mut f: impl FnMut() -> R) -> (Duration, R) {
@@ -48,6 +47,7 @@ fn main() {
     e7_scaling();
     e8_postprocess();
     e9_pool_parameters();
+    e10_worker_scaling();
 
     println!("\nall experiments completed.");
 }
@@ -146,7 +146,10 @@ fn e3_borderline() {
     for &n in &[200usize, 400] {
         for (variant, stmt) in [
             ("mining cond in SQL", temporal_statement(0.05, 0.2)),
-            ("elementary in core", temporal_statement_no_mining_cond(0.05, 0.2)),
+            (
+                "elementary in core",
+                temporal_statement_no_mining_cond(0.05, 0.2),
+            ),
         ] {
             let (_, out) = best_of(3, || {
                 let mut db = retail_db(n, 5);
@@ -238,7 +241,11 @@ fn e5_lattice_order() {
             engine.core.order = order;
             engine.execute(&mut db, statement).unwrap()
         });
-        println!("| {name} | {} | {} |", ms(out.timings.core), out.rules.len());
+        println!(
+            "| {name} | {} | {} |",
+            ms(out.timings.core),
+            out.rules.len()
+        );
         rule_sets.push(out.rules);
     }
     assert_eq!(rule_sets[0], rule_sets[1], "orders agree on results");
@@ -262,7 +269,11 @@ fn e6_generality_overhead() {
             engine.core.force_general = forced;
             engine.execute(&mut db, statement).unwrap()
         });
-        println!("| {name} | {} | {} |", ms(out.timings.core), out.rules.len());
+        println!(
+            "| {name} | {} | {} |",
+            ms(out.timings.core),
+            out.rules.len()
+        );
         rule_sets.push(out.rules);
     }
     assert_eq!(rule_sets[0], rule_sets[1], "paths agree on results");
@@ -312,8 +323,8 @@ fn e7_scaling() {
 
 /// E9 — pool parameter ablations.
 fn e9_pool_parameters() {
-    use minerule::algo::partition::Partition;
     use minerule::algo::dhp::Dhp;
+    use minerule::algo::partition::Partition;
     use minerule::algo::sampling::Sampling;
     use minerule::algo::ItemsetMiner;
 
@@ -339,10 +350,18 @@ fn e9_pool_parameters() {
     println!("|---|---|---|");
     for &parts in &[1usize, 2, 4, 8, 16] {
         let (seq, _) = best_of(3, || {
-            Partition { partitions: parts, parallel: false }.mine(&input)
+            Partition {
+                partitions: parts,
+                parallel: false,
+            }
+            .mine(&input)
         });
         let (par, _) = best_of(3, || {
-            Partition { partitions: parts, parallel: true }.mine(&input)
+            Partition {
+                partitions: parts,
+                parallel: true,
+            }
+            .mine(&input)
         });
         println!("| {parts} | {} | {} |", ms(seq), ms(par));
     }
@@ -359,11 +378,58 @@ fn e9_pool_parameters() {
     println!("| fraction | time (ms) |");
     println!("|---|---|");
     for &fraction in &[0.1f64, 0.25, 0.5, 0.75] {
-        let miner = Sampling { sample_fraction: fraction, ..Sampling::default() };
+        let miner = Sampling {
+            sample_fraction: fraction,
+            ..Sampling::default()
+        };
         let (d, _) = best_of(3, || miner.mine(&input));
         println!("| {fraction} | {} |", ms(d));
     }
     println!();
+}
+
+/// E10 — worker scaling of the sharded mining executor.
+fn e10_worker_scaling() {
+    println!("## E10 — sharded executor: core phase vs worker count\n");
+    println!(
+        "(host has {} hardware threads)\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+    println!("| workers | core (ms) | shard busy (ms) | speedup vs 1 | rules |");
+    println!("|---|---|---|---|---|");
+    let mut baseline: Option<(Duration, Vec<minerule::DecodedRule>)> = None;
+    for &workers in &[1usize, 2, 4, 8] {
+        let (_, out) = best_of(3, || {
+            let mut db = quest_db(1500, 19);
+            MineRuleEngine::new()
+                .with_workers(workers)
+                .execute(&mut db, &simple_statement(0.02, 0.4))
+                .unwrap()
+        });
+        let core = out.timings.core;
+        let speedup = match &baseline {
+            None => {
+                baseline = Some((core, out.rules.clone()));
+                1.0
+            }
+            Some((base, base_rules)) => {
+                assert_eq!(
+                    &out.rules, base_rules,
+                    "rules invariant at {workers} workers"
+                );
+                base.as_secs_f64() / core.as_secs_f64()
+            }
+        };
+        println!(
+            "| {workers} | {} | {} | {speedup:.2}x | {} |",
+            ms(core),
+            ms(out.timings.core_shard_busy()),
+            out.rules.len()
+        );
+    }
+    println!("\n(identical rule sets asserted per worker count)\n");
 }
 
 /// E8 — postprocessing cost vs rule count.

@@ -5,6 +5,8 @@
 use datagen::{generate_quest, generate_retail, load_quest, QuestConfig, RetailConfig};
 use relational::Database;
 
+pub mod bench;
+
 /// A Quest basket database (`Baskets (tr INT, item VARCHAR)`).
 pub fn quest_db(transactions: usize, seed: u64) -> Database {
     let data = generate_quest(&QuestConfig {

@@ -52,7 +52,14 @@ fn main() {
     let mut lines = stdin.lock().lines();
     loop {
         if interactive {
-            print!("{}", if buffer.is_empty() { "tcdm> " } else { "  ... " });
+            print!(
+                "{}",
+                if buffer.is_empty() {
+                    "tcdm> "
+                } else {
+                    "  ... "
+                }
+            );
             let _ = stdout.flush();
         }
         let Some(Ok(line)) = lines.next() else { break };

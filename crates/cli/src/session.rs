@@ -111,9 +111,7 @@ impl Session {
         );
         // Probe that the table has the rule shape at all.
         if self.db.query(&sql).is_err() {
-            return Outcome::Output(format!(
-                "error: '{table}' is not a MINE RULE output table"
-            ));
+            return Outcome::Output(format!("error: '{table}' is not a MINE RULE output table"));
         }
         let q = format!(
             "SELECT r.BodyId, r.HeadId, r.SUPPORT, r.CONFIDENCE FROM {table} r \
@@ -201,26 +199,48 @@ impl Session {
             }
             "algorithm" => match words.next() {
                 None => Outcome::Output(format!(
-                    "current algorithm: {} (choose: apriori, count, dhp, partition, sampling, eclat, fpgrowth)",
-                    self.engine.core.algorithm
+                    "current algorithm: {} (choose: {})",
+                    self.engine.core.algorithm,
+                    minerule::algo::POOL_NAMES.join(", ")
                 )),
                 Some(name) => {
                     if minerule::algo::by_name(name).is_some() {
                         self.engine.core.algorithm = name.to_string();
                         Outcome::Output(format!("algorithm set to {name}"))
                     } else {
-                        Outcome::Output(format!("unknown algorithm '{name}'"))
+                        Outcome::Output(format!(
+                            "unknown algorithm '{name}'; the pool contains: {}",
+                            minerule::algo::POOL_NAMES.join(", ")
+                        ))
                     }
+                }
+            },
+            "set" => match (words.next(), words.next()) {
+                (Some("workers"), Some(n)) => match n.parse::<usize>() {
+                    Ok(n) if n >= 1 => {
+                        self.engine.core.workers = n;
+                        Outcome::Output(format!("workers set to {n}"))
+                    }
+                    _ => Outcome::Output(format!("'{n}' is not a valid worker count (min 1)")),
+                },
+                (Some("workers"), None) => Outcome::Output(format!(
+                    "workers: {} (mining executor threads; rules are identical for any value)",
+                    self.engine.core.workers
+                )),
+                (None, _) => Outcome::Output(format!(
+                    "settings:\n  algorithm: {}\n  workers: {}",
+                    self.engine.core.algorithm, self.engine.core.workers
+                )),
+                (Some(other), _) => {
+                    Outcome::Output(format!("unknown setting '{other}' — try \\set workers N"))
                 }
             },
             "save" => match words.next() {
                 None => Outcome::Output("usage: \\save <directory>".into()),
-                Some(dir) => {
-                    match relational::persist::save(&self.db, std::path::Path::new(dir)) {
-                        Ok(()) => Outcome::Output(format!("database saved to {dir}")),
-                        Err(e) => Outcome::Output(format!("error: {e}")),
-                    }
-                }
+                Some(dir) => match relational::persist::save(&self.db, std::path::Path::new(dir)) {
+                    Ok(()) => Outcome::Output(format!("database saved to {dir}")),
+                    Err(e) => Outcome::Output(format!("error: {e}")),
+                },
             },
             "load" => match words.next() {
                 None => Outcome::Output("usage: \\load <directory>".into()),
@@ -307,6 +327,7 @@ Commands:
   \\demo quest [n]       load n synthetic baskets (default 1000)
   \\demo retail [n]      load a synthetic retail table (default 200 customers)
   \\algorithm [name]     show or set the simple-class mining algorithm
+  \\set workers <n>      mining executor threads (same rules, faster core)
   \\rules <table>        pretty-print a MINE RULE output table
   \\save <dir>           persist the database to a directory
   \\load <dir>           load a previously saved database
@@ -371,7 +392,32 @@ mod tests {
         assert!(out(&mut s, "\\schema Baskets").contains("tr INT"));
         assert!(out(&mut s, "\\timing").contains("on"));
         assert!(out(&mut s, "\\algorithm partition").contains("partition"));
-        assert!(out(&mut s, "\\algorithm bogus").contains("unknown"));
+        let unknown = out(&mut s, "\\algorithm bogus");
+        assert!(unknown.contains("unknown"), "{unknown}");
+        assert!(
+            unknown.contains("apriori") && unknown.contains("fpgrowth"),
+            "lists the pool: {unknown}"
+        );
+    }
+
+    #[test]
+    fn workers_setting() {
+        let mut s = Session::new();
+        assert!(out(&mut s, "\\set workers").contains("workers: 1"));
+        assert!(out(&mut s, "\\set workers 4").contains("workers set to 4"));
+        assert!(out(&mut s, "\\set").contains("workers: 4"));
+        assert!(out(&mut s, "\\set workers 0").contains("not a valid"));
+        assert!(out(&mut s, "\\set workers nan").contains("not a valid"));
+        assert!(out(&mut s, "\\set gizmo on").contains("unknown setting"));
+        // Mining still works (and yields the same rules) with 4 workers.
+        out(&mut s, "\\demo paper");
+        let result = out(
+            &mut s,
+            "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD, SUPPORT, CONFIDENCE \
+             FROM Purchase GROUP BY customer \
+             EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.1",
+        );
+        assert!(result.contains("mined"), "{result}");
     }
 
     #[test]
@@ -415,10 +461,7 @@ mod tests {
     fn demo_paper_supports_full_statement() {
         let mut s = Session::new();
         out(&mut s, "\\demo paper");
-        let result = out(
-            &mut s,
-            minerule::paper_example::FILTERED_ORDERED_SETS,
-        );
+        let result = out(&mut s, minerule::paper_example::FILTERED_ORDERED_SETS);
         assert!(result.contains("mined 3 rules"), "{result}");
     }
 }

@@ -3,6 +3,7 @@
 
 use std::collections::HashMap;
 
+use super::executor::ShardExec;
 use super::itemset::{apriori_join, immediate_subsets, intersect, is_subset, Itemset};
 use super::{ItemsetMiner, LargeItemset, SimpleInput};
 
@@ -19,8 +20,8 @@ impl ItemsetMiner for AprioriGidList {
         "apriori-gidlist"
     }
 
-    fn mine(&self, input: &SimpleInput) -> Vec<LargeItemset> {
-        let (large, _) = mine_gidlist_with_border(&input.groups, input.min_groups);
+    fn mine_sharded(&self, input: &SimpleInput, exec: &ShardExec) -> Vec<LargeItemset> {
+        let (large, _) = mine_gidlist_with_border_exec(&input.groups, input.min_groups, exec);
         large
     }
 }
@@ -32,21 +33,30 @@ pub fn mine_gidlist_with_border(
     groups: &[Vec<u32>],
     min_groups: u32,
 ) -> (Vec<LargeItemset>, Vec<Itemset>) {
+    mine_gidlist_with_border_exec(groups, min_groups, &ShardExec::sequential())
+}
+
+/// [`mine_gidlist_with_border`] with an explicit shard executor: the L1
+/// gid-list build and the per-level join/intersection step both run
+/// sharded. The join shards partition the *outer* index of the candidate
+/// join, and shard outputs are concatenated in shard order — exactly the
+/// sequential iteration order, so the result is worker-count invariant.
+pub fn mine_gidlist_with_border_exec(
+    groups: &[Vec<u32>],
+    min_groups: u32,
+    exec: &ShardExec,
+) -> (Vec<LargeItemset>, Vec<Itemset>) {
     let mut large: Vec<LargeItemset> = Vec::new();
     let mut border: Vec<Itemset> = Vec::new();
 
-    // L1 with gid lists.
-    let mut gidlists: HashMap<u32, Vec<u32>> = HashMap::new();
-    for (g, items) in groups.iter().enumerate() {
-        for &it in items {
-            gidlists.entry(it).or_default().push(g as u32);
-        }
-    }
+    // L1 with gid lists, built shard-wise (lists come out sorted because
+    // shards are contiguous and merged in order).
+    let mut gidlists = exec.gidlists(groups);
     let mut level: Vec<(Itemset, Vec<u32>)> = Vec::new();
     let mut items: Vec<u32> = gidlists.keys().copied().collect();
     items.sort_unstable();
     for it in items {
-        let gl = gidlists.remove(&it).unwrap(); // already sorted: groups scanned in order
+        let gl = gidlists.remove(&it).unwrap();
         if gl.len() as u32 >= min_groups {
             level.push((vec![it], gl));
         } else {
@@ -59,25 +69,37 @@ pub fn mine_gidlist_with_border(
             large.push((set.clone(), gl.len() as u32));
         }
         // Join step. `level` is sorted lexicographically, so joinable
-        // prefixes are adjacent runs.
-        let mut next: Vec<(Itemset, Vec<u32>)> = Vec::new();
+        // prefixes are adjacent runs; the outer index is sharded across
+        // workers.
         let keys: HashMap<&[u32], ()> = level.iter().map(|(s, _)| (s.as_slice(), ())).collect();
-        for i in 0..level.len() {
-            for j in (i + 1)..level.len() {
-                let Some(cand) = apriori_join(&level[i].0, &level[j].0) else {
-                    break; // sorted: once prefixes diverge, no more joins
-                };
-                // Prune: every (k-1)-subset must be large.
-                if !immediate_subsets(&cand).all(|s| keys.contains_key(s.as_slice())) {
-                    continue;
-                }
-                let gl = intersect(&level[i].1, &level[j].1);
-                if gl.len() as u32 >= min_groups {
-                    next.push((cand, gl));
-                } else {
-                    border.push(cand);
+        let level_ref = &level;
+        let keys_ref = &keys;
+        let parts = exec.map_index_shards(level.len(), |range| {
+            let mut next: Vec<(Itemset, Vec<u32>)> = Vec::new();
+            let mut failed: Vec<Itemset> = Vec::new();
+            for i in range {
+                for j in (i + 1)..level_ref.len() {
+                    let Some(cand) = apriori_join(&level_ref[i].0, &level_ref[j].0) else {
+                        break; // sorted: once prefixes diverge, no more joins
+                    };
+                    // Prune: every (k-1)-subset must be large.
+                    if !immediate_subsets(&cand).all(|s| keys_ref.contains_key(s.as_slice())) {
+                        continue;
+                    }
+                    let gl = intersect(&level_ref[i].1, &level_ref[j].1);
+                    if gl.len() as u32 >= min_groups {
+                        next.push((cand, gl));
+                    } else {
+                        failed.push(cand);
+                    }
                 }
             }
+            (next, failed)
+        });
+        let mut next: Vec<(Itemset, Vec<u32>)> = Vec::new();
+        for (n, f) in parts {
+            next.extend(n);
+            border.extend(f);
         }
         level = next;
     }
@@ -94,16 +116,11 @@ impl ItemsetMiner for AprioriCount {
         "apriori-count"
     }
 
-    fn mine(&self, input: &SimpleInput) -> Vec<LargeItemset> {
+    fn mine_sharded(&self, input: &SimpleInput, exec: &ShardExec) -> Vec<LargeItemset> {
         let mut large: Vec<LargeItemset> = Vec::new();
 
-        // L1.
-        let mut counts: HashMap<u32, u32> = HashMap::new();
-        for items in &input.groups {
-            for &it in items {
-                *counts.entry(it).or_insert(0) += 1;
-            }
-        }
+        // L1: sharded singleton scan.
+        let counts = exec.item_counts(&input.groups);
         let mut level: Vec<LargeItemset> = counts
             .into_iter()
             .filter(|(_, c)| *c >= input.min_groups)
@@ -113,20 +130,30 @@ impl ItemsetMiner for AprioriCount {
 
         while !level.is_empty() {
             large.extend(level.iter().cloned());
-            let keys: HashMap<&[u32], ()> =
-                level.iter().map(|(s, _)| (s.as_slice(), ())).collect();
-            let mut candidates: Vec<Itemset> = Vec::new();
-            for i in 0..level.len() {
-                for j in (i + 1)..level.len() {
-                    let Some(cand) = apriori_join(&level[i].0, &level[j].0) else {
-                        break;
-                    };
-                    if immediate_subsets(&cand).all(|s| keys.contains_key(s.as_slice())) {
-                        candidates.push(cand);
+            let keys: HashMap<&[u32], ()> = level.iter().map(|(s, _)| (s.as_slice(), ())).collect();
+            let level_ref = &level;
+            let keys_ref = &keys;
+            // Candidate generation sharded over the outer join index;
+            // shard outputs concatenate into the sequential order.
+            let parts = exec.map_index_shards(level.len(), |range| {
+                let mut cands: Vec<Itemset> = Vec::new();
+                for i in range {
+                    for j in (i + 1)..level_ref.len() {
+                        let Some(cand) = apriori_join(&level_ref[i].0, &level_ref[j].0) else {
+                            break;
+                        };
+                        if immediate_subsets(&cand).all(|s| keys_ref.contains_key(s.as_slice())) {
+                            cands.push(cand);
+                        }
                     }
                 }
-            }
-            level = count_candidates(&input.groups, candidates)
+                cands
+            });
+            let candidates: Vec<Itemset> = parts.into_iter().flatten().collect();
+            // The support scan — the pass that dominates — is sharded
+            // over the groups with per-shard counts summed positionally.
+            level = exec
+                .count_candidates(&input.groups, candidates)
                 .into_iter()
                 .filter(|(_, c)| *c >= input.min_groups)
                 .collect();
@@ -179,7 +206,10 @@ mod tests {
         assert!(got.contains(&(vec![2, 4], 4)));
         assert!(got.contains(&(vec![1, 2], 3)));
         assert!(got.contains(&(vec![3, 4], 3)));
-        assert!(!got.iter().any(|(s, _)| s == &vec![1, 3]), "1,3 occurs twice only");
+        assert!(
+            !got.iter().any(|(s, _)| s == &vec![1, 3]),
+            "1,3 occurs twice only"
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 
 use std::collections::HashMap;
 
-use super::apriori::count_candidates;
+use super::executor::ShardExec;
 use super::itemset::{apriori_join, immediate_subsets, Itemset};
 use super::{ItemsetMiner, LargeItemset, SimpleInput};
 
@@ -26,7 +26,8 @@ impl Default for Dhp {
 fn bucket(a: u32, b: u32, buckets: usize) -> usize {
     // Cheap mix of the pair; exactness is irrelevant (only an upper bound
     // on pair support is needed).
-    let h = (a as u64).wrapping_mul(0x9e3779b97f4a7c15) ^ (b as u64).wrapping_mul(0xc2b2ae3d27d4eb4f);
+    let h =
+        (a as u64).wrapping_mul(0x9e3779b97f4a7c15) ^ (b as u64).wrapping_mul(0xc2b2ae3d27d4eb4f);
     (h % buckets as u64) as usize
 }
 
@@ -35,20 +36,36 @@ impl ItemsetMiner for Dhp {
         "dhp"
     }
 
-    fn mine(&self, input: &SimpleInput) -> Vec<LargeItemset> {
+    fn mine_sharded(&self, input: &SimpleInput, exec: &ShardExec) -> Vec<LargeItemset> {
         let mut large: Vec<LargeItemset> = Vec::new();
+        let buckets_n = self.buckets.max(1);
 
-        // Pass 1: singleton counts + pair-bucket counts.
-        let mut counts: HashMap<u32, u32> = HashMap::new();
-        let mut pair_buckets = vec![0u32; self.buckets.max(1)];
-        for items in &input.groups {
-            for &it in items {
-                *counts.entry(it).or_insert(0) += 1;
-            }
-            for i in 0..items.len() {
-                for j in (i + 1)..items.len() {
-                    pair_buckets[bucket(items[i], items[j], self.buckets.max(1))] += 1;
+        // Pass 1: singleton counts + pair-bucket counts, one sharded scan.
+        // Both are sums of per-group contributions, so per-shard partials
+        // merge by addition regardless of shard boundaries.
+        let partials = exec.map_shards(&input.groups, |_, part| {
+            let mut counts: HashMap<u32, u32> = HashMap::new();
+            let mut pair_buckets = vec![0u32; buckets_n];
+            for items in part {
+                for &it in items {
+                    *counts.entry(it).or_insert(0) += 1;
                 }
+                for i in 0..items.len() {
+                    for j in (i + 1)..items.len() {
+                        pair_buckets[bucket(items[i], items[j], buckets_n)] += 1;
+                    }
+                }
+            }
+            (counts, pair_buckets)
+        });
+        let mut counts: HashMap<u32, u32> = HashMap::new();
+        let mut pair_buckets = vec![0u32; buckets_n];
+        for (partial_counts, partial_buckets) in partials {
+            for (it, c) in partial_counts {
+                *counts.entry(it).or_insert(0) += c;
+            }
+            for (t, c) in pair_buckets.iter_mut().zip(partial_buckets) {
+                *t += c;
             }
         }
         let mut l1: Vec<LargeItemset> = counts
@@ -65,12 +82,13 @@ impl ItemsetMiner for Dhp {
         for i in 0..l1.len() {
             for j in (i + 1)..l1.len() {
                 let (a, b) = (l1[i].0[0], l1[j].0[0]);
-                if pair_buckets[bucket(a, b, self.buckets.max(1))] >= input.min_groups {
+                if pair_buckets[bucket(a, b, buckets_n)] >= input.min_groups {
                     candidates.push(vec![a, b]);
                 }
             }
         }
-        let mut level: Vec<LargeItemset> = count_candidates(&input.groups, candidates)
+        let mut level: Vec<LargeItemset> = exec
+            .count_candidates(&input.groups, candidates)
             .into_iter()
             .filter(|(_, c)| *c >= input.min_groups)
             .collect();
@@ -78,8 +96,7 @@ impl ItemsetMiner for Dhp {
         // Levels ≥ 3: classical Apriori.
         while !level.is_empty() {
             large.extend(level.iter().cloned());
-            let keys: HashMap<&[u32], ()> =
-                level.iter().map(|(s, _)| (s.as_slice(), ())).collect();
+            let keys: HashMap<&[u32], ()> = level.iter().map(|(s, _)| (s.as_slice(), ())).collect();
             let mut candidates: Vec<Itemset> = Vec::new();
             for i in 0..level.len() {
                 for j in (i + 1)..level.len() {
@@ -91,7 +108,8 @@ impl ItemsetMiner for Dhp {
                     }
                 }
             }
-            level = count_candidates(&input.groups, candidates)
+            level = exec
+                .count_candidates(&input.groups, candidates)
                 .into_iter()
                 .filter(|(_, c)| *c >= input.min_groups)
                 .collect();

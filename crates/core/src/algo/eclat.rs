@@ -4,8 +4,7 @@
 //! subset-prune for cache-friendly depth-first list intersections — the
 //! natural "one more member" of the paper's interoperable pool.
 
-use std::collections::HashMap;
-
+use super::executor::ShardExec;
 use super::itemset::{intersect, Itemset};
 use super::{ItemsetMiner, LargeItemset, SimpleInput};
 
@@ -18,23 +17,40 @@ impl ItemsetMiner for Eclat {
         "eclat"
     }
 
-    fn mine(&self, input: &SimpleInput) -> Vec<LargeItemset> {
-        // Vertical layout: item → sorted group ids.
-        let mut gidlists: HashMap<u32, Vec<u32>> = HashMap::new();
-        for (g, items) in input.groups.iter().enumerate() {
-            for &it in items {
-                gidlists.entry(it).or_default().push(g as u32);
-            }
-        }
+    fn mine_sharded(&self, input: &SimpleInput, exec: &ShardExec) -> Vec<LargeItemset> {
+        // Vertical layout: item → sorted group ids (sharded build).
+        let gidlists = exec.gidlists(&input.groups);
         let mut frontier: Vec<(u32, Vec<u32>)> = gidlists
             .into_iter()
             .filter(|(_, gl)| gl.len() as u32 >= input.min_groups)
             .collect();
         frontier.sort_by_key(|(it, _)| *it);
 
-        let mut out: Vec<LargeItemset> = Vec::new();
-        let mut prefix: Itemset = Vec::new();
-        dfs(&frontier, &mut prefix, input.min_groups, &mut out);
+        // The search trees rooted at each top-level item are independent,
+        // so the frontier index is sharded across workers; the final sort
+        // makes the inventory order worker-count invariant.
+        let min_groups = input.min_groups;
+        let frontier_ref = &frontier;
+        let parts = exec.map_index_shards(frontier.len(), |range| {
+            let mut out: Vec<LargeItemset> = Vec::new();
+            for i in range {
+                let (item, gl) = &frontier_ref[i];
+                let mut prefix: Itemset = vec![*item];
+                out.push((prefix.clone(), gl.len() as u32));
+                let mut next: Vec<(u32, Vec<u32>)> = Vec::new();
+                for (other, other_gl) in &frontier_ref[i + 1..] {
+                    let joined = intersect(gl, other_gl);
+                    if joined.len() as u32 >= min_groups {
+                        next.push((*other, joined));
+                    }
+                }
+                if !next.is_empty() {
+                    dfs(&next, &mut prefix, min_groups, &mut out);
+                }
+            }
+            out
+        });
+        let mut out: Vec<LargeItemset> = parts.into_iter().flatten().collect();
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
     }

@@ -1,0 +1,300 @@
+//! The sharded mining executor: data-parallel candidate counting for the
+//! algorithm pool.
+//!
+//! The encoded group list of a simple statement is an embarrassingly
+//! partitionable structure — every counting pass the pool performs
+//! (singleton counts, candidate-support scans, gid-list construction) is
+//! a fold over groups that can run on contiguous shards and be merged.
+//! [`ShardExec`] owns that pattern once, so every member of the pool
+//! parallelises the same way and — crucially — stays *deterministic*:
+//!
+//! * shards are contiguous chunks of the group list, in order;
+//! * per-shard results are merged **in shard order**, never in thread
+//!   completion order;
+//! * group identifiers assigned inside a shard are offset by the shard's
+//!   start position, so merged gid lists are identical to the sequential
+//!   ones.
+//!
+//! Under those rules the parallel path produces bit-identical inventories
+//! to `workers = 1` (enforced by `tests/parallel_agreement.rs`), which is
+//! what lets the engine flip worker counts freely without perturbing the
+//! mined rule set.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use super::itemset::{is_subset, Itemset};
+use super::LargeItemset;
+
+/// A shard-parallel executor. One instance drives a single mining run;
+/// per-shard wall-clock timings accumulate inside and can be drained
+/// afterwards for reporting (`PhaseTimings::core_shards`).
+#[derive(Debug, Default)]
+pub struct ShardExec {
+    workers: usize,
+    shard_timings: Mutex<Vec<Duration>>,
+}
+
+impl ShardExec {
+    /// An executor with the given worker count (0 is treated as 1).
+    pub fn new(workers: usize) -> ShardExec {
+        ShardExec {
+            workers: workers.max(1),
+            shard_timings: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The sequential executor (`workers = 1`); every `mine` call without
+    /// an explicit executor runs through this.
+    pub fn sequential() -> ShardExec {
+        ShardExec::new(1)
+    }
+
+    /// Configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Drain the per-shard timings recorded since the last call. Each
+    /// `map_shards` invocation appends one duration per shard it ran.
+    pub fn take_shard_timings(&self) -> Vec<Duration> {
+        std::mem::take(&mut self.shard_timings.lock().expect("timings lock"))
+    }
+
+    /// Split `items` into at most `workers` contiguous chunks and apply
+    /// `f(start_offset, chunk)` to each — on scoped OS threads when more
+    /// than one shard results. Results are returned **in shard order**
+    /// (not completion order), which is the determinism contract every
+    /// caller builds on.
+    pub fn map_shards<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+    {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let shards = self.workers.min(items.len());
+        let chunk = items.len().div_ceil(shards);
+        if shards == 1 {
+            let t = Instant::now();
+            let out = f(0, items);
+            self.shard_timings
+                .lock()
+                .expect("timings lock")
+                .push(t.elapsed());
+            return vec![out];
+        }
+        let timed: Vec<(R, Duration)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .enumerate()
+                .map(|(i, part)| {
+                    let f = &f;
+                    scope.spawn(move || {
+                        let t = Instant::now();
+                        let out = f(i * chunk, part);
+                        (out, t.elapsed())
+                    })
+                })
+                .collect();
+            // Joining in spawn order preserves shard order.
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+        let mut timings = self.shard_timings.lock().expect("timings lock");
+        timed
+            .into_iter()
+            .map(|(out, d)| {
+                timings.push(d);
+                out
+            })
+            .collect()
+    }
+
+    /// Count each candidate's support with one sharded pass over the
+    /// groups; per-shard count vectors are summed positionally.
+    pub fn count_candidates(
+        &self,
+        groups: &[Vec<u32>],
+        candidates: Vec<Itemset>,
+    ) -> Vec<LargeItemset> {
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let cand = &candidates;
+        let partials = self.map_shards(groups, |_, part| {
+            let mut counts = vec![0u32; cand.len()];
+            for items in part {
+                for (i, c) in cand.iter().enumerate() {
+                    if is_subset(c, items) {
+                        counts[i] += 1;
+                    }
+                }
+            }
+            counts
+        });
+        let mut totals = vec![0u32; candidates.len()];
+        for partial in partials {
+            for (t, c) in totals.iter_mut().zip(partial) {
+                *t += c;
+            }
+        }
+        candidates.into_iter().zip(totals).collect()
+    }
+
+    /// Per-item occurrence counts over all groups (the L1 scan), merged
+    /// from per-shard maps.
+    pub fn item_counts(&self, groups: &[Vec<u32>]) -> HashMap<u32, u32> {
+        let partials = self.map_shards(groups, |_, part| {
+            let mut counts: HashMap<u32, u32> = HashMap::new();
+            for items in part {
+                for &it in items {
+                    *counts.entry(it).or_insert(0) += 1;
+                }
+            }
+            counts
+        });
+        let mut merged: HashMap<u32, u32> = HashMap::new();
+        for partial in partials {
+            for (it, c) in partial {
+                *merged.entry(it).or_insert(0) += c;
+            }
+        }
+        merged
+    }
+
+    /// Vertical layout: item → sorted group-id list. Shards assign gids
+    /// offset by their start position and are concatenated in shard
+    /// order, so each list comes out globally sorted — identical to a
+    /// sequential scan.
+    pub fn gidlists(&self, groups: &[Vec<u32>]) -> HashMap<u32, Vec<u32>> {
+        let partials = self.map_shards(groups, |start, part| {
+            let mut lists: HashMap<u32, Vec<u32>> = HashMap::new();
+            for (g, items) in part.iter().enumerate() {
+                for &it in items {
+                    lists.entry(it).or_default().push((start + g) as u32);
+                }
+            }
+            lists
+        });
+        let mut merged: HashMap<u32, Vec<u32>> = HashMap::new();
+        for partial in partials {
+            for (it, mut gl) in partial {
+                merged.entry(it).or_default().append(&mut gl);
+            }
+        }
+        merged
+    }
+
+    /// Shard an index range `0..n` (for loops whose iterations touch a
+    /// shared slice rather than owning their data). Returns per-shard
+    /// results in shard order.
+    pub fn map_index_shards<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(std::ops::Range<usize>) -> R + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        let indices: Vec<usize> = (0..n).collect();
+        self.map_shards(&indices, |start, part| f(start..start + part.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn groups() -> Vec<Vec<u32>> {
+        vec![
+            vec![1, 2, 3],
+            vec![1, 2],
+            vec![2, 3],
+            vec![1, 3],
+            vec![1, 2, 3],
+            vec![2],
+            vec![7],
+        ]
+    }
+
+    #[test]
+    fn map_shards_preserves_order() {
+        for workers in [1, 2, 3, 5, 16] {
+            let exec = ShardExec::new(workers);
+            let items: Vec<u32> = (0..23).collect();
+            let out = exec.map_shards(&items, |start, part| (start, part.to_vec()));
+            let flat: Vec<u32> = out.into_iter().flat_map(|(_, p)| p).collect();
+            assert_eq!(flat, items, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn shard_offsets_are_start_positions() {
+        let exec = ShardExec::new(3);
+        let items: Vec<u32> = (0..10).collect();
+        let out = exec.map_shards(&items, |start, part| (start, part.len()));
+        let mut expect_start = 0;
+        for (start, len) in out {
+            assert_eq!(start, expect_start);
+            expect_start += len;
+        }
+        assert_eq!(expect_start, 10);
+    }
+
+    #[test]
+    fn counts_match_sequential_for_any_worker_count() {
+        let g = groups();
+        let candidates = vec![vec![1], vec![2], vec![1, 2], vec![2, 3], vec![9]];
+        let expect = ShardExec::sequential().count_candidates(&g, candidates.clone());
+        for workers in [2, 3, 4, 7, 9] {
+            let got = ShardExec::new(workers).count_candidates(&g, candidates.clone());
+            assert_eq!(got, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn gidlists_are_sorted_and_complete() {
+        let g = groups();
+        for workers in [1, 2, 3, 4, 7] {
+            let lists = ShardExec::new(workers).gidlists(&g);
+            assert_eq!(lists[&1], vec![0, 1, 3, 4], "workers={workers}");
+            assert_eq!(lists[&7], vec![6]);
+            for gl in lists.values() {
+                assert!(gl.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+            }
+        }
+    }
+
+    #[test]
+    fn item_counts_match_sequential() {
+        let g = groups();
+        let expect = ShardExec::sequential().item_counts(&g);
+        for workers in [2, 3, 7] {
+            assert_eq!(ShardExec::new(workers).item_counts(&g), expect);
+        }
+    }
+
+    #[test]
+    fn shard_timings_accumulate_and_drain() {
+        let exec = ShardExec::new(2);
+        let items: Vec<u32> = (0..8).collect();
+        exec.map_shards(&items, |_, part| part.len());
+        let t = exec.take_shard_timings();
+        assert_eq!(t.len(), 2);
+        assert!(exec.take_shard_timings().is_empty(), "drained");
+    }
+
+    #[test]
+    fn empty_input_spawns_nothing() {
+        let exec = ShardExec::new(4);
+        let out: Vec<usize> = exec.map_shards(&[] as &[u32], |_, part| part.len());
+        assert!(out.is_empty());
+        assert!(exec.take_shard_timings().is_empty());
+    }
+}

@@ -67,13 +67,7 @@ pub fn for_each_proper_subset(set: &[u32], max_size: usize, f: &mut impl FnMut(&
     let n = set.len();
     let cap = max_size.min(n.saturating_sub(1));
     let mut buf: Vec<u32> = Vec::with_capacity(cap);
-    fn rec(
-        set: &[u32],
-        start: usize,
-        cap: usize,
-        buf: &mut Vec<u32>,
-        f: &mut impl FnMut(&[u32]),
-    ) {
+    fn rec(set: &[u32], start: usize, cap: usize, buf: &mut Vec<u32>, f: &mut impl FnMut(&[u32])) {
         for i in start..set.len() {
             buf.push(set[i]);
             f(buf);

@@ -20,10 +20,13 @@
 pub mod apriori;
 pub mod dhp;
 pub mod eclat;
+pub mod executor;
 pub mod fpgrowth;
 pub mod itemset;
 pub mod partition;
 pub mod sampling;
+
+pub use executor::ShardExec;
 
 use std::collections::HashMap;
 
@@ -46,7 +49,11 @@ pub struct SimpleInput {
 
 impl SimpleInput {
     /// Build from raw `(gid, items)` pairs, sorting and deduplicating.
-    pub fn from_groups(pairs: Vec<(u32, Vec<u32>)>, total_groups: u32, min_groups: u32) -> SimpleInput {
+    pub fn from_groups(
+        pairs: Vec<(u32, Vec<u32>)>,
+        total_groups: u32,
+        min_groups: u32,
+    ) -> SimpleInput {
         let mut groups = Vec::with_capacity(pairs.len());
         for (_, mut items) in pairs {
             items.sort_unstable();
@@ -72,8 +79,16 @@ pub trait ItemsetMiner {
     fn name(&self) -> &'static str;
 
     /// Produce every large itemset (support count ≥ `input.min_groups`)
-    /// with its exact group count.
-    fn mine(&self, input: &SimpleInput) -> Vec<LargeItemset>;
+    /// with its exact group count, running counting passes through the
+    /// given shard executor. The inventory must be *identical* for every
+    /// worker count (see `executor` module docs for the determinism
+    /// rules that make this hold).
+    fn mine_sharded(&self, input: &SimpleInput, exec: &ShardExec) -> Vec<LargeItemset>;
+
+    /// Sequential entry point: `mine_sharded` on a one-worker executor.
+    fn mine(&self, input: &SimpleInput) -> Vec<LargeItemset> {
+        self.mine_sharded(input, &ShardExec::sequential())
+    }
 }
 
 /// The members of the pool, for enumeration in tests and benches.
@@ -89,6 +104,19 @@ pub fn default_pool() -> Vec<Box<dyn ItemsetMiner>> {
     ]
 }
 
+/// Every name `by_name` accepts, canonical spelling first — the list
+/// user-facing "unknown algorithm" errors cite.
+pub const POOL_NAMES: &[&str] = &[
+    "apriori",
+    "count",
+    "dhp",
+    "partition",
+    "partition-par",
+    "sampling",
+    "eclat",
+    "fpgrowth",
+];
+
 /// Look an algorithm up by name (the pipeline's algorithm selector).
 pub fn by_name(name: &str) -> Option<Box<dyn ItemsetMiner>> {
     match name.to_ascii_lowercase().as_str() {
@@ -96,9 +124,7 @@ pub fn by_name(name: &str) -> Option<Box<dyn ItemsetMiner>> {
         "count" | "apriori-count" => Some(Box::new(apriori::AprioriCount)),
         "dhp" => Some(Box::new(dhp::Dhp::default())),
         "partition" => Some(Box::new(partition::Partition::default())),
-        "partition-par" | "partition-parallel" => {
-            Some(Box::new(partition::Partition::parallel()))
-        }
+        "partition-par" | "partition-parallel" => Some(Box::new(partition::Partition::parallel())),
         "sampling" => Some(Box::new(sampling::Sampling::default())),
         "eclat" => Some(Box::new(eclat::Eclat)),
         "fpgrowth" | "fp-growth" => Some(Box::new(fpgrowth::FpGrowth)),
@@ -137,9 +163,7 @@ pub fn rules_from_itemsets(
         if set.len() < 2 {
             continue;
         }
-        let max_head = head_card
-            .upper_limit()
-            .min((set.len() - 1) as u32) as usize;
+        let max_head = head_card.upper_limit().min((set.len() - 1) as u32) as usize;
         let mut failure: Option<MineError> = None;
         for_each_proper_subset(set, max_head, &mut |head| {
             if failure.is_some() || !head_card.admits(head.len()) {
@@ -223,29 +247,15 @@ mod tests {
 
     #[test]
     fn rules_respect_confidence() {
-        let large = vec![
-            (vec![1], 3),
-            (vec![2], 3),
-            (vec![1, 2], 2),
-        ];
-        let rules = rules_from_itemsets(
-            &large,
-            4,
-            CardSpec::one_to_n(),
-            CardSpec::one_to_one(),
-            0.7,
-        )
-        .unwrap();
+        let large = vec![(vec![1], 3), (vec![2], 3), (vec![1, 2], 2)];
+        let rules =
+            rules_from_itemsets(&large, 4, CardSpec::one_to_n(), CardSpec::one_to_one(), 0.7)
+                .unwrap();
         // conf({1}⇒{2}) = 2/3 < 0.7 — rejected both ways.
         assert!(rules.is_empty());
-        let rules = rules_from_itemsets(
-            &large,
-            4,
-            CardSpec::one_to_n(),
-            CardSpec::one_to_one(),
-            0.6,
-        )
-        .unwrap();
+        let rules =
+            rules_from_itemsets(&large, 4, CardSpec::one_to_n(), CardSpec::one_to_one(), 0.6)
+                .unwrap();
         assert_eq!(rules.len(), 2);
         assert!((rules[0].support - 0.5).abs() < 1e-12);
     }
@@ -284,7 +294,15 @@ mod tests {
 
     #[test]
     fn by_name_resolves_pool() {
-        for name in ["apriori", "count", "dhp", "partition", "sampling", "eclat", "fpgrowth"] {
+        for name in [
+            "apriori",
+            "count",
+            "dhp",
+            "partition",
+            "sampling",
+            "eclat",
+            "fpgrowth",
+        ] {
             assert!(by_name(name).is_some(), "{name}");
         }
         assert!(by_name("quantum").is_none());

@@ -5,7 +5,8 @@
 
 use std::collections::HashSet;
 
-use super::apriori::{count_candidates, mine_gidlist_with_border};
+use super::apriori::mine_gidlist_with_border;
+use super::executor::ShardExec;
 use super::itemset::Itemset;
 use super::{ItemsetMiner, LargeItemset, SimpleInput};
 
@@ -49,10 +50,26 @@ impl ItemsetMiner for Partition {
         }
     }
 
-    fn mine(&self, input: &SimpleInput) -> Vec<LargeItemset> {
+    fn mine_sharded(&self, input: &SimpleInput, exec: &ShardExec) -> Vec<LargeItemset> {
         if input.groups.is_empty() {
             return Vec::new();
         }
+        // The legacy `parallel` flag predates the engine-level worker
+        // knob: when set and no multi-worker executor was handed down,
+        // spin up a core-per-worker executor locally so `partition-par`
+        // keeps its historical behaviour through plain `mine()`.
+        let own_exec;
+        let exec = if self.parallel && exec.workers() <= 1 {
+            own_exec = ShardExec::new(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4),
+            );
+            &own_exec
+        } else {
+            exec
+        };
+
         let p = self.partitions.clamp(1, input.groups.len());
         let fraction = input.min_groups as f64 / input.total_groups.max(1) as f64;
         let chunk = input.groups.len().div_ceil(p);
@@ -67,70 +84,32 @@ impl ItemsetMiner for Partition {
 
         // Pass 1: local mining. An itemset globally large must be locally
         // large (at the scaled threshold) in at least one partition, so the
-        // union of local inventories is a complete candidate set.
+        // union of local inventories is a complete candidate set. The
+        // partition count is an algorithm parameter independent of the
+        // worker count, so the *list of partitions* is sharded across
+        // workers; the candidate union is order-insensitive anyway.
+        let parts: Vec<&[Vec<u32>]> = input.groups.chunks(chunk).collect();
+        let locals = exec.map_shards(&parts, |_, assigned| {
+            assigned
+                .iter()
+                .map(|part| mine_gidlist_with_border(part, local_min(part.len())).0)
+                .collect::<Vec<Vec<LargeItemset>>>()
+        });
         let mut candidates: HashSet<Itemset> = HashSet::new();
-        if self.parallel {
-            let locals: Vec<Vec<LargeItemset>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = input
-                    .groups
-                    .chunks(chunk)
-                    .map(|part| {
-                        scope.spawn(move || mine_gidlist_with_border(part, local_min(part.len())).0)
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("miner thread")).collect()
-            });
-            for local_large in locals {
-                for (set, _) in local_large {
-                    candidates.insert(set);
-                }
-            }
-        } else {
-            for part in input.groups.chunks(chunk) {
-                let (local_large, _) = mine_gidlist_with_border(part, local_min(part.len()));
+        for batch in locals {
+            for local_large in batch {
                 for (set, _) in local_large {
                     candidates.insert(set);
                 }
             }
         }
 
-        // Pass 2: exact global counts. In the parallel variant the groups
-        // are chunked across threads and the per-chunk counts summed —
-        // this pass dominates at low thresholds, so it is where the
-        // parallel win actually lives.
+        // Pass 2: exact global counts, sharded over the groups with
+        // per-shard counts summed — this pass dominates at low
+        // thresholds, so it is where the parallel win actually lives.
         let mut candidates: Vec<Itemset> = candidates.into_iter().collect();
         candidates.sort();
-        let counted: Vec<LargeItemset> = if self.parallel && input.groups.len() > p {
-            let cand_ref = &candidates;
-            let partials: Vec<Vec<u32>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = input
-                    .groups
-                    .chunks(chunk)
-                    .map(|part| {
-                        scope.spawn(move || {
-                            count_candidates(part, cand_ref.clone())
-                                .into_iter()
-                                .map(|(_, c)| c)
-                                .collect::<Vec<u32>>()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("counter thread"))
-                    .collect()
-            });
-            let mut totals = vec![0u32; candidates.len()];
-            for partial in partials {
-                for (t, c) in totals.iter_mut().zip(partial) {
-                    *t += c;
-                }
-            }
-            candidates.into_iter().zip(totals).collect()
-        } else {
-            count_candidates(&input.groups, candidates)
-        };
-        counted
+        exec.count_candidates(&input.groups, candidates)
             .into_iter()
             .filter(|(_, c)| *c >= input.min_groups)
             .collect()

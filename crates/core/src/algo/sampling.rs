@@ -6,7 +6,8 @@
 //! with the others on every input — the sampling is purely a performance
 //! strategy, as the paper's architecture requires.
 
-use super::apriori::{count_candidates, mine_gidlist_with_border};
+use super::apriori::{mine_gidlist_with_border, mine_gidlist_with_border_exec};
+use super::executor::ShardExec;
 use super::{ItemsetMiner, LargeItemset, SimpleInput};
 
 /// Sampling miner parameters. The sample is deterministic (a fixed-stride
@@ -37,7 +38,7 @@ impl ItemsetMiner for Sampling {
         "sampling"
     }
 
-    fn mine(&self, input: &SimpleInput) -> Vec<LargeItemset> {
+    fn mine_sharded(&self, input: &SimpleInput, exec: &ShardExec) -> Vec<LargeItemset> {
         if input.groups.is_empty() {
             return Vec::new();
         }
@@ -50,17 +51,14 @@ impl ItemsetMiner for Sampling {
 
         let fraction = input.min_groups as f64 / input.total_groups.max(1) as f64;
         let sample_share = take as f64 / n as f64 * input.total_groups as f64;
-        let lowered =
-            ((sample_share * fraction * self.threshold_scale).floor() as u32).max(1);
+        let lowered = ((sample_share * fraction * self.threshold_scale).floor() as u32).max(1);
 
         let (sample_large, mut border) = mine_gidlist_with_border(&sample, lowered);
 
         // The negative border must cover the whole item universe: items
         // that never appeared in the sample are minimal non-members too.
-        let in_sample: std::collections::HashSet<u32> = sample
-            .iter()
-            .flat_map(|g| g.iter().copied())
-            .collect();
+        let in_sample: std::collections::HashSet<u32> =
+            sample.iter().flat_map(|g| g.iter().copied()).collect();
         let mut unseen: Vec<u32> = input
             .groups
             .iter()
@@ -71,12 +69,12 @@ impl ItemsetMiner for Sampling {
         unseen.dedup();
         border.extend(unseen.into_iter().map(|i| vec![i]));
 
-        // Verify sample candidates AND the negative border on full data.
-        let mut candidates: Vec<Vec<u32>> =
-            sample_large.into_iter().map(|(s, _)| s).collect();
+        // Verify sample candidates AND the negative border on full data —
+        // the verification scan is the full-data pass, so it runs sharded.
+        let mut candidates: Vec<Vec<u32>> = sample_large.into_iter().map(|(s, _)| s).collect();
         let border_start = candidates.len();
         candidates.extend(border);
-        let counted = count_candidates(&input.groups, candidates);
+        let counted = exec.count_candidates(&input.groups, candidates);
 
         // If anything in the negative border is actually large, the sample
         // may have missed supersets: fall back to an exact full run.
@@ -84,7 +82,7 @@ impl ItemsetMiner for Sampling {
             .iter()
             .any(|(_, c)| *c >= input.min_groups);
         if border_failed {
-            let (large, _) = mine_gidlist_with_border(&input.groups, input.min_groups);
+            let (large, _) = mine_gidlist_with_border_exec(&input.groups, input.min_groups, exec);
             return large;
         }
         counted

@@ -3,9 +3,49 @@
 //!
 //! Inputs and outputs are fully encoded — the operator is oblivious to
 //! real schemas and values, which is what lets the architecture swap
-//! algorithms freely ("algorithm interoperability").
+//! algorithms freely ("algorithm interoperability"). Simple statements
+//! run one pool member (selected by [`CoreOptions::algorithm`]) through
+//! the sharded executor ([`crate::algo::ShardExec`]): the encoded group
+//! list is split into contiguous shards, one worker thread per shard,
+//! and per-shard results are merged in shard order — so any
+//! [`CoreOptions::workers`] value yields a bit-identical rule set.
+//!
+//! # Example
+//!
+//! Driving the whole pipeline (this module is the third box) through
+//! [`MineRuleEngine`](crate::MineRuleEngine) — same rules at one worker
+//! and four:
+//!
+//! ```
+//! use minerule::MineRuleEngine;
+//! use relational::Database;
+//!
+//! let statement = "MINE RULE Pairs AS \
+//!     SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD, \
+//!     SUPPORT, CONFIDENCE \
+//!     FROM Baskets GROUP BY tr \
+//!     EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.7";
+//!
+//! let mut db = Database::new();
+//! db.execute("CREATE TABLE Baskets (tr INT, item VARCHAR)")?;
+//! db.execute(
+//!     "INSERT INTO Baskets VALUES \
+//!      (1,'bread'), (1,'butter'), (2,'bread'), (2,'butter'), (3,'jam')",
+//! )?;
+//!
+//! let sequential = MineRuleEngine::new().execute(&mut db, statement)?;
+//! let parallel = MineRuleEngine::new()
+//!     .with_workers(4)
+//!     .execute(&mut db, statement)?;
+//!
+//! assert!(!sequential.rules.is_empty());
+//! assert_eq!(sequential.rules, parallel.rules, "determinism contract");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
-use crate::algo::{self, EncodedRule, SimpleInput};
+use std::time::Duration;
+
+use crate::algo::{self, EncodedRule, ShardExec, SimpleInput};
 use crate::encoded::{EncodedData, EncodedInput, GeneralTuple};
 use crate::error::{MineError, Result};
 use crate::lattice::elementary::{build_contexts, BuildOptions};
@@ -22,6 +62,10 @@ pub struct CoreOptions {
     /// Run even simple statements through the general lattice (used by the
     /// E6 overhead experiment).
     pub force_general: bool,
+    /// Worker threads for the sharded mining executor (simple path).
+    /// `1` keeps everything on the calling thread; any value produces the
+    /// same rule inventory (the executor's determinism contract).
+    pub workers: usize,
 }
 
 impl Default for CoreOptions {
@@ -30,6 +74,7 @@ impl Default for CoreOptions {
             algorithm: "apriori".into(),
             order: ExpansionOrder::MinParent,
             force_general: false,
+            workers: 1,
         }
     }
 }
@@ -42,21 +87,23 @@ pub struct CoreOutput {
     pub used_general: bool,
     /// Lattice statistics (general path only).
     pub lattice_stats: Option<LatticeStats>,
+    /// Wall-clock per shard of the mining executor (simple path only;
+    /// one entry per shard of each sharded pass, in pass order).
+    pub shard_timings: Vec<Duration>,
 }
 
 /// Run the core operator on encoded input.
 pub fn run_core(input: &EncodedInput, opts: &CoreOptions) -> Result<CoreOutput> {
     match &input.data {
         EncodedData::Simple { groups } if !opts.force_general => {
-            let miner = algo::by_name(&opts.algorithm).ok_or_else(|| MineError::Internal {
-                message: format!("unknown mining algorithm '{}'", opts.algorithm),
-            })?;
-            let simple = SimpleInput::from_groups(
-                groups.clone(),
-                input.total_groups,
-                input.min_groups,
-            );
-            let large = miner.mine(&simple);
+            let miner =
+                algo::by_name(&opts.algorithm).ok_or_else(|| MineError::UnknownAlgorithm {
+                    name: opts.algorithm.clone(),
+                })?;
+            let simple =
+                SimpleInput::from_groups(groups.clone(), input.total_groups, input.min_groups);
+            let exec = ShardExec::new(opts.workers);
+            let large = miner.mine_sharded(&simple, &exec);
             let mut rules = algo::rules_from_itemsets(
                 &large,
                 input.total_groups,
@@ -69,6 +116,7 @@ pub fn run_core(input: &EncodedInput, opts: &CoreOptions) -> Result<CoreOutput> 
                 rules,
                 used_general: false,
                 lattice_stats: None,
+                shard_timings: exec.take_shard_timings(),
             })
         }
         EncodedData::Simple { groups } => {
@@ -134,6 +182,7 @@ fn run_general(
         rules,
         used_general: true,
         lattice_stats: Some(stats),
+        shard_timings: Vec::new(),
     })
 }
 
@@ -191,7 +240,15 @@ mod tests {
         ];
         let input = simple_input(groups, CardSpec::one_to_one());
         let mut reference: Option<Vec<EncodedRule>> = None;
-        for name in ["apriori", "count", "dhp", "partition", "sampling", "eclat", "fpgrowth"] {
+        for name in [
+            "apriori",
+            "count",
+            "dhp",
+            "partition",
+            "sampling",
+            "eclat",
+            "fpgrowth",
+        ] {
             let out = run_core(
                 &input,
                 &CoreOptions {
@@ -218,6 +275,36 @@ mod tests {
             },
         )
         .unwrap_err();
-        assert!(matches!(err, MineError::Internal { .. }));
+        assert!(matches!(err, MineError::UnknownAlgorithm { .. }));
+        let message = err.to_string();
+        for name in algo::POOL_NAMES {
+            assert!(message.contains(name), "message lists '{name}': {message}");
+        }
+        assert!(message.contains("nope"));
+    }
+
+    #[test]
+    fn worker_counts_agree_on_rules() {
+        let groups = vec![
+            (1, vec![1, 2, 3]),
+            (2, vec![1, 2]),
+            (3, vec![2, 3]),
+            (4, vec![1, 3]),
+            (5, vec![1, 2, 3]),
+        ];
+        let input = simple_input(groups, CardSpec::one_to_n());
+        let baseline = run_core(&input, &CoreOptions::default()).unwrap();
+        assert!(!baseline.shard_timings.is_empty());
+        for workers in [2, 4, 7] {
+            let out = run_core(
+                &input,
+                &CoreOptions {
+                    workers,
+                    ..CoreOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(out.rules, baseline.rules, "workers={workers}");
+        }
     }
 }

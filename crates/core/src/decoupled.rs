@@ -52,11 +52,7 @@ pub fn export_to_csv(db: &mut Database, query: &str) -> Result<String> {
 /// Steps 2–3 of the standalone tool: parse the flat file, re-encode the
 /// string items into integers (work the tightly-coupled preprocessor does
 /// inside the server), mine, and emit rules on raw strings again.
-pub fn mine_flat_file(
-    csv: &str,
-    min_support: f64,
-    min_confidence: f64,
-) -> Result<Vec<FlatRule>> {
+pub fn mine_flat_file(csv: &str, min_support: f64, min_confidence: f64) -> Result<Vec<FlatRule>> {
     // Parse + encode.
     let mut item_ids: HashMap<&str, u32> = HashMap::new();
     let mut item_names: Vec<&str> = Vec::new();
@@ -200,18 +196,16 @@ mod tests {
     fn db() -> Database {
         let mut db = Database::new();
         db.execute("CREATE TABLE T (tr INT, item VARCHAR)").unwrap();
-        db.execute(
-            "INSERT INTO T VALUES (1,'a'), (1,'b'), (2,'a'), (2,'b'), (3,'a'), (4,'c')",
-        )
-        .unwrap();
+        db.execute("INSERT INTO T VALUES (1,'a'), (1,'b'), (2,'a'), (2,'b'), (3,'a'), (4,'c')")
+            .unwrap();
         db
     }
 
     #[test]
     fn flat_flow_finds_rules() {
         let mut db = db();
-        let rules = run_decoupled(&mut db, "SELECT tr, item FROM T", 0.5, 0.5, "ToolRules")
-            .unwrap();
+        let rules =
+            run_decoupled(&mut db, "SELECT tr, item FROM T", 0.5, 0.5, "ToolRules").unwrap();
         // {a} ⇒ {b}: support 2/4, confidence 2/3; {b} ⇒ {a}: 2/4, 1.0.
         assert_eq!(rules.len(), 2);
         let ba = rules
@@ -220,7 +214,9 @@ mod tests {
             .unwrap();
         assert!((ba.confidence - 1.0).abs() < 1e-12);
         // Rules are back in the DB, but as opaque strings.
-        let rs = db.query("SELECT body FROM ToolRules ORDER BY body").unwrap();
+        let rs = db
+            .query("SELECT body FROM ToolRules ORDER BY body")
+            .unwrap();
         assert_eq!(rs.len(), 2);
     }
 

@@ -5,6 +5,43 @@
 //! three are dependent (`K ⇒ C`, `F ⇒ K`, `R ⇒ G`). The directives steer
 //! the preprocessor (which queries to generate), the core operator (simple
 //! vs general algorithm) and the postprocessor (which decode joins to run).
+//! The full directive-to-module map is in `docs/ARCHITECTURE.md`.
+//!
+//! # Example
+//!
+//! Classifying the paper's §2 statement (a mining condition over clustered
+//! purchases) versus a plain market-basket statement:
+//!
+//! ```
+//! use minerule::directives::{Directives, StatementClass};
+//! use minerule::parser::parse_mine_rule;
+//!
+//! let plain = parse_mine_rule(
+//!     "MINE RULE SimpleRules AS \
+//!      SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD, \
+//!      SUPPORT, CONFIDENCE \
+//!      FROM Baskets GROUP BY tr \
+//!      EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.2",
+//! )?;
+//! let d = Directives::classify(&plain);
+//! assert_eq!(d.class(), StatementClass::Simple);
+//! assert_eq!(d.to_string(), "H=0 W=0 M=0 G=0 C=0 K=0 F=0 R=0");
+//!
+//! let temporal = parse_mine_rule(
+//!     "MINE RULE FilteredOrderedSets AS \
+//!      SELECT DISTINCT 1..n item AS BODY, 1..n item AS HEAD, \
+//!      SUPPORT, CONFIDENCE \
+//!      WHERE BODY.price >= 100 AND HEAD.price < 100 \
+//!      FROM Purchase GROUP BY customer \
+//!      CLUSTER BY date HAVING BODY.date < HEAD.date \
+//!      EXTRACTING RULES WITH SUPPORT: 0.2, CONFIDENCE: 0.3",
+//! )?;
+//! let d = Directives::classify(&temporal);
+//! assert_eq!(d.class(), StatementClass::General);
+//! assert!(d.m && d.c && d.k, "mining condition, clusters, cluster HAVING");
+//! assert!(d.invariants_hold());
+//! # Ok::<(), minerule::MineError>(())
+//! ```
 
 use std::fmt;
 

@@ -264,7 +264,12 @@ impl ItemDecoder {
     pub fn body_names(&self, bids: &[u32]) -> Vec<String> {
         let mut v: Vec<String> = bids
             .iter()
-            .map(|b| self.bodies.get(b).cloned().unwrap_or_else(|| format!("#{b}")))
+            .map(|b| {
+                self.bodies
+                    .get(b)
+                    .cloned()
+                    .unwrap_or_else(|| format!("#{b}"))
+            })
             .collect();
         v.sort();
         v
@@ -274,7 +279,12 @@ impl ItemDecoder {
     pub fn head_names(&self, hids: &[u32]) -> Vec<String> {
         let mut v: Vec<String> = hids
             .iter()
-            .map(|h| self.heads.get(h).cloned().unwrap_or_else(|| format!("#{h}")))
+            .map(|h| {
+                self.heads
+                    .get(h)
+                    .cloned()
+                    .unwrap_or_else(|| format!("#{h}"))
+            })
             .collect();
         v.sort();
         v

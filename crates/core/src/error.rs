@@ -14,6 +14,9 @@ pub enum MineError {
     Sql(relational::Error),
     /// Thresholds outside (0, 1].
     BadThreshold { what: &'static str, value: f64 },
+    /// The requested mining algorithm is not a member of the pool — a
+    /// user configuration error, reported with the valid names.
+    UnknownAlgorithm { name: String },
     /// Internal invariant broken (a bug).
     Internal { message: String },
 }
@@ -55,7 +58,10 @@ impl fmt::Display for SemanticViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SemanticViolation::UnknownAttribute { clause, name } => {
-                write!(f, "attribute '{name}' in {clause} is not defined on the source tables")
+                write!(
+                    f,
+                    "attribute '{name}' in {clause} is not defined on the source tables"
+                )
             }
             SemanticViolation::OverlappingAttributes {
                 first,
@@ -106,6 +112,11 @@ impl fmt::Display for MineError {
             MineError::BadThreshold { what, value } => {
                 write!(f, "{what} threshold {value} is outside (0, 1]")
             }
+            MineError::UnknownAlgorithm { name } => write!(
+                f,
+                "unknown mining algorithm '{name}'; the pool contains: {}",
+                crate::algo::POOL_NAMES.join(", ")
+            ),
             MineError::Internal { message } => write!(f, "internal error: {message}"),
         }
     }
@@ -116,8 +127,9 @@ impl std::error::Error for MineError {}
 impl From<relational::Error> for MineError {
     fn from(e: relational::Error) -> Self {
         match e {
-            relational::Error::Lex { pos, message }
-            | relational::Error::Parse { pos, message } => MineError::Syntax { pos, message },
+            relational::Error::Lex { pos, message } | relational::Error::Parse { pos, message } => {
+                MineError::Syntax { pos, message }
+            }
             other => MineError::Sql(other),
         }
     }

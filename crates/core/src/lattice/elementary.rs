@@ -128,14 +128,13 @@ pub fn build_contexts(
 
     // 4. Cluster-pair contexts, in group order.
     let mut ctx_of: HashMap<(u32, u32, u32), u32> = HashMap::new();
-    let mut register =
-        |gid: u32, cb: u32, ch: u32, out: &mut Contexts| -> u32 {
-            *ctx_of.entry((gid, cb, ch)).or_insert_with(|| {
-                let id = out.ctx_gid.len() as u32;
-                out.ctx_gid.push(gid);
-                id
-            })
-        };
+    let mut register = |gid: u32, cb: u32, ch: u32, out: &mut Contexts| -> u32 {
+        *ctx_of.entry((gid, cb, ch)).or_insert_with(|| {
+            let id = out.ctx_gid.len() as u32;
+            out.ctx_gid.push(gid);
+            id
+        })
+    };
 
     if let Some(rules) = input_rules {
         // The SQL side already intersected the mining condition and the
@@ -295,10 +294,7 @@ mod tests {
 
     #[test]
     fn input_rules_bypass_product() {
-        let tuples = vec![
-            t(1, None, Some(1), Some(1)),
-            t(1, None, Some(2), Some(2)),
-        ];
+        let tuples = vec![t(1, None, Some(1), Some(1)), t(1, None, Some(2), Some(2))];
         let rules = vec![ElemRule {
             gid: 1,
             cidb: None,

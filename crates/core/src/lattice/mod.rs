@@ -214,9 +214,12 @@ fn expand(
 fn body_group_support(contexts: &Contexts, body: &[u32]) -> Result<u32> {
     let mut acc: Option<Vec<u32>> = None;
     for b in body {
-        let occ = contexts.body_occ.get(b).ok_or_else(|| MineError::Internal {
-            message: format!("body item {b} missing from occurrence index"),
-        })?;
+        let occ = contexts
+            .body_occ
+            .get(b)
+            .ok_or_else(|| MineError::Internal {
+                message: format!("body item {b} missing from occurrence index"),
+            })?;
         acc = Some(match acc {
             None => occ.clone(),
             Some(prev) => intersect(&prev, occ),
@@ -356,6 +359,8 @@ mod tests {
     #[test]
     fn empty_contexts_give_no_rules() {
         let contexts = basket_contexts(&[], 1);
-        assert!(mine_general(&contexts, &params(1, 0.1, 0)).unwrap().is_empty());
+        assert!(mine_general(&contexts, &params(1, 0.1, 0))
+            .unwrap()
+            .is_empty());
     }
 }

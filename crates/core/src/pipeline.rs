@@ -18,18 +18,29 @@ use crate::preprocess::{preprocess, PreprocessReport};
 use crate::translator::{translate_with_prefix, Translation};
 
 /// Wall-clock breakdown of one mining run.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct PhaseTimings {
     pub translate: Duration,
     pub preprocess: Duration,
     pub core: Duration,
     pub postprocess: Duration,
+    /// Per-shard wall-clock of the core's mining executor (simple path
+    /// with `workers > 0`; empty on the general path). One entry per
+    /// shard of each sharded pass, in pass order.
+    pub core_shards: Vec<Duration>,
 }
 
 impl PhaseTimings {
     /// Total time across phases.
     pub fn total(&self) -> Duration {
         self.translate + self.preprocess + self.core + self.postprocess
+    }
+
+    /// Busy time summed across executor shards — compares against
+    /// [`PhaseTimings::core`] to show the parallel win (core wall-clock
+    /// below summed shard time means shards overlapped).
+    pub fn core_shard_busy(&self) -> Duration {
+        self.core_shards.iter().sum()
     }
 }
 
@@ -74,6 +85,14 @@ impl MineRuleEngine {
     /// Use a table prefix for all encoded tables.
     pub fn with_prefix(mut self, prefix: &str) -> MineRuleEngine {
         self.table_prefix = prefix.to_string();
+        self
+    }
+
+    /// Run the core operator's mining executor with `workers` threads.
+    /// The mined rule set is identical for every value; only wall-clock
+    /// changes.
+    pub fn with_workers(mut self, workers: usize) -> MineRuleEngine {
+        self.core.workers = workers.max(1);
         self
     }
 
@@ -148,6 +167,7 @@ impl MineRuleEngine {
         let CoreOutput {
             rules,
             used_general,
+            shard_timings,
             ..
         } = run_core(&encoded, &self.core)?;
         let core_time = t2.elapsed();
@@ -168,6 +188,7 @@ impl MineRuleEngine {
                 preprocess: preprocess_time,
                 core: core_time,
                 postprocess: postprocess_time,
+                core_shards: shard_timings,
             },
         })
     }

@@ -121,13 +121,12 @@ pub fn read_rules(db: &mut Database, translation: &Translation) -> Result<Vec<De
 
     // The rule table always carries SUPPORT/CONFIDENCE in OutputRules;
     // the user projection may omit them, so fall back to the encoded table.
-    let (sup_col, conf_col, table) = if translation.stmt.select_support
-        && translation.stmt.select_confidence
-    {
-        ("SUPPORT", "CONFIDENCE", out.clone())
-    } else {
-        ("SUPPORT", "CONFIDENCE", translation.names.output_rules())
-    };
+    let (sup_col, conf_col, table) =
+        if translation.stmt.select_support && translation.stmt.select_confidence {
+            ("SUPPORT", "CONFIDENCE", out.clone())
+        } else {
+            ("SUPPORT", "CONFIDENCE", translation.names.output_rules())
+        };
     let rs = db.query(&format!(
         "SELECT BodyId, HeadId, {sup_col}, {conf_col} FROM {table}"
     ))?;
@@ -156,7 +155,9 @@ fn read_itemsets(
     let id_idx = rs.column_index(id_col).unwrap_or(0);
     let mut map: HashMap<i64, Vec<String>> = HashMap::new();
     for row in rs.rows() {
-        let id = row[id_idx].as_int().map_err(crate::error::MineError::from)?;
+        let id = row[id_idx]
+            .as_int()
+            .map_err(crate::error::MineError::from)?;
         let rendered = row
             .iter()
             .enumerate()

@@ -100,8 +100,15 @@ pub fn reference_mine(db: &mut Database, stmt: &MineRuleStatement) -> Result<Vec
         if let Some(cond) = &stmt.group_cond {
             let grows: Vec<&Row> = idxs.iter().map(|&i| &rows[i]).collect();
             let key_values: Vec<Value> = group_idx.iter().map(|&i| grows[0][i].clone()).collect();
-            let keep = eval_grouped(cond, &schema, &grows, &group_key_exprs, &key_values, &mut NoCtx)
-                .map_err(MineError::from)?;
+            let keep = eval_grouped(
+                cond,
+                &schema,
+                &grows,
+                &group_key_exprs,
+                &key_values,
+                &mut NoCtx,
+            )
+            .map_err(MineError::from)?;
             if !keep.is_true() {
                 continue;
             }
@@ -160,7 +167,10 @@ pub fn reference_mine(db: &mut Database, stmt: &MineRuleStatement) -> Result<Vec
         // without the clause).
         let mut clusters: BTreeMap<Vec<String>, Vec<usize>> = BTreeMap::new();
         for &r in idxs {
-            let key: Vec<String> = cluster_idx.iter().map(|&i| rows[r][i].to_string()).collect();
+            let key: Vec<String> = cluster_idx
+                .iter()
+                .map(|&i| rows[r][i].to_string())
+                .collect();
             clusters.entry(key).or_default().push(r);
         }
         let cluster_list: Vec<&Vec<usize>> = clusters.values().collect();
@@ -297,7 +307,13 @@ fn subsets_up_to(items: &[Item], max: usize) -> Vec<Vec<Item>> {
     let cap = max.min(items.len()).min(16);
     let mut out = Vec::new();
     let mut buf: Vec<Item> = Vec::new();
-    fn rec(items: &[Item], start: usize, cap: usize, buf: &mut Vec<Item>, out: &mut Vec<Vec<Item>>) {
+    fn rec(
+        items: &[Item],
+        start: usize,
+        cap: usize,
+        buf: &mut Vec<Item>,
+        out: &mut Vec<Vec<Item>>,
+    ) {
         for i in start..items.len() {
             buf.push(items[i].clone());
             out.push(buf.clone());
@@ -330,10 +346,18 @@ fn cluster_pair_satisfies(
     // Schema: BODY.<cluster attrs> ++ HEAD.<cluster attrs>.
     let mut cols = Vec::new();
     for a in cluster_attrs {
-        cols.push(Column::qualified("BODY", a.clone(), relational::DataType::Str));
+        cols.push(Column::qualified(
+            "BODY",
+            a.clone(),
+            relational::DataType::Str,
+        ));
     }
     for a in cluster_attrs {
-        cols.push(Column::qualified("HEAD", a.clone(), relational::DataType::Str));
+        cols.push(Column::qualified(
+            "HEAD",
+            a.clone(),
+            relational::DataType::Str,
+        ));
     }
     let pair_schema = Schema::new(cols);
     let mut row: Row = Vec::new();
@@ -380,13 +404,19 @@ fn substitute_aggregates(
             Expr::Literal(v)
         }
         Expr::Binary { left, op, right } => Expr::Binary {
-            left: Box::new(substitute_aggregates(left, schema, rows, body_rows, head_rows)?),
+            left: Box::new(substitute_aggregates(
+                left, schema, rows, body_rows, head_rows,
+            )?),
             op: *op,
-            right: Box::new(substitute_aggregates(right, schema, rows, body_rows, head_rows)?),
+            right: Box::new(substitute_aggregates(
+                right, schema, rows, body_rows, head_rows,
+            )?),
         },
         Expr::Unary { op, expr } => Expr::Unary {
             op: *op,
-            expr: Box::new(substitute_aggregates(expr, schema, rows, body_rows, head_rows)?),
+            expr: Box::new(substitute_aggregates(
+                expr, schema, rows, body_rows, head_rows,
+            )?),
         },
         Expr::Between {
             expr,
@@ -394,10 +424,16 @@ fn substitute_aggregates(
             low,
             high,
         } => Expr::Between {
-            expr: Box::new(substitute_aggregates(expr, schema, rows, body_rows, head_rows)?),
+            expr: Box::new(substitute_aggregates(
+                expr, schema, rows, body_rows, head_rows,
+            )?),
             negated: *negated,
-            low: Box::new(substitute_aggregates(low, schema, rows, body_rows, head_rows)?),
-            high: Box::new(substitute_aggregates(high, schema, rows, body_rows, head_rows)?),
+            low: Box::new(substitute_aggregates(
+                low, schema, rows, body_rows, head_rows,
+            )?),
+            high: Box::new(substitute_aggregates(
+                high, schema, rows, body_rows, head_rows,
+            )?),
         },
         other => other.clone(),
     })

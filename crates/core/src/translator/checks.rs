@@ -135,10 +135,30 @@ fn check_disjointness(stmt: &MineRuleStatement) -> Result<()> {
             "cluster attribute list",
             &stmt.cluster_by,
         ),
-        ("body schema", &stmt.body.schema, "group attribute list", &stmt.group_by),
-        ("body schema", &stmt.body.schema, "cluster attribute list", &stmt.cluster_by),
-        ("head schema", &stmt.head.schema, "group attribute list", &stmt.group_by),
-        ("head schema", &stmt.head.schema, "cluster attribute list", &stmt.cluster_by),
+        (
+            "body schema",
+            &stmt.body.schema,
+            "group attribute list",
+            &stmt.group_by,
+        ),
+        (
+            "body schema",
+            &stmt.body.schema,
+            "cluster attribute list",
+            &stmt.cluster_by,
+        ),
+        (
+            "head schema",
+            &stmt.head.schema,
+            "group attribute list",
+            &stmt.group_by,
+        ),
+        (
+            "head schema",
+            &stmt.head.schema,
+            "cluster attribute list",
+            &stmt.cluster_by,
+        ),
     ];
     for (first_name, first, second_name, second) in pairs {
         if let Some(name) = overlap(first, second) {
@@ -260,8 +280,8 @@ fn check_having_scopes(stmt: &MineRuleStatement) -> Result<()> {
                 for (q, _) in a.column_refs() {
                     match q {
                         Some(q)
-                            if q.eq_ignore_ascii_case("BODY")
-                                || q.eq_ignore_ascii_case("HEAD") => {}
+                            if q.eq_ignore_ascii_case("BODY") || q.eq_ignore_ascii_case("HEAD") => {
+                        }
                         Some(q) => bad = Some(q.to_string()),
                         None => bad = Some(String::new()),
                     }
@@ -302,10 +322,7 @@ fn check_mining_scope(stmt: &MineRuleStatement) -> Result<()> {
 }
 
 /// Convenience used by tests: directives of a statement that passed checks.
-pub fn classify_checked(
-    stmt: &MineRuleStatement,
-    source: &SourceSchema,
-) -> Result<Directives> {
+pub fn classify_checked(stmt: &MineRuleStatement, source: &SourceSchema) -> Result<Directives> {
     check(stmt, source)?;
     Ok(Directives::classify(stmt))
 }

@@ -84,7 +84,10 @@ impl<'a> ProgramGenerator<'a> {
             format!("{out}_Bodies"),
             format!("{out}_Heads"),
         ] {
-            steps.push(Step::sql("cleanup", format!("DROP TABLE IF EXISTS {table}")));
+            steps.push(Step::sql(
+                "cleanup",
+                format!("DROP TABLE IF EXISTS {table}"),
+            ));
         }
         for seq in [
             n.gid_sequence(),
@@ -92,7 +95,10 @@ impl<'a> ProgramGenerator<'a> {
             n.hid_sequence(),
             n.cid_sequence(),
         ] {
-            steps.push(Step::sql("cleanup", format!("DROP SEQUENCE IF EXISTS {seq}")));
+            steps.push(Step::sql(
+                "cleanup",
+                format!("DROP SEQUENCE IF EXISTS {seq}"),
+            ));
         }
         steps
     }
@@ -160,9 +166,7 @@ impl<'a> ProgramGenerator<'a> {
         // Q1: total number of groups, into :totg.
         steps.push(Step::sql(
             "Q1",
-            format!(
-                "SELECT COUNT(*) INTO :totg FROM (SELECT DISTINCT {g_list} FROM {src}) TG"
-            ),
+            format!("SELECT COUNT(*) INTO :totg FROM (SELECT DISTINCT {g_list} FROM {src}) TG"),
         ));
         steps.push(Step::ComputeMinGroups);
 
@@ -256,7 +260,11 @@ impl<'a> ProgramGenerator<'a> {
             for (i, agg) in cluster_aggs.iter().enumerate() {
                 inner_proj.push_str(&format!(", {agg} AS aggval{i}"));
             }
-            let mut outer_proj = format!("{}.NEXTVAL AS Cid, V.Gid, {}", n.cid_sequence(), qualify("X", &stmt.cluster_by));
+            let mut outer_proj = format!(
+                "{}.NEXTVAL AS Cid, V.Gid, {}",
+                n.cid_sequence(),
+                qualify("X", &stmt.cluster_by)
+            );
             for i in 0..cluster_aggs.len() {
                 outer_proj.push_str(&format!(", X.aggval{i}"));
             }
@@ -299,9 +307,12 @@ impl<'a> ProgramGenerator<'a> {
             columns.push(("Hid".to_string(), DataType::Int));
         }
         for a in &mine_attrs {
-            let t = self.source.attr_type(a).ok_or_else(|| MineError::Internal {
-                message: format!("mining attribute '{a}' lost its type"),
-            })?;
+            let t = self
+                .source
+                .attr_type(a)
+                .ok_or_else(|| MineError::Internal {
+                    message: format!("mining attribute '{a}' lost its type"),
+                })?;
             columns.push((a.clone(), t));
         }
         let ddl_cols = columns
@@ -321,14 +332,14 @@ impl<'a> ProgramGenerator<'a> {
             String::new()
         };
         let cluster_join = if dir.c {
-            format!(" AND C.Gid = V.Gid AND {}", eq_join("S", "C", &stmt.cluster_by))
+            format!(
+                " AND C.Gid = V.Gid AND {}",
+                eq_join("S", "C", &stmt.cluster_by)
+            )
         } else {
             String::new()
         };
-        let ma_proj: String = mine_attrs
-            .iter()
-            .map(|a| format!(", S.{a}"))
-            .collect();
+        let ma_proj: String = mine_attrs.iter().map(|a| format!(", S.{a}")).collect();
 
         if dir.h {
             // Body-side rows (Hid NULL) and head-side rows (Bid NULL).
@@ -542,11 +553,13 @@ impl<'a> ProgramGenerator<'a> {
     /// `HEAD.x` → `C2.x`, and each aggregate to its precomputed
     /// `aggval<i>` column on the proper side.
     fn rewrite_cluster_cond(&self, aggs: &[String]) -> Result<String> {
-        let cond = self.stmt.cluster_cond.as_ref().ok_or_else(|| {
-            MineError::Internal {
+        let cond = self
+            .stmt
+            .cluster_cond
+            .as_ref()
+            .ok_or_else(|| MineError::Internal {
                 message: "rewrite_cluster_cond without cluster condition".into(),
-            }
-        })?;
+            })?;
         let rewritten = rewrite_roles(cond, "C1", "C2", aggs)?;
         Ok(rewritten.to_sql())
     }
@@ -556,11 +569,13 @@ impl<'a> ProgramGenerator<'a> {
     /// references default to the BODY side, so they stay unambiguous in
     /// the self-join and match the reference semantics.
     fn rewrite_mining_cond(&self) -> Result<String> {
-        let cond = self.stmt.mining_cond.as_ref().ok_or_else(|| {
-            MineError::Internal {
+        let cond = self
+            .stmt
+            .mining_cond
+            .as_ref()
+            .ok_or_else(|| MineError::Internal {
                 message: "rewrite_mining_cond without mining condition".into(),
-            }
-        })?;
+            })?;
         let qualified = cond.map_qualifiers(&mut |q, n| match q {
             None => (Some("BODY".to_string()), n.to_string()),
             Some(q) => (Some(q.to_string()), n.to_string()),
@@ -604,12 +619,8 @@ fn rewrite_roles(expr: &Expr, body_alias: &str, head_alias: &str, aggs: &[String
     // First handle aggregates (they carry the role on their arguments).
     let expr = replace_aggregates(expr, body_alias, head_alias, aggs)?;
     Ok(expr.map_qualifiers(&mut |q, n| match q {
-        Some(q) if q.eq_ignore_ascii_case("BODY") => {
-            (Some(body_alias.to_string()), n.to_string())
-        }
-        Some(q) if q.eq_ignore_ascii_case("HEAD") => {
-            (Some(head_alias.to_string()), n.to_string())
-        }
+        Some(q) if q.eq_ignore_ascii_case("BODY") => (Some(body_alias.to_string()), n.to_string()),
+        Some(q) if q.eq_ignore_ascii_case("HEAD") => (Some(head_alias.to_string()), n.to_string()),
         other => (other.map(str::to_string), n.to_string()),
     }))
 }
@@ -637,12 +648,12 @@ fn replace_aggregates(
                 message: "cluster-condition aggregate without BODY/HEAD role".into(),
             })?;
             let stripped = strip_role_qualifiers(expr).to_sql();
-            let idx = aggs
-                .iter()
-                .position(|a| *a == stripped)
-                .ok_or_else(|| MineError::Internal {
-                    message: format!("aggregate '{stripped}' missing from Q6 registration"),
-                })?;
+            let idx =
+                aggs.iter()
+                    .position(|a| *a == stripped)
+                    .ok_or_else(|| MineError::Internal {
+                        message: format!("aggregate '{stripped}' missing from Q6 registration"),
+                    })?;
             Expr::qcol(side, format!("aggval{idx}"))
         }
         Expr::Unary { op, expr } => Expr::Unary {
@@ -712,10 +723,7 @@ fn replace_aggregates(
                 .collect::<Result<_>>()?,
             else_expr: match else_expr {
                 Some(e) => Some(Box::new(replace_aggregates(
-                    e,
-                    body_alias,
-                    head_alias,
-                    aggs,
+                    e, body_alias, head_alias, aggs,
                 )?)),
                 None => None,
             },
@@ -768,7 +776,12 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert!(ids.contains(&"Q1") && ids.contains(&"Q2") && ids.contains(&"Q3") && ids.contains(&"Q4"));
+        assert!(
+            ids.contains(&"Q1")
+                && ids.contains(&"Q2")
+                && ids.contains(&"Q3")
+                && ids.contains(&"Q4")
+        );
         assert!(!ids.contains(&"Q0"), "W false: no Source materialisation");
         assert!(!ids.iter().any(|i| ["Q5", "Q6", "Q7", "Q8"].contains(i)));
     }
@@ -806,7 +819,9 @@ mod tests {
             .into_iter()
             .map(|(id, _)| id)
             .collect();
-        for q in ["Q0", "Q1", "Q2", "Q3", "Q6", "Q7", "Q4b", "Q11", "Q8", "Q9", "Q10"] {
+        for q in [
+            "Q0", "Q1", "Q2", "Q3", "Q6", "Q7", "Q4b", "Q11", "Q8", "Q9", "Q10",
+        ] {
             assert!(ids.iter().any(|i| i == q), "missing {q} in {ids:?}");
         }
         assert!(!ids.iter().any(|i| i == "Q5"), "H false: no Hset");

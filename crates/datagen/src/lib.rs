@@ -14,6 +14,7 @@
 
 pub mod quest;
 pub mod retail;
+pub mod rng;
 
 pub use quest::{generate as generate_quest, QuestConfig, QuestData};
 pub use retail::{generate as generate_retail, RetailConfig, RetailData};

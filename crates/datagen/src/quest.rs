@@ -8,8 +8,7 @@
 //! with their predecessor (correlation), pattern picks are
 //! exponentially-weighted, and patterns are corrupted before insertion.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 
 /// Parameters of the Quest model. Field names follow the original paper.
 #[derive(Debug, Clone, Copy)]
@@ -58,23 +57,6 @@ impl QuestConfig {
     }
 }
 
-/// Sample a Poisson variate (Knuth's method; means here are small).
-fn poisson(rng: &mut StdRng, mean: f64) -> usize {
-    let l = (-mean).exp();
-    let mut k = 0usize;
-    let mut p = 1.0;
-    loop {
-        p *= rng.gen::<f64>();
-        if p <= l {
-            return k;
-        }
-        k += 1;
-        if k > 10_000 {
-            return k; // numeric guard for absurd means
-        }
-    }
-}
-
 /// The generated dataset: transactions of item identifiers.
 #[derive(Debug, Clone)]
 pub struct QuestData {
@@ -85,26 +67,24 @@ pub struct QuestData {
 
 /// Generate a dataset under the Quest model.
 pub fn generate(config: &QuestConfig) -> QuestData {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
 
     // Pattern pool.
     let mut patterns: Vec<Vec<u32>> = Vec::with_capacity(config.patterns);
     for i in 0..config.patterns {
-        let size = poisson(&mut rng, config.avg_pattern_size).max(1);
+        let size = rng.poisson(config.avg_pattern_size).max(1);
         let mut items: Vec<u32> = Vec::with_capacity(size);
         // Correlated fraction from the previous pattern.
         if i > 0 {
             let prev = &patterns[i - 1];
             for &it in prev {
-                if (items.len() as f64) < size as f64 * config.correlation
-                    && rng.gen::<f64>() < 0.5
-                {
+                if (items.len() as f64) < size as f64 * config.correlation && rng.gen_f64() < 0.5 {
                     items.push(it);
                 }
             }
         }
         while items.len() < size {
-            let it = rng.gen_range(0..config.items);
+            let it = rng.gen_range_u32(0, config.items);
             if !items.contains(&it) {
                 items.push(it);
             }
@@ -116,7 +96,7 @@ pub fn generate(config: &QuestConfig) -> QuestData {
 
     // Exponentially-distributed pattern weights, normalised.
     let mut weights: Vec<f64> = (0..config.patterns)
-        .map(|_| -(rng.gen::<f64>().max(1e-12)).ln())
+        .map(|_| -(rng.gen_f64().max(1e-12)).ln())
         .collect();
     let total: f64 = weights.iter().sum();
     for w in &mut weights {
@@ -132,7 +112,7 @@ pub fn generate(config: &QuestConfig) -> QuestData {
     // Per-pattern corruption level (clamped normal around the mean).
     let corruption: Vec<f64> = (0..config.patterns)
         .map(|_| {
-            let u: f64 = rng.gen::<f64>() + rng.gen::<f64>() + rng.gen::<f64>() - 1.5;
+            let u: f64 = rng.gen_f64() + rng.gen_f64() + rng.gen_f64() - 1.5;
             (config.corruption + u * 0.1).clamp(0.0, 0.95)
         })
         .collect();
@@ -140,16 +120,16 @@ pub fn generate(config: &QuestConfig) -> QuestData {
     // Transactions.
     let mut transactions = Vec::with_capacity(config.transactions);
     for _ in 0..config.transactions {
-        let target = poisson(&mut rng, config.avg_transaction_size).max(1);
+        let target = rng.poisson(config.avg_transaction_size).max(1);
         let mut items: Vec<u32> = Vec::with_capacity(target + 4);
         let mut guard = 0;
         while items.len() < target && guard < 50 {
             guard += 1;
-            let pick = rng.gen::<f64>();
+            let pick = rng.gen_f64();
             let idx = cdf.partition_point(|&c| c < pick).min(patterns.len() - 1);
             for &it in &patterns[idx] {
                 // Corrupt: drop items with the pattern's corruption level.
-                if rng.gen::<f64>() >= corruption[idx] {
+                if rng.gen_f64() >= corruption[idx] {
                     items.push(it);
                 }
             }
@@ -201,8 +181,7 @@ mod tests {
             ..QuestConfig::default()
         });
         assert_eq!(data.transactions.len(), 2000);
-        let avg =
-            data.row_count() as f64 / data.transactions.len() as f64;
+        let avg = data.row_count() as f64 / data.transactions.len() as f64;
         assert!(
             (5.0..=12.0).contains(&avg),
             "avg basket size {avg} far from T10 (truncation biases down)"

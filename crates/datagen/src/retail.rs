@@ -11,8 +11,7 @@
 //! * **co-occurrence**: item pairs bought together on one date (exercises
 //!   plain grouped rules).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 use relational::{Date, Value};
 
 /// Parameters of the retail model.
@@ -88,7 +87,7 @@ pub fn complement_of(k: u32, config: &RetailConfig) -> u32 {
 
 /// Generate the dataset.
 pub fn generate(config: &RetailConfig) -> RetailData {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
     let mut rows = Vec::new();
     let mut tr: i64 = 0;
     let base_date = Date::from_ymd(1995, 1, 2).expect("valid base date");
@@ -110,9 +109,9 @@ pub fn generate(config: &RetailConfig) -> RetailData {
                     true
                 }
             });
-            let n = 1 + (poisson(&mut rng, config.items_per_date - 1.0));
+            let n = 1 + rng.poisson(config.items_per_date - 1.0);
             while items.len() < n {
-                let k = rng.gen_range(0..config.catalog);
+                let k = rng.gen_range_u32(0, config.catalog);
                 if items.contains(&k) {
                     continue;
                 }
@@ -121,7 +120,7 @@ pub fn generate(config: &RetailConfig) -> RetailData {
                 // the next date.
                 if k < config.expensive_items
                     && d + 1 < config.dates_per_customer
-                    && rng.gen::<f64>() < config.follow_up_probability
+                    && rng.gen_f64() < config.follow_up_probability
                 {
                     pending.push((d + 1, complement_of(k, config)));
                 }
@@ -135,7 +134,7 @@ pub fn generate(config: &RetailConfig) -> RetailData {
                     item: item_name(k),
                     date,
                     price: item_price(k, config.expensive_items),
-                    qty: 1 + (rng.gen::<f64>() * 3.0) as i64,
+                    qty: 1 + (rng.gen_f64() * 3.0) as i64,
                 });
             }
         }
@@ -143,25 +142,6 @@ pub fn generate(config: &RetailConfig) -> RetailData {
     RetailData {
         config: *config,
         rows,
-    }
-}
-
-fn poisson(rng: &mut StdRng, mean: f64) -> usize {
-    if mean <= 0.0 {
-        return 0;
-    }
-    let l = (-mean).exp();
-    let mut k = 0usize;
-    let mut p = 1.0;
-    loop {
-        p *= rng.gen::<f64>();
-        if p <= l {
-            return k;
-        }
-        k += 1;
-        if k > 10_000 {
-            return k;
-        }
     }
 }
 
@@ -237,8 +217,11 @@ mod tests {
         let mut follow_ups = 0;
         for c in 0..cfg.customers {
             let customer = format!("cust{c:05}");
-            let mine: Vec<&PurchaseRow> =
-                data.rows.iter().filter(|r| r.customer == customer).collect();
+            let mine: Vec<&PurchaseRow> = data
+                .rows
+                .iter()
+                .filter(|r| r.customer == customer)
+                .collect();
             for r in &mine {
                 if r.price >= 100 {
                     let k: u32 = r.item[4..].parse().unwrap();

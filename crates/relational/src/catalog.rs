@@ -119,10 +119,12 @@ impl Catalog {
 
     /// Look up a base table.
     pub fn table(&self, name: &str) -> Result<&Table> {
-        self.tables.get(&key(name)).ok_or_else(|| Error::UnknownObject {
-            kind: ObjectKind::Table,
-            name: name.to_string(),
-        })
+        self.tables
+            .get(&key(name))
+            .ok_or_else(|| Error::UnknownObject {
+                kind: ObjectKind::Table,
+                name: name.to_string(),
+            })
     }
 
     /// Mutable table lookup.

@@ -143,7 +143,8 @@ impl Database {
                         .map(|(n, t)| Column::new(n.clone(), *t))
                         .collect(),
                 );
-                self.catalog.create_table(Table::new(name.clone(), schema))?;
+                self.catalog
+                    .create_table(Table::new(name.clone(), schema))?;
                 Ok(ExecOutcome {
                     rows_affected: 0,
                     result: None,
@@ -365,9 +366,11 @@ impl QueryCtx for Database {
     }
 
     fn host_var(&self, name: &str) -> Result<Value> {
-        self.var(name).cloned().ok_or_else(|| Error::UnboundVariable {
-            name: name.to_string(),
-        })
+        self.var(name)
+            .cloned()
+            .ok_or_else(|| Error::UnboundVariable {
+                name: name.to_string(),
+            })
     }
 }
 

@@ -85,15 +85,14 @@ fn factor_label(db: &Database, source: &TableSource, alias: Option<&str>) -> Str
     }
 }
 
-fn explain_select(
-    db: &Database,
-    stmt: &SelectStmt,
-    indent: usize,
-    out: &mut String,
-) -> Result<()> {
+fn explain_select(db: &Database, stmt: &SelectStmt, indent: usize, out: &mut String) -> Result<()> {
     out.push_str(&format!("{}Select\n", pad(indent)));
     if let Some((kind, rhs)) = &stmt.set_op {
-        out.push_str(&format!("{}set operation: {}\n", pad(indent + 1), kind.sql()));
+        out.push_str(&format!(
+            "{}set operation: {}\n",
+            pad(indent + 1),
+            kind.sql()
+        ));
         let mut left = stmt.clone();
         left.set_op = None;
         left.order_by = Vec::new();
@@ -120,7 +119,9 @@ fn explain_select(
                 "{}{kw} {} on {}\n",
                 pad(indent + 2),
                 factor_label(db, &j.source, j.alias.as_deref()),
-                j.on.as_ref().map(|e| e.to_string()).unwrap_or_else(|| "TRUE".into())
+                j.on.as_ref()
+                    .map(|e| e.to_string())
+                    .unwrap_or_else(|| "TRUE".into())
             ));
         }
         if let TableSource::Subquery(q) = &tref.source {
@@ -205,7 +206,8 @@ mod tests {
     fn db() -> Database {
         let mut db = Database::new();
         db.execute("CREATE TABLE t (a INT, b VARCHAR)").unwrap();
-        db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')").unwrap();
+        db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+            .unwrap();
         db.execute("CREATE TABLE u (a INT, c INT)").unwrap();
         db
     }

@@ -61,9 +61,7 @@ pub fn conjuncts(expr: &Expr) -> Vec<&Expr> {
 pub fn resolves_in(expr: &Expr, schema: &Schema) -> bool {
     let mut ok = true;
     expr.walk(&mut |e| match e {
-        Expr::Column { qualifier, name }
-            if schema.resolve(qualifier.as_deref(), name).is_err() =>
-        {
+        Expr::Column { qualifier, name } if schema.resolve(qualifier.as_deref(), name).is_err() => {
             ok = false;
         }
         Expr::NextVal(_) => ok = false,
@@ -97,11 +95,7 @@ fn as_equi<'a>(expr: &'a Expr) -> Option<EquiPred<'a>> {
 }
 
 /// Filter `rel` in place by `pred`.
-pub fn filter_relation(
-    rel: &mut Relation,
-    pred: &Expr,
-    ctx: &mut dyn QueryCtx,
-) -> Result<()> {
+pub fn filter_relation(rel: &mut Relation, pred: &Expr, ctx: &mut dyn QueryCtx) -> Result<()> {
     let schema = rel.schema.clone();
     let mut err = None;
     rel.rows.retain(|row| {
@@ -298,8 +292,7 @@ mod tests {
             vec![row![2, "two"], row![3, "three"], row![3, "III"]],
         );
         let pred = parse_expression("a.x = b.y").unwrap();
-        let (joined, residual) =
-            join_factors(vec![a, b], conjuncts(&pred), &mut NoCtx).unwrap();
+        let (joined, residual) = join_factors(vec![a, b], conjuncts(&pred), &mut NoCtx).unwrap();
         assert!(residual.is_empty());
         assert_eq!(joined.rows.len(), 3); // 2-two, 3-three, 3-III
         assert_eq!(joined.schema.len(), 3);
@@ -328,8 +321,7 @@ mod tests {
         let a = rel("a", &[("x", DataType::Int)], vec![row![1], row![2]]);
         let b = rel("b", &[("y", DataType::Int)], vec![row![10]]);
         let pred = parse_expression("a.x = 2").unwrap();
-        let (joined, residual) =
-            join_factors(vec![a, b], conjuncts(&pred), &mut NoCtx).unwrap();
+        let (joined, residual) = join_factors(vec![a, b], conjuncts(&pred), &mut NoCtx).unwrap();
         assert!(residual.is_empty());
         assert_eq!(joined.rows.len(), 1);
         assert_eq!(joined.rows[0], row![2, 10]);
@@ -340,8 +332,7 @@ mod tests {
         let a = rel("a", &[("x", DataType::Int)], vec![row![1]]);
         let b = rel("b", &[("y", DataType::Int)], vec![row![10]]);
         let pred = parse_expression("a.x < b.y").unwrap();
-        let (joined, residual) =
-            join_factors(vec![a, b], conjuncts(&pred), &mut NoCtx).unwrap();
+        let (joined, residual) = join_factors(vec![a, b], conjuncts(&pred), &mut NoCtx).unwrap();
         assert_eq!(joined.rows.len(), 1); // cross join, filter left to caller
         assert_eq!(residual.len(), 1);
     }
@@ -356,8 +347,7 @@ mod tests {
         );
         let c = rel("c", &[("y", DataType::Int)], vec![row![20]]);
         let pred = parse_expression("a.x = b.x AND b.y = c.y").unwrap();
-        let (joined, residual) =
-            join_factors(vec![a, b, c], conjuncts(&pred), &mut NoCtx).unwrap();
+        let (joined, residual) = join_factors(vec![a, b, c], conjuncts(&pred), &mut NoCtx).unwrap();
         assert!(residual.is_empty());
         assert_eq!(joined.rows.len(), 1);
         assert_eq!(joined.rows[0], row![2, 2, 20, 20]);

@@ -140,10 +140,7 @@ fn run_plain_select(db: &mut Database, stmt: &SelectStmt) -> Result<ResultSet> {
     let items = expand_items(&stmt.items, &input.schema)?;
 
     let has_agg = items.iter().any(|(e, _)| e.contains_aggregate())
-        || stmt
-            .having
-            .as_ref()
-            .is_some_and(|h| h.contains_aggregate());
+        || stmt.having.as_ref().is_some_and(|h| h.contains_aggregate());
     let grouped = !stmt.group_by.is_empty() || has_agg;
 
     // 3/4. Evaluate rows (grouped or per-row) together with sort keys.
@@ -295,10 +292,7 @@ fn materialize_named(db: &mut Database, name: &str) -> Result<Relation> {
 }
 
 /// Expand wildcards and name every projection item.
-fn expand_items(
-    items: &[SelectItem],
-    input: &Schema,
-) -> Result<Vec<(Expr, String)>> {
+fn expand_items(items: &[SelectItem], input: &Schema) -> Result<Vec<(Expr, String)>> {
     let mut out = Vec::new();
     for item in items {
         match item {
@@ -392,7 +386,14 @@ fn run_grouped(
         }
         let mut o = Vec::with_capacity(items.len());
         for (e, _) in items {
-            o.push(eval_grouped(e, &input.schema, &rows, &stmt.group_by, &key, db)?);
+            o.push(eval_grouped(
+                e,
+                &input.schema,
+                &rows,
+                &stmt.group_by,
+                &key,
+                db,
+            )?);
         }
         // Order keys for the grouped row.
         let mut keys = Vec::with_capacity(stmt.order_by.len());
@@ -458,9 +459,7 @@ fn order_keys_for_row(
 fn output_schema(items: &[(Expr, String)], input: &Schema, rows: &[Row]) -> Schema {
     let mut cols = Vec::with_capacity(items.len());
     for (i, (expr, name)) in items.iter().enumerate() {
-        let from_rows = rows
-            .iter()
-            .find_map(|r| value_type(&r[i]));
+        let from_rows = rows.iter().find_map(|r| value_type(&r[i]));
         let dtype = from_rows
             .or_else(|| infer_type(expr, input))
             .unwrap_or(DataType::Str);
@@ -503,9 +502,7 @@ pub fn infer_type(expr: &Expr, input: &Schema) -> Option<DataType> {
             BinOp::Concat => Some(DataType::Str),
             BinOp::Div => Some(DataType::Float),
             _ => match (infer_type(left, input), infer_type(right, input)) {
-                (Some(DataType::Float), _) | (_, Some(DataType::Float)) => {
-                    Some(DataType::Float)
-                }
+                (Some(DataType::Float), _) | (_, Some(DataType::Float)) => Some(DataType::Float),
                 (Some(DataType::Date), _) => Some(DataType::Date),
                 (a, _) => a,
             },
@@ -530,9 +527,7 @@ pub fn infer_type(expr: &Expr, input: &Schema) -> Option<DataType> {
                 arg.as_ref().and_then(|a| infer_type(a, input))
             }
         },
-        Expr::Case { branches, .. } => branches
-            .first()
-            .and_then(|(_, v)| infer_type(v, input)),
+        Expr::Case { branches, .. } => branches.first().and_then(|(_, v)| infer_type(v, input)),
         Expr::Cast { dtype, .. } => Some(*dtype),
     }
 }

@@ -49,12 +49,7 @@ impl QueryCtx for NoCtx {
 }
 
 /// Evaluate `expr` against one row.
-pub fn eval_expr(
-    expr: &Expr,
-    schema: &Schema,
-    row: &Row,
-    ctx: &mut dyn QueryCtx,
-) -> Result<Value> {
+pub fn eval_expr(expr: &Expr, schema: &Schema, row: &Row, ctx: &mut dyn QueryCtx) -> Result<Value> {
     match expr {
         Expr::Literal(v) => Ok(v.clone()),
         Expr::Column { qualifier, name } => {
@@ -214,14 +209,18 @@ pub fn cast_value(v: Value, dtype: crate::types::DataType) -> Result<Value> {
         (DataType::Int, Value::Int(_)) => v,
         (DataType::Int, Value::Float(f)) => Value::Int(*f as i64),
         (DataType::Int, Value::Bool(b)) => Value::Int(*b as i64),
-        (DataType::Int, Value::Str(s)) => Value::Int(s.trim().parse().map_err(|_| {
-            Error::type_mismatch(format!("cannot cast '{s}' to INT"))
-        })?),
+        (DataType::Int, Value::Str(s)) => Value::Int(
+            s.trim()
+                .parse()
+                .map_err(|_| Error::type_mismatch(format!("cannot cast '{s}' to INT")))?,
+        ),
         (DataType::Float, Value::Float(_)) => v,
         (DataType::Float, Value::Int(i)) => Value::Float(*i as f64),
-        (DataType::Float, Value::Str(s)) => Value::Float(s.trim().parse().map_err(|_| {
-            Error::type_mismatch(format!("cannot cast '{s}' to FLOAT"))
-        })?),
+        (DataType::Float, Value::Str(s)) => Value::Float(
+            s.trim()
+                .parse()
+                .map_err(|_| Error::type_mismatch(format!("cannot cast '{s}' to FLOAT")))?,
+        ),
         (DataType::Str, other) => Value::Str(other.to_string()),
         (DataType::Bool, Value::Bool(_)) => v,
         (DataType::Bool, Value::Int(i)) => Value::Bool(*i != 0),
@@ -556,7 +555,9 @@ pub fn eval_binary(op: BinOp, l: Value, r: Value) -> Result<Value> {
                 return Ok(Value::Null);
             }
             match (&l, &r) {
-                (Value::Date(d), _) if op == Add => Ok(Value::Date(d.plus_days(r.as_int()? as i32))),
+                (Value::Date(d), _) if op == Add => {
+                    Ok(Value::Date(d.plus_days(r.as_int()? as i32)))
+                }
                 (Value::Date(d), Value::Int(n)) if op == Sub => {
                     Ok(Value::Date(d.plus_days(-(*n as i32))))
                 }
@@ -709,9 +710,7 @@ fn eval_scalar_func(name: &str, args: Vec<Value>) -> Result<Value> {
             } else {
                 s.len()
             };
-            Ok(Value::Str(
-                s.into_iter().skip(start).take(len).collect(),
-            ))
+            Ok(Value::Str(s.into_iter().skip(start).take(len).collect()))
         }
         "TRIM" => {
             arity(1)?;
@@ -734,10 +733,11 @@ fn eval_scalar_func(name: &str, args: Vec<Value>) -> Result<Value> {
             if args[0].is_null() {
                 return Ok(Value::Null);
             }
-            Ok(Value::Str(args[0].as_str()?.replace(
-                args[1].as_str()?,
-                args[2].as_str()?,
-            )))
+            Ok(Value::Str(
+                args[0]
+                    .as_str()?
+                    .replace(args[1].as_str()?, args[2].as_str()?),
+            ))
         }
         "COALESCE" => {
             for a in args {
@@ -835,15 +835,24 @@ mod tests {
     fn three_valued_logic() {
         let row = vec![Value::Null, Value::Str("x".into()), Value::Float(0.0)];
         // NULL AND FALSE = FALSE; NULL OR TRUE = TRUE.
-        assert_eq!(ev("a = 1 AND FALSE", row.clone()).unwrap(), Value::Bool(false));
+        assert_eq!(
+            ev("a = 1 AND FALSE", row.clone()).unwrap(),
+            Value::Bool(false)
+        );
         assert_eq!(ev("a = 1 OR TRUE", row.clone()).unwrap(), Value::Bool(true));
         assert_eq!(ev("a = 1 AND TRUE", row).unwrap(), Value::Null);
     }
 
     #[test]
     fn between_inclusive() {
-        assert_eq!(ev("a BETWEEN 5 AND 7", row_abc()).unwrap(), Value::Bool(true));
-        assert_eq!(ev("a BETWEEN 6 AND 7", row_abc()).unwrap(), Value::Bool(false));
+        assert_eq!(
+            ev("a BETWEEN 5 AND 7", row_abc()).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            ev("a BETWEEN 6 AND 7", row_abc()).unwrap(),
+            Value::Bool(false)
+        );
         assert_eq!(
             ev("a NOT BETWEEN 6 AND 7", row_abc()).unwrap(),
             Value::Bool(true)

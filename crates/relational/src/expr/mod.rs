@@ -316,7 +316,10 @@ impl Expr {
         match self {
             Expr::Column { qualifier, name } => {
                 let (q, n) = f(qualifier.as_deref(), name);
-                Expr::Column { qualifier: q, name: n }
+                Expr::Column {
+                    qualifier: q,
+                    name: n,
+                }
             }
             Expr::Literal(_) | Expr::HostVar(_) | Expr::NextVal(_) => self.clone(),
             Expr::Unary { op, expr } => Expr::Unary {
@@ -631,6 +634,9 @@ mod tests {
 
     #[test]
     fn nextval_renders_oracle_style() {
-        assert_eq!(Expr::NextVal("Gidsequence".into()).to_sql(), "Gidsequence.NEXTVAL");
+        assert_eq!(
+            Expr::NextVal("Gidsequence".into()).to_sql(),
+            "Gidsequence.NEXTVAL"
+        );
     }
 }

@@ -31,7 +31,9 @@ fn encode_value(v: &Value) -> String {
         Value::Float(f) => format!("F:{:016x}", f.to_bits()),
         Value::Str(s) => format!(
             "S:{}",
-            s.replace('\\', "\\\\").replace('\t', "\\t").replace('\n', "\\n")
+            s.replace('\\', "\\\\")
+                .replace('\t', "\\t")
+                .replace('\n', "\\n")
         ),
         Value::Bool(b) => format!("B:{}", if *b { 1 } else { 0 }),
         Value::Date(d) => format!("D:{d}"),
@@ -42,16 +44,18 @@ fn decode_value(s: &str) -> Result<Value> {
     if s == "N" {
         return Ok(Value::Null);
     }
-    let (tag, body) = s.split_once(':').ok_or_else(|| {
-        Error::unsupported(format!("bad persisted value '{s}'"))
-    })?;
+    let (tag, body) = s
+        .split_once(':')
+        .ok_or_else(|| Error::unsupported(format!("bad persisted value '{s}'")))?;
     Ok(match tag {
-        "I" => Value::Int(body.parse().map_err(|_| {
-            Error::unsupported(format!("bad persisted int '{body}'"))
-        })?),
-        "F" => Value::Float(f64::from_bits(u64::from_str_radix(body, 16).map_err(
-            |_| Error::unsupported(format!("bad persisted float '{body}'")),
-        )?)),
+        "I" => Value::Int(
+            body.parse()
+                .map_err(|_| Error::unsupported(format!("bad persisted int '{body}'")))?,
+        ),
+        "F" => Value::Float(f64::from_bits(
+            u64::from_str_radix(body, 16)
+                .map_err(|_| Error::unsupported(format!("bad persisted float '{body}'")))?,
+        )),
         "S" => {
             let mut out = String::with_capacity(body.len());
             let mut chars = body.chars();
@@ -74,9 +78,10 @@ fn decode_value(s: &str) -> Result<Value> {
             Value::Str(out)
         }
         "B" => Value::Bool(body == "1"),
-        "D" => Value::Date(Date::parse(body).ok_or_else(|| {
-            Error::unsupported(format!("bad persisted date '{body}'"))
-        })?),
+        "D" => Value::Date(
+            Date::parse(body)
+                .ok_or_else(|| Error::unsupported(format!("bad persisted date '{body}'")))?,
+        ),
         other => return Err(Error::unsupported(format!("unknown value tag '{other}'"))),
     })
 }
@@ -85,9 +90,7 @@ fn decode_value(s: &str) -> Result<Value> {
 /// The directory is created; existing files are overwritten.
 pub fn save(db: &Database, dir: &Path) -> Result<()> {
     fs::create_dir_all(dir).map_err(io_err)?;
-    let mut manifest = BufWriter::new(
-        fs::File::create(dir.join("_catalog.txt")).map_err(io_err)?,
-    );
+    let mut manifest = BufWriter::new(fs::File::create(dir.join("_catalog.txt")).map_err(io_err)?);
 
     for name in db.catalog().table_names() {
         let table = db.catalog().table(name)?;
@@ -121,25 +124,26 @@ pub fn load(dir: &Path) -> Result<Database> {
     let mut db = Database::new();
     let mut pending: Option<(String, Vec<Column>)> = None;
 
-    let finish_table = |db: &mut Database, pending: &mut Option<(String, Vec<Column>)>| -> Result<()> {
-        if let Some((name, cols)) = pending.take() {
-            let mut table = Table::new(name.clone(), Schema::new(cols));
-            let path = dir.join(format!("{}.tsv", name.to_ascii_lowercase()));
-            if path.exists() {
-                let file = fs::File::open(path).map_err(io_err)?;
-                for line in BufReader::new(file).lines() {
-                    let line = line.map_err(io_err)?;
-                    if line.is_empty() {
-                        continue;
+    let finish_table =
+        |db: &mut Database, pending: &mut Option<(String, Vec<Column>)>| -> Result<()> {
+            if let Some((name, cols)) = pending.take() {
+                let mut table = Table::new(name.clone(), Schema::new(cols));
+                let path = dir.join(format!("{}.tsv", name.to_ascii_lowercase()));
+                if path.exists() {
+                    let file = fs::File::open(path).map_err(io_err)?;
+                    for line in BufReader::new(file).lines() {
+                        let line = line.map_err(io_err)?;
+                        if line.is_empty() {
+                            continue;
+                        }
+                        let row: Result<Row> = line.split('\t').map(decode_value).collect();
+                        table.insert(row?)?;
                     }
-                    let row: Result<Row> = line.split('\t').map(decode_value).collect();
-                    table.insert(row?)?;
                 }
+                db.catalog_mut().create_table(table)?;
             }
-            db.catalog_mut().create_table(table)?;
-        }
-        Ok(())
-    };
+            Ok(())
+        };
 
     for line in BufReader::new(manifest).lines() {
         let line = line.map_err(io_err)?;
@@ -211,10 +215,8 @@ mod tests {
     use crate::row;
 
     fn tempdir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "relational_persist_{}_{tag}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("relational_persist_{}_{tag}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -264,7 +266,10 @@ mod tests {
         save(&db, &dir).unwrap();
         let mut loaded = load(&dir).unwrap();
         let rs = loaded.query("SELECT s FROM t").unwrap();
-        assert_eq!(rs.rows()[0][0], Value::Str("tab\there\nand \\ slash".into()));
+        assert_eq!(
+            rs.rows()[0][0],
+            Value::Str("tab\there\nand \\ slash".into())
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -131,16 +131,31 @@ pub enum Statement {
         if_not_exists: bool,
     },
     /// `CREATE TABLE name AS (SELECT ...)` — materialises the result.
-    CreateTableAs { name: String, query: SelectStmt },
-    CreateView { name: String, query: SelectStmt },
+    CreateTableAs {
+        name: String,
+        query: SelectStmt,
+    },
+    CreateView {
+        name: String,
+        query: SelectStmt,
+    },
     CreateSequence {
         name: String,
         start: i64,
         increment: i64,
     },
-    DropTable { name: String, if_exists: bool },
-    DropView { name: String, if_exists: bool },
-    DropSequence { name: String, if_exists: bool },
+    DropTable {
+        name: String,
+        if_exists: bool,
+    },
+    DropView {
+        name: String,
+        if_exists: bool,
+    },
+    DropSequence {
+        name: String,
+        if_exists: bool,
+    },
     Insert {
         table: String,
         columns: Option<Vec<String>>,

@@ -62,80 +62,137 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                 }
             }
             '(' => {
-                out.push(Token { tok: Tok::LParen, pos: i });
+                out.push(Token {
+                    tok: Tok::LParen,
+                    pos: i,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Token { tok: Tok::RParen, pos: i });
+                out.push(Token {
+                    tok: Tok::RParen,
+                    pos: i,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Token { tok: Tok::Comma, pos: i });
+                out.push(Token {
+                    tok: Tok::Comma,
+                    pos: i,
+                });
                 i += 1;
             }
             ';' => {
-                out.push(Token { tok: Tok::Semi, pos: i });
+                out.push(Token {
+                    tok: Tok::Semi,
+                    pos: i,
+                });
                 i += 1;
             }
             '*' => {
-                out.push(Token { tok: Tok::Star, pos: i });
+                out.push(Token {
+                    tok: Tok::Star,
+                    pos: i,
+                });
                 i += 1;
             }
             '+' => {
-                out.push(Token { tok: Tok::Plus, pos: i });
+                out.push(Token {
+                    tok: Tok::Plus,
+                    pos: i,
+                });
                 i += 1;
             }
             '-' => {
-                out.push(Token { tok: Tok::Minus, pos: i });
+                out.push(Token {
+                    tok: Tok::Minus,
+                    pos: i,
+                });
                 i += 1;
             }
             '/' => {
-                out.push(Token { tok: Tok::Slash, pos: i });
+                out.push(Token {
+                    tok: Tok::Slash,
+                    pos: i,
+                });
                 i += 1;
             }
             '%' => {
-                out.push(Token { tok: Tok::Percent, pos: i });
+                out.push(Token {
+                    tok: Tok::Percent,
+                    pos: i,
+                });
                 i += 1;
             }
             '=' => {
-                out.push(Token { tok: Tok::Eq, pos: i });
+                out.push(Token {
+                    tok: Tok::Eq,
+                    pos: i,
+                });
                 i += 1;
             }
             '!' if bytes.get(i + 1) == Some(&b'=') => {
-                out.push(Token { tok: Tok::NotEq, pos: i });
+                out.push(Token {
+                    tok: Tok::NotEq,
+                    pos: i,
+                });
                 i += 2;
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { tok: Tok::LtEq, pos: i });
+                    out.push(Token {
+                        tok: Tok::LtEq,
+                        pos: i,
+                    });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'>') {
-                    out.push(Token { tok: Tok::NotEq, pos: i });
+                    out.push(Token {
+                        tok: Tok::NotEq,
+                        pos: i,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { tok: Tok::Lt, pos: i });
+                    out.push(Token {
+                        tok: Tok::Lt,
+                        pos: i,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { tok: Tok::GtEq, pos: i });
+                    out.push(Token {
+                        tok: Tok::GtEq,
+                        pos: i,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { tok: Tok::Gt, pos: i });
+                    out.push(Token {
+                        tok: Tok::Gt,
+                        pos: i,
+                    });
                     i += 1;
                 }
             }
             '|' if bytes.get(i + 1) == Some(&b'|') => {
-                out.push(Token { tok: Tok::Concat, pos: i });
+                out.push(Token {
+                    tok: Tok::Concat,
+                    pos: i,
+                });
                 i += 2;
             }
             '.' => {
                 if bytes.get(i + 1) == Some(&b'.') {
-                    out.push(Token { tok: Tok::DotDot, pos: i });
+                    out.push(Token {
+                        tok: Tok::DotDot,
+                        pos: i,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { tok: Tok::Dot, pos: i });
+                    out.push(Token {
+                        tok: Tok::Dot,
+                        pos: i,
+                    });
                     i += 1;
                 }
             }
@@ -146,7 +203,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                     j += 1;
                 }
                 if j == start {
-                    out.push(Token { tok: Tok::Colon, pos: i });
+                    out.push(Token {
+                        tok: Tok::Colon,
+                        pos: i,
+                    });
                     i += 1;
                 } else {
                     out.push(Token {
@@ -253,8 +313,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                     i += 1;
                     name
                 } else {
-                    while i < bytes.len()
-                        && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
                     {
                         i += 1;
                     }
@@ -356,20 +415,16 @@ mod tests {
     fn lex_bare_colon() {
         assert_eq!(
             toks("SUPPORT: 0.2"),
-            vec![
-                Tok::Ident("SUPPORT".into()),
-                Tok::Colon,
-                Tok::Float(0.2)
-            ]
+            vec![Tok::Ident("SUPPORT".into()), Tok::Colon, Tok::Float(0.2)]
         );
     }
 
     #[test]
     fn lex_comment_skipped() {
-        assert_eq!(toks("a -- comment\n b"), vec![
-            Tok::Ident("a".into()),
-            Tok::Ident("b".into())
-        ]);
+        assert_eq!(
+            toks("a -- comment\n b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into())]
+        );
     }
 
     #[test]

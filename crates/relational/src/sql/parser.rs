@@ -18,11 +18,53 @@ use crate::value::{Date, Value};
 /// Keywords that cannot be used as bare (AS-less) aliases. Includes the
 /// MINE RULE keywords so the mining parser can share alias handling.
 const RESERVED: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "AS", "ON", "AND", "OR",
-    "NOT", "INTO", "UNION", "JOIN", "INNER", "LEFT", "RIGHT", "SET", "VALUES", "BY", "ASC",
-    "DESC", "CLUSTER", "EXTRACTING", "RULES", "WITH", "SUPPORT", "CONFIDENCE", "MINE", "RULE",
-    "DISTINCT", "BETWEEN", "IN", "IS", "LIKE", "EXISTS", "CASE", "WHEN", "THEN", "ELSE", "END",
-    "CROSS", "OUTER", "EXCEPT", "INTERSECT", "CAST",
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "HAVING",
+    "ORDER",
+    "LIMIT",
+    "AS",
+    "ON",
+    "AND",
+    "OR",
+    "NOT",
+    "INTO",
+    "UNION",
+    "JOIN",
+    "INNER",
+    "LEFT",
+    "RIGHT",
+    "SET",
+    "VALUES",
+    "BY",
+    "ASC",
+    "DESC",
+    "CLUSTER",
+    "EXTRACTING",
+    "RULES",
+    "WITH",
+    "SUPPORT",
+    "CONFIDENCE",
+    "MINE",
+    "RULE",
+    "DISTINCT",
+    "BETWEEN",
+    "IN",
+    "IS",
+    "LIKE",
+    "EXISTS",
+    "CASE",
+    "WHEN",
+    "THEN",
+    "ELSE",
+    "END",
+    "CROSS",
+    "OUTER",
+    "EXCEPT",
+    "INTERSECT",
+    "CAST",
 ];
 
 /// Token-stream parser with single-statement and expression entry points.
@@ -582,29 +624,29 @@ impl Parser {
         let (source, alias) = self.parse_table_factor()?;
         let mut joins = Vec::new();
         loop {
-            let kind = if self.peek_kw("JOIN") || (self.peek_kw("INNER") && self.peek_kw_n(1, "JOIN"))
-            {
-                self.accept_kw("INNER");
-                self.expect_kw("JOIN")?;
-                JoinKind::Inner
-            } else if self.peek_kw("LEFT") {
-                self.pos += 1;
-                self.accept_kw("OUTER");
-                self.expect_kw("JOIN")?;
-                JoinKind::LeftOuter
-            } else if self.peek_kw("CROSS") && self.peek_kw_n(1, "JOIN") {
-                self.pos += 2;
-                let (jsource, jalias) = self.parse_table_factor()?;
-                joins.push(Join {
-                    kind: JoinKind::Inner,
-                    source: jsource,
-                    alias: jalias,
-                    on: None,
-                });
-                continue;
-            } else {
-                break;
-            };
+            let kind =
+                if self.peek_kw("JOIN") || (self.peek_kw("INNER") && self.peek_kw_n(1, "JOIN")) {
+                    self.accept_kw("INNER");
+                    self.expect_kw("JOIN")?;
+                    JoinKind::Inner
+                } else if self.peek_kw("LEFT") {
+                    self.pos += 1;
+                    self.accept_kw("OUTER");
+                    self.expect_kw("JOIN")?;
+                    JoinKind::LeftOuter
+                } else if self.peek_kw("CROSS") && self.peek_kw_n(1, "JOIN") {
+                    self.pos += 2;
+                    let (jsource, jalias) = self.parse_table_factor()?;
+                    joins.push(Join {
+                        kind: JoinKind::Inner,
+                        source: jsource,
+                        alias: jalias,
+                        on: None,
+                    });
+                    continue;
+                } else {
+                    break;
+                };
             let (jsource, jalias) = self.parse_table_factor()?;
             self.expect_kw("ON")?;
             let on = self.parse_expr()?;
@@ -736,12 +778,7 @@ impl Parser {
             let prec = match op {
                 BinOp::Or => 1,
                 BinOp::And => 2,
-                BinOp::Eq
-                | BinOp::NotEq
-                | BinOp::Lt
-                | BinOp::LtEq
-                | BinOp::Gt
-                | BinOp::GtEq => 4,
+                BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => 4,
                 BinOp::Add | BinOp::Sub | BinOp::Concat => 5,
                 BinOp::Mul | BinOp::Div | BinOp::Mod => 6,
             };
@@ -903,9 +940,8 @@ impl Parser {
         // usable as column names — MINE RULE output tables have them.)
         const EXPR_RESERVED: &[&str] = &[
             "SELECT", "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "AS", "ON", "AND",
-            "OR", "INTO", "UNION", "JOIN", "INNER", "LEFT", "RIGHT", "SET", "VALUES", "BY",
-            "ASC", "DESC", "DISTINCT", "BETWEEN", "IN", "IS", "LIKE", "WHEN", "THEN", "ELSE",
-            "END",
+            "OR", "INTO", "UNION", "JOIN", "INNER", "LEFT", "RIGHT", "SET", "VALUES", "BY", "ASC",
+            "DESC", "DISTINCT", "BETWEEN", "IN", "IS", "LIKE", "WHEN", "THEN", "ELSE", "END",
         ];
         if EXPR_RESERVED.iter().any(|k| *k == upper) {
             return Err(self.error(format!("unexpected keyword {upper}")));
@@ -1079,8 +1115,7 @@ mod tests {
 
     #[test]
     fn parse_insert_values() {
-        let s =
-            parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
+        let s = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
         match s {
             Statement::Insert {
                 columns,

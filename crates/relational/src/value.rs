@@ -169,7 +169,9 @@ impl Value {
     pub fn as_str(&self) -> Result<&str> {
         match self {
             Value::Str(s) => Ok(s),
-            other => Err(Error::type_mismatch(format!("expected STRING, got {other}"))),
+            other => Err(Error::type_mismatch(format!(
+                "expected STRING, got {other}"
+            ))),
         }
     }
 
@@ -195,11 +197,7 @@ impl Value {
             (Str(a), Str(b)) => Some(a.cmp(b)),
             (Bool(a), Bool(b)) => Some(a.cmp(b)),
             (Date(a), Date(b)) => Some(a.cmp(b)),
-            (a, b) => {
-                return Err(Error::type_mismatch(format!(
-                    "cannot compare {a} with {b}"
-                )))
-            }
+            (a, b) => return Err(Error::type_mismatch(format!("cannot compare {a} with {b}"))),
         })
     }
 

@@ -18,7 +18,11 @@ fn main() {
         items: 200,
         ..QuestConfig::default()
     };
-    println!("generating {} baskets ({})...", config.transactions, config.name());
+    println!(
+        "generating {} baskets ({})...",
+        config.transactions,
+        config.name()
+    );
     let data = generate_quest(&config);
 
     let mut db = Database::new();
@@ -32,7 +36,15 @@ fn main() {
         EXTRACTING RULES WITH SUPPORT: 0.03, CONFIDENCE: 0.5";
 
     let mut reference: Option<Vec<String>> = None;
-    for algorithm in ["apriori", "count", "dhp", "partition", "sampling", "eclat", "fpgrowth"] {
+    for algorithm in [
+        "apriori",
+        "count",
+        "dhp",
+        "partition",
+        "sampling",
+        "eclat",
+        "fpgrowth",
+    ] {
         let engine = MineRuleEngine::new().with_algorithm(algorithm);
         let outcome = engine.execute(&mut db, statement).expect("mining runs");
         let rendered: Vec<String> = outcome.rules.iter().map(|r| r.display()).collect();

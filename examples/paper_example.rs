@@ -42,7 +42,10 @@ fn main() {
         "FilteredOrderedSets_Bodies",
         "FilteredOrderedSets_Heads",
     ] {
-        let rs = db.query(&format!("SELECT * FROM {table}")).unwrap().sorted();
+        let rs = db
+            .query(&format!("SELECT * FROM {table}"))
+            .unwrap()
+            .sorted();
         println!("{table}:\n{rs}");
     }
 

@@ -47,7 +47,10 @@ fn main() {
         "classified as {} [{}] — general core operator: {}\n",
         outcome.translation.class, outcome.translation.directives, outcome.used_general
     );
-    println!("found {} temporal rules; strongest first:", outcome.rules.len());
+    println!(
+        "found {} temporal rules; strongest first:",
+        outcome.rules.len()
+    );
     let mut rules = outcome.rules.clone();
     rules.sort_by(|a, b| b.confidence.partial_cmp(&a.confidence).unwrap());
     for r in rules.iter().take(15) {
@@ -57,14 +60,11 @@ fn main() {
     // Check the planted pattern is recovered: every expensive item k has
     // complement item (k mod cheap-range) + expensive_items.
     let planted = rules.iter().filter(|r| {
-        r.body.len() == 1
-            && r.head.len() == 1
-            && r.body[0].starts_with("item")
-            && {
-                let k: u32 = r.body[0][4..].parse().unwrap_or(999);
-                let comp = datagen::retail::complement_of(k, &config);
-                r.head[0] == datagen::retail::item_name(comp)
-            }
+        r.body.len() == 1 && r.head.len() == 1 && r.body[0].starts_with("item") && {
+            let k: u32 = r.body[0][4..].parse().unwrap_or(999);
+            let comp = datagen::retail::complement_of(k, &config);
+            r.head[0] == datagen::retail::item_name(comp)
+        }
     });
     println!(
         "\nplanted follow-up pairs recovered: {}/{}",

@@ -30,7 +30,15 @@ const STATEMENT: &str = "MINE RULE QuestRules AS \
 fn pool_members_agree_on_quest_data() {
     let mut db = quest_db(400, 11);
     let mut reference: Option<Vec<String>> = None;
-    for algorithm in ["apriori", "count", "dhp", "partition", "sampling", "eclat", "fpgrowth"] {
+    for algorithm in [
+        "apriori",
+        "count",
+        "dhp",
+        "partition",
+        "sampling",
+        "eclat",
+        "fpgrowth",
+    ] {
         let outcome = MineRuleEngine::new()
             .with_algorithm(algorithm)
             .execute(&mut db, STATEMENT)

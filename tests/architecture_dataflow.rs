@@ -57,7 +57,13 @@ fn simple_statement_materialises_only_figure4a_tables() {
     for table in ["ValidGroups", "DistinctGroupsInBody", "Bset", "CodedSource"] {
         assert!(db.catalog().has_table(table), "{table} missing");
     }
-    for table in ["Clusters", "ClusterCouples", "MiningSource", "InputRules", "Hset"] {
+    for table in [
+        "Clusters",
+        "ClusterCouples",
+        "MiningSource",
+        "InputRules",
+        "Hset",
+    ] {
         assert!(!db.catalog().has_table(table), "{table} must not exist");
     }
 }

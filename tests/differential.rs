@@ -1,13 +1,16 @@
 //! Differential testing: the full pipeline (translator → preprocessor →
 //! core operator → postprocessor) against the brute-force reference
 //! evaluator of MINE RULE's operational semantics, on randomized small
-//! datasets across every statement class.
+//! datasets across every statement class. Datasets are generated from
+//! per-test seeds, so every run checks the same deterministic battery.
 
-use proptest::prelude::*;
+use datagen::rng::Rng;
 
 use minerule::reference::reference_mine;
 use minerule::{parse_mine_rule, DecodedRule, MineRuleEngine};
 use relational::{Database, Value};
+
+const CASES: u64 = 32;
 
 /// Build a random Purchase-like database from a compact description:
 /// for each customer, a list of (date index, item id) purchases. Item
@@ -40,7 +43,21 @@ fn build_db(purchases: &[Vec<(u8, u8)>]) -> Database {
     db
 }
 
-fn compare(db: &mut Database, statement: &str) -> Result<(), TestCaseError> {
+/// Up to 5 customers, each with up to 6 purchases over 3 dates and 8
+/// items (mirrors the old proptest strategy).
+fn random_purchases(rng: &mut Rng) -> Vec<Vec<(u8, u8)>> {
+    let customers = rng.gen_range_usize(1, 5);
+    (0..customers)
+        .map(|_| {
+            let n = rng.gen_range_usize(1, 6);
+            (0..n)
+                .map(|_| (rng.gen_range_u32(0, 3) as u8, rng.gen_range_u32(0, 8) as u8))
+                .collect()
+        })
+        .collect()
+}
+
+fn compare(db: &mut Database, statement: &str) {
     let stmt = parse_mine_rule(statement).unwrap();
     let expected = reference_mine(db, &stmt).unwrap();
     let outcome = MineRuleEngine::new().execute(db, statement).unwrap();
@@ -59,118 +76,123 @@ fn compare(db: &mut Database, statement: &str) -> Result<(), TestCaseError> {
         v.sort();
         v
     };
-    prop_assert_eq!(
+    assert_eq!(
         norm(&outcome.rules),
         norm(&expected),
-        "pipeline vs reference diverge on:\n{}",
-        statement
+        "pipeline vs reference diverge on:\n{statement}"
     );
-    Ok(())
 }
 
-/// Strategy: up to 5 customers, each with up to 6 purchases over 3 dates
-/// and 8 items.
-fn purchases_strategy() -> impl Strategy<Value = Vec<Vec<(u8, u8)>>> {
-    prop::collection::vec(
-        prop::collection::vec((0u8..3, 0u8..8), 1..6),
-        1..5,
-    )
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn simple_class_matches_reference(purchases in purchases_strategy(),
-                                      support in prop::sample::select(vec![0.2, 0.4, 0.6]),
-                                      confidence in prop::sample::select(vec![0.1, 0.5])) {
+/// Run `statement` (a closure so each case can vary thresholds) against
+/// `CASES` deterministic random databases.
+fn check_class(seed: u64, statement: impl Fn(&mut Rng) -> String) {
+    let mut rng = Rng::seed_from_u64(seed);
+    for _ in 0..CASES {
+        let purchases = random_purchases(&mut rng);
         let mut db = build_db(&purchases);
-        let stmt = format!(
+        let stmt = statement(&mut rng);
+        compare(&mut db, &stmt);
+    }
+}
+
+#[test]
+fn simple_class_matches_reference() {
+    check_class(0xD0, |rng| {
+        let support = [0.2, 0.4, 0.6][rng.gen_range_usize(0, 3)];
+        let confidence = [0.1, 0.5][rng.gen_range_usize(0, 2)];
+        format!(
             "MINE RULE Diff AS SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD, \
              SUPPORT, CONFIDENCE FROM Purchase GROUP BY customer \
              EXTRACTING RULES WITH SUPPORT: {support}, CONFIDENCE: {confidence}"
-        );
-        compare(&mut db, &stmt)?;
-    }
+        )
+    });
+}
 
-    #[test]
-    fn wide_heads_match_reference(purchases in purchases_strategy()) {
-        let mut db = build_db(&purchases);
-        let stmt = "MINE RULE Diff AS SELECT DISTINCT 1..n item AS BODY, 1..2 item AS HEAD, \
-             SUPPORT, CONFIDENCE FROM Purchase GROUP BY customer \
-             EXTRACTING RULES WITH SUPPORT: 0.3, CONFIDENCE: 0.1";
-        compare(&mut db, stmt)?;
-    }
+#[test]
+fn wide_heads_match_reference() {
+    check_class(0xD1, |_| {
+        "MINE RULE Diff AS SELECT DISTINCT 1..n item AS BODY, 1..2 item AS HEAD, \
+         SUPPORT, CONFIDENCE FROM Purchase GROUP BY customer \
+         EXTRACTING RULES WITH SUPPORT: 0.3, CONFIDENCE: 0.1"
+            .into()
+    });
+}
 
-    #[test]
-    fn mining_condition_matches_reference(purchases in purchases_strategy()) {
-        let mut db = build_db(&purchases);
-        let stmt = "MINE RULE Diff AS SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD, \
-             SUPPORT, CONFIDENCE WHERE BODY.price >= 100 AND HEAD.price < 100 \
-             FROM Purchase GROUP BY customer \
-             EXTRACTING RULES WITH SUPPORT: 0.2, CONFIDENCE: 0.1";
-        compare(&mut db, stmt)?;
-    }
+#[test]
+fn mining_condition_matches_reference() {
+    check_class(0xD2, |_| {
+        "MINE RULE Diff AS SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD, \
+         SUPPORT, CONFIDENCE WHERE BODY.price >= 100 AND HEAD.price < 100 \
+         FROM Purchase GROUP BY customer \
+         EXTRACTING RULES WITH SUPPORT: 0.2, CONFIDENCE: 0.1"
+            .into()
+    });
+}
 
-    #[test]
-    fn clustered_statement_matches_reference(purchases in purchases_strategy()) {
-        let mut db = build_db(&purchases);
-        let stmt = "MINE RULE Diff AS SELECT DISTINCT 1..n item AS BODY, 1..n item AS HEAD, \
-             SUPPORT, CONFIDENCE FROM Purchase GROUP BY customer CLUSTER BY date \
-             EXTRACTING RULES WITH SUPPORT: 0.25, CONFIDENCE: 0.1";
-        compare(&mut db, stmt)?;
-    }
+#[test]
+fn clustered_statement_matches_reference() {
+    check_class(0xD3, |_| {
+        "MINE RULE Diff AS SELECT DISTINCT 1..n item AS BODY, 1..n item AS HEAD, \
+         SUPPORT, CONFIDENCE FROM Purchase GROUP BY customer CLUSTER BY date \
+         EXTRACTING RULES WITH SUPPORT: 0.25, CONFIDENCE: 0.1"
+            .into()
+    });
+}
 
-    #[test]
-    fn temporal_statement_matches_reference(purchases in purchases_strategy()) {
-        let mut db = build_db(&purchases);
-        // The paper's full shape: mining condition + ordered clusters.
-        let stmt = "MINE RULE Diff AS SELECT DISTINCT 1..n item AS BODY, 1..n item AS HEAD, \
-             SUPPORT, CONFIDENCE WHERE BODY.price >= 100 AND HEAD.price < 100 \
-             FROM Purchase GROUP BY customer CLUSTER BY date HAVING BODY.date < HEAD.date \
-             EXTRACTING RULES WITH SUPPORT: 0.2, CONFIDENCE: 0.1";
-        compare(&mut db, stmt)?;
-    }
+#[test]
+fn temporal_statement_matches_reference() {
+    // The paper's full shape: mining condition + ordered clusters.
+    check_class(0xD4, |_| {
+        "MINE RULE Diff AS SELECT DISTINCT 1..n item AS BODY, 1..n item AS HEAD, \
+         SUPPORT, CONFIDENCE WHERE BODY.price >= 100 AND HEAD.price < 100 \
+         FROM Purchase GROUP BY customer CLUSTER BY date HAVING BODY.date < HEAD.date \
+         EXTRACTING RULES WITH SUPPORT: 0.2, CONFIDENCE: 0.1"
+            .into()
+    });
+}
 
-    #[test]
-    fn group_having_matches_reference(purchases in purchases_strategy()) {
-        let mut db = build_db(&purchases);
-        let stmt = "MINE RULE Diff AS SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD, \
-             SUPPORT, CONFIDENCE FROM Purchase GROUP BY customer HAVING COUNT(item) >= 2 \
-             EXTRACTING RULES WITH SUPPORT: 0.2, CONFIDENCE: 0.1";
-        compare(&mut db, stmt)?;
-    }
+#[test]
+fn group_having_matches_reference() {
+    check_class(0xD5, |_| {
+        "MINE RULE Diff AS SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD, \
+         SUPPORT, CONFIDENCE FROM Purchase GROUP BY customer HAVING COUNT(item) >= 2 \
+         EXTRACTING RULES WITH SUPPORT: 0.2, CONFIDENCE: 0.1"
+            .into()
+    });
+}
 
-    #[test]
-    fn source_condition_matches_reference(purchases in purchases_strategy()) {
-        let mut db = build_db(&purchases);
-        let stmt = "MINE RULE Diff AS SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD, \
-             SUPPORT, CONFIDENCE FROM Purchase WHERE price < 125 GROUP BY customer \
-             EXTRACTING RULES WITH SUPPORT: 0.3, CONFIDENCE: 0.2";
-        compare(&mut db, stmt)?;
-    }
+#[test]
+fn source_condition_matches_reference() {
+    check_class(0xD6, |_| {
+        "MINE RULE Diff AS SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD, \
+         SUPPORT, CONFIDENCE FROM Purchase WHERE price < 125 GROUP BY customer \
+         EXTRACTING RULES WITH SUPPORT: 0.3, CONFIDENCE: 0.2"
+            .into()
+    });
+}
 
-    #[test]
-    fn coupled_mining_condition_matches_reference(purchases in purchases_strategy()) {
-        // A condition relating BODY and HEAD attributes of the *pair*
-        // (not decomposable per side) exercises the Q8 join fully.
-        let mut db = build_db(&purchases);
-        let stmt = "MINE RULE Diff AS SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD, \
-             SUPPORT, CONFIDENCE WHERE BODY.price > HEAD.price \
-             FROM Purchase GROUP BY customer \
-             EXTRACTING RULES WITH SUPPORT: 0.2, CONFIDENCE: 0.1";
-        compare(&mut db, stmt)?;
-    }
+#[test]
+fn coupled_mining_condition_matches_reference() {
+    // A condition relating BODY and HEAD attributes of the *pair*
+    // (not decomposable per side) exercises the Q8 join fully.
+    check_class(0xD7, |_| {
+        "MINE RULE Diff AS SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD, \
+         SUPPORT, CONFIDENCE WHERE BODY.price > HEAD.price \
+         FROM Purchase GROUP BY customer \
+         EXTRACTING RULES WITH SUPPORT: 0.2, CONFIDENCE: 0.1"
+            .into()
+    });
+}
 
-    #[test]
-    fn aggregate_cluster_condition_matches_reference(purchases in purchases_strategy()) {
-        let mut db = build_db(&purchases);
-        let stmt = "MINE RULE Diff AS SELECT DISTINCT 1..n item AS BODY, 1..n item AS HEAD, \
-             SUPPORT, CONFIDENCE FROM Purchase GROUP BY customer \
-             CLUSTER BY date HAVING SUM(BODY.price) > SUM(HEAD.price) \
-             EXTRACTING RULES WITH SUPPORT: 0.25, CONFIDENCE: 0.1";
-        compare(&mut db, stmt)?;
-    }
+#[test]
+fn aggregate_cluster_condition_matches_reference() {
+    check_class(0xD8, |_| {
+        "MINE RULE Diff AS SELECT DISTINCT 1..n item AS BODY, 1..n item AS HEAD, \
+         SUPPORT, CONFIDENCE FROM Purchase GROUP BY customer \
+         CLUSTER BY date HAVING SUM(BODY.price) > SUM(HEAD.price) \
+         EXTRACTING RULES WITH SUPPORT: 0.25, CONFIDENCE: 0.1"
+            .into()
+    });
 }
 
 #[test]

@@ -145,7 +145,14 @@ fn unknown_algorithm_fails_after_preprocessing_but_session_recovers() {
              EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.1",
         )
         .unwrap_err();
-    assert!(matches!(err, MineError::Internal { .. }));
+    assert!(matches!(err, MineError::UnknownAlgorithm { .. }));
+    // The message is user-facing: it names the offender and the pool.
+    let message = err.to_string();
+    assert!(message.contains("made-up"), "{message}");
+    assert!(
+        message.contains("apriori") && message.contains("eclat"),
+        "{message}"
+    );
     engine.core.algorithm = "apriori".into();
     assert!(engine
         .execute(

@@ -1,53 +1,94 @@
-//! Property-based tests over the core data structures and the kernel's
-//! invariants (DESIGN.md §7).
+//! Property-style tests over the core data structures and the kernel's
+//! invariants (DESIGN.md §7). Each property is checked over a fixed
+//! battery of deterministic pseudo-random cases (seeded per test, so
+//! failures reproduce exactly) plus hand-kept regression cases from
+//! earlier shrunk failures.
 
-use proptest::prelude::*;
+use datagen::rng::Rng;
 
 use minerule::algo::itemset::{apriori_join, intersect, is_subset};
 use minerule::algo::{default_pool, sort_itemsets, SimpleInput};
 use minerule::ast::{CardMax, CardSpec};
+use minerule::encoded::GeneralTuple;
 use minerule::lattice::elementary::{build_contexts, BuildOptions};
 use minerule::lattice::{mine_general, ExpansionOrder, GeneralParams};
-use minerule::encoded::GeneralTuple;
 use minerule::parse_mine_rule;
 
-/// Strategy: a small basket dataset (groups of item ids).
-fn groups_strategy() -> impl Strategy<Value = Vec<Vec<u32>>> {
-    prop::collection::vec(prop::collection::btree_set(0u32..12, 1..6), 1..14)
-        .prop_map(|gs| gs.into_iter().map(|s| s.into_iter().collect()).collect())
+const CASES: u64 = 64;
+
+/// A small basket dataset: 1..14 groups, each a sorted set of 1..6 item
+/// ids drawn from 0..12 (mirrors the old proptest strategy).
+fn random_groups(rng: &mut Rng) -> Vec<Vec<u32>> {
+    let n = rng.gen_range_usize(1, 14);
+    (0..n)
+        .map(|_| {
+            let size = rng.gen_range_usize(1, 6);
+            let mut set = std::collections::BTreeSet::new();
+            while set.len() < size {
+                set.insert(rng.gen_range_u32(0, 12));
+            }
+            set.into_iter().collect()
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_sorted_set(rng: &mut Rng, universe: u32, max_len: usize) -> Vec<u32> {
+    let size = rng.gen_range_usize(0, max_len);
+    let mut set = std::collections::BTreeSet::new();
+    for _ in 0..size {
+        set.insert(rng.gen_range_u32(0, universe));
+    }
+    set.into_iter().collect()
+}
 
-    #[test]
-    fn sorted_set_ops_behave(a in prop::collection::btree_set(0u32..30, 0..10),
-                             b in prop::collection::btree_set(0u32..30, 0..10)) {
-        let av: Vec<u32> = a.iter().copied().collect();
-        let bv: Vec<u32> = b.iter().copied().collect();
+#[test]
+fn sorted_set_ops_behave() {
+    let mut rng = Rng::seed_from_u64(0xA0);
+    for _ in 0..CASES {
+        let av = random_sorted_set(&mut rng, 30, 10);
+        let bv = random_sorted_set(&mut rng, 30, 10);
+        let a: std::collections::BTreeSet<u32> = av.iter().copied().collect();
+        let b: std::collections::BTreeSet<u32> = bv.iter().copied().collect();
         let inter = intersect(&av, &bv);
         let expect: Vec<u32> = a.intersection(&b).copied().collect();
-        prop_assert_eq!(&inter, &expect);
-        prop_assert!(is_subset(&inter, &av) && is_subset(&inter, &bv));
-        prop_assert_eq!(is_subset(&av, &bv), a.is_subset(&b));
+        assert_eq!(inter, expect);
+        assert!(is_subset(&inter, &av) && is_subset(&inter, &bv));
+        assert_eq!(is_subset(&av, &bv), a.is_subset(&b));
     }
+}
 
-    #[test]
-    fn apriori_join_produces_supersets(a in prop::collection::btree_set(0u32..10, 2..5)) {
-        let v: Vec<u32> = a.iter().copied().collect();
+#[test]
+fn apriori_join_produces_supersets() {
+    let mut rng = Rng::seed_from_u64(0xA1);
+    for _ in 0..CASES {
+        let mut v = random_sorted_set(&mut rng, 10, 5);
+        while v.len() < 2 {
+            v = random_sorted_set(&mut rng, 10, 5);
+        }
         let mut left = v.clone();
         let last = *left.last().unwrap();
         *left.last_mut().unwrap() = last.saturating_sub(1);
         if left.windows(2).all(|w| w[0] < w[1]) {
             if let Some(j) = apriori_join(&left, &v) {
-                prop_assert_eq!(j.len(), v.len() + 1);
-                prop_assert!(is_subset(&left, &j) && is_subset(&v, &j));
+                assert_eq!(j.len(), v.len() + 1);
+                assert!(is_subset(&left, &j) && is_subset(&v, &j));
             }
         }
     }
+}
 
-    #[test]
-    fn pool_agreement(groups in groups_strategy(), min_groups in 1u32..4) {
+#[test]
+fn pool_agreement() {
+    // Regression case (shrunk by proptest in an earlier revision): a
+    // group whose only item is absent from the systematic sample.
+    let mut cases: Vec<(Vec<Vec<u32>>, u32)> = vec![(vec![vec![6], vec![0]], 1)];
+    let mut rng = Rng::seed_from_u64(0xA2);
+    for _ in 0..CASES {
+        let groups = random_groups(&mut rng);
+        let min_groups = rng.gen_range_u32(1, 4);
+        cases.push((groups, min_groups));
+    }
+    for (groups, min_groups) in cases {
         let input = SimpleInput {
             total_groups: groups.len() as u32,
             groups,
@@ -59,13 +100,18 @@ proptest! {
             sort_itemsets(&mut got);
             match &reference {
                 None => reference = Some(got),
-                Some(r) => prop_assert_eq!(&got, r, "{} disagrees", miner.name()),
+                Some(r) => assert_eq!(&got, r, "{} disagrees on {:?}", miner.name(), input),
             }
         }
     }
+}
 
-    #[test]
-    fn apriori_antimonotone(groups in groups_strategy(), min_groups in 1u32..4) {
+#[test]
+fn apriori_antimonotone() {
+    let mut rng = Rng::seed_from_u64(0xA3);
+    for _ in 0..CASES {
+        let groups = random_groups(&mut rng);
+        let min_groups = rng.gen_range_u32(1, 4);
         let input = SimpleInput {
             total_groups: groups.len() as u32,
             groups,
@@ -75,23 +121,35 @@ proptest! {
         let keys: std::collections::HashSet<&[u32]> =
             large.iter().map(|(s, _)| s.as_slice()).collect();
         for (set, count) in &large {
-            prop_assert!(*count >= min_groups);
+            assert!(*count >= min_groups);
             // Every immediate subset of a large itemset is large, with a
             // count at least as big.
             for skip in 0..set.len() {
-                if set.len() == 1 { break; }
-                let sub: Vec<u32> = set.iter().enumerate()
-                    .filter(|(i, _)| *i != skip).map(|(_, &x)| x).collect();
-                prop_assert!(keys.contains(sub.as_slice()),
-                    "subset {:?} of {:?} missing", sub, set);
+                if set.len() == 1 {
+                    break;
+                }
+                let sub: Vec<u32> = set
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != skip)
+                    .map(|(_, &x)| x)
+                    .collect();
+                assert!(
+                    keys.contains(sub.as_slice()),
+                    "subset {sub:?} of {set:?} missing"
+                );
                 let sub_count = large.iter().find(|(s, _)| *s == sub).unwrap().1;
-                prop_assert!(sub_count >= *count);
+                assert!(sub_count >= *count);
             }
         }
     }
+}
 
-    #[test]
-    fn exact_counts_match_bruteforce(groups in groups_strategy()) {
+#[test]
+fn exact_counts_match_bruteforce() {
+    let mut rng = Rng::seed_from_u64(0xA4);
+    for _ in 0..CASES {
+        let groups = random_groups(&mut rng);
         let input = SimpleInput {
             total_groups: groups.len() as u32,
             groups: groups.clone(),
@@ -100,59 +158,99 @@ proptest! {
         let large = default_pool()[0].mine(&input);
         for (set, count) in &large {
             let brute = groups.iter().filter(|g| is_subset(set, g)).count() as u32;
-            prop_assert_eq!(*count, brute, "count of {:?}", set);
+            assert_eq!(*count, brute, "count of {set:?}");
         }
     }
+}
 
-    #[test]
-    fn lattice_rules_verify_against_bruteforce(groups in groups_strategy(),
-                                               min_groups in 1u32..3) {
+#[test]
+fn lattice_rules_verify_against_bruteforce() {
+    let mut rng = Rng::seed_from_u64(0xA5);
+    for _ in 0..CASES {
+        let groups = random_groups(&mut rng);
+        let min_groups = rng.gen_range_u32(1, 3);
         // Build general contexts from plain baskets and check every rule's
         // support/confidence against direct counting.
-        let tuples: Vec<GeneralTuple> = groups.iter().enumerate()
-            .flat_map(|(g, items)| items.iter().map(move |&i| GeneralTuple {
-                gid: g as u32, cid: None, bid: Some(i), hid: Some(i),
-            }))
+        let tuples: Vec<GeneralTuple> = groups
+            .iter()
+            .enumerate()
+            .flat_map(|(g, items)| {
+                items.iter().map(move |&i| GeneralTuple {
+                    gid: g as u32,
+                    cid: None,
+                    bid: Some(i),
+                    hid: Some(i),
+                })
+            })
             .collect();
-        let contexts = build_contexts(&tuples, None, None, BuildOptions {
-            clustered: false, has_couples: false, distinct_head: false, min_groups,
-        });
+        let contexts = build_contexts(
+            &tuples,
+            None,
+            None,
+            BuildOptions {
+                clustered: false,
+                has_couples: false,
+                distinct_head: false,
+                min_groups,
+            },
+        );
         let total = groups.len() as u32;
-        let rules = mine_general(&contexts, &GeneralParams {
-            total_groups: total,
-            min_groups,
-            min_confidence: 0.0001,
-            body_card: CardSpec::one_to_n(),
-            head_card: CardSpec { min: 1, max: CardMax::Fixed(2) },
-            order: ExpansionOrder::MinParent,
-        }).unwrap();
+        let rules = mine_general(
+            &contexts,
+            &GeneralParams {
+                total_groups: total,
+                min_groups,
+                min_confidence: 0.0001,
+                body_card: CardSpec::one_to_n(),
+                head_card: CardSpec {
+                    min: 1,
+                    max: CardMax::Fixed(2),
+                },
+                order: ExpansionOrder::MinParent,
+            },
+        )
+        .unwrap();
         for r in &rules {
             let mut union: Vec<u32> = r.body.iter().chain(r.head.iter()).copied().collect();
             union.sort_unstable();
             let rule_count = groups.iter().filter(|g| is_subset(&union, g)).count() as u32;
             let body_count = groups.iter().filter(|g| is_subset(&r.body, g)).count() as u32;
-            prop_assert_eq!(r.group_count, rule_count, "support count of {:?}", r);
-            prop_assert!((r.support - rule_count as f64 / total as f64).abs() < 1e-9);
-            prop_assert!((r.confidence - rule_count as f64 / body_count as f64).abs() < 1e-9,
-                "confidence of {:?}: body_count={}", r, body_count);
-            prop_assert!(r.head.len() <= 2, "head cardinality cap");
+            assert_eq!(r.group_count, rule_count, "support count of {r:?}");
+            assert!((r.support - rule_count as f64 / total as f64).abs() < 1e-9);
+            assert!(
+                (r.confidence - rule_count as f64 / body_count as f64).abs() < 1e-9,
+                "confidence of {r:?}: body_count={body_count}"
+            );
+            assert!(r.head.len() <= 2, "head cardinality cap");
         }
     }
+}
 
-    #[test]
-    fn cardspec_admits_is_interval(min in 1u32..4, extra in 0u32..4, k in 0usize..8) {
-        let spec = CardSpec { min, max: CardMax::Fixed(min + extra) };
-        prop_assert!(spec.is_valid());
+#[test]
+fn cardspec_admits_is_interval() {
+    let mut rng = Rng::seed_from_u64(0xA6);
+    for _ in 0..CASES {
+        let min = rng.gen_range_u32(1, 4);
+        let extra = rng.gen_range_u32(0, 4);
+        let k = rng.gen_range_usize(0, 8);
+        let spec = CardSpec {
+            min,
+            max: CardMax::Fixed(min + extra),
+        };
+        assert!(spec.is_valid());
         let admitted = spec.admits(k);
-        prop_assert_eq!(admitted, (k as u32) >= min && (k as u32) <= min + extra);
+        assert_eq!(admitted, (k as u32) >= min && (k as u32) <= min + extra);
     }
+}
 
-    #[test]
-    fn statement_display_parse_roundtrip(support in 0.01f64..1.0,
-                                         confidence in 0.01f64..1.0,
-                                         card_min in 1u32..3,
-                                         unbounded in any::<bool>()) {
-        let card = if unbounded {
+#[test]
+fn statement_display_parse_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0xA7);
+    for _ in 0..CASES {
+        let support = 0.01 + rng.gen_f64() * 0.98;
+        let confidence = 0.01 + rng.gen_f64() * 0.98;
+        let card_min = rng.gen_range_u32(1, 3);
+        let card = if rng.gen_f64() < 0.5 {
             format!("{card_min}..n")
         } else {
             format!("{card_min}..{}", card_min + 1)
@@ -164,7 +262,7 @@ proptest! {
         );
         let s1 = parse_mine_rule(&text).unwrap();
         let s2 = parse_mine_rule(&s1.to_string()).unwrap();
-        prop_assert_eq!(s1, s2);
+        assert_eq!(s1, s2);
     }
 }
 
@@ -172,7 +270,12 @@ proptest! {
 fn min_groups_threshold_is_exact_boundary() {
     // ceil semantics: with 10 groups and support 0.25, an itemset needs
     // ≥ 3 groups (2/10 = 0.2 < 0.25 ≤ 3/10).
-    for (total, s, expect) in [(10u64, 0.25, 3u64), (8, 0.5, 4), (3, 0.34, 2), (100, 0.01, 1)] {
+    for (total, s, expect) in [
+        (10u64, 0.25, 3u64),
+        (8, 0.5, 4),
+        (3, 0.34, 2),
+        (100, 0.01, 1),
+    ] {
         assert_eq!(minerule::preprocess::min_groups_for(total, s), expect);
     }
 }

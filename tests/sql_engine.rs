@@ -14,7 +14,8 @@ fn db() -> Database {
          (3, 'cleo', 20, 150.0), (4, 'dan', 30, 80.0)",
     )
     .unwrap();
-    db.execute("CREATE TABLE dept (id INT, dname VARCHAR)").unwrap();
+    db.execute("CREATE TABLE dept (id INT, dname VARCHAR)")
+        .unwrap();
     db.execute("INSERT INTO dept VALUES (10, 'eng'), (20, 'sales')")
         .unwrap();
     db
@@ -83,14 +84,19 @@ fn left_outer_join_preserves_unmatched() {
         )
         .unwrap();
     assert_eq!(rs.len(), 4);
-    let dan = rs.rows().iter().find(|r| r[0] == Value::Str("dan".into())).unwrap();
+    let dan = rs
+        .rows()
+        .iter()
+        .find(|r| r[0] == Value::Str("dan".into()))
+        .unwrap();
     assert_eq!(dan[1], Value::Null, "dept 30 has no match");
 }
 
 #[test]
 fn join_chain_three_tables() {
     let mut d = db();
-    d.execute("CREATE TABLE loc (dept VARCHAR, city VARCHAR)").unwrap();
+    d.execute("CREATE TABLE loc (dept VARCHAR, city VARCHAR)")
+        .unwrap();
     d.execute("INSERT INTO loc VALUES ('eng', 'torino'), ('sales', 'milano')")
         .unwrap();
     let rs = d
@@ -213,5 +219,8 @@ fn update_and_delete_with_subqueries() {
     assert_eq!(rs.rows()[0][0], Value::Float(240.0));
     d.execute("DELETE FROM emp WHERE dept IN (SELECT id FROM dept)")
         .unwrap();
-    assert_eq!(d.query("SELECT COUNT(*) FROM emp").unwrap().scalar(), Some(&Value::Int(1)));
+    assert_eq!(
+        d.query("SELECT COUNT(*) FROM emp").unwrap().scalar(),
+        Some(&Value::Int(1))
+    );
 }

@@ -55,8 +55,7 @@ fn w_source_condition_only() {
     check_rule_invariants(&out, 0.25, 0.3);
     for r in &out.rules {
         assert!(
-            !r.body.contains(&"jackets".to_string())
-                && !r.head.contains(&"jackets".to_string()),
+            !r.body.contains(&"jackets".to_string()) && !r.head.contains(&"jackets".to_string()),
             "jackets cost 300 and must be filtered by the source condition"
         );
     }
@@ -79,10 +78,11 @@ fn g_group_having_filters_groups() {
     }
     // Support denominator stays the total group count (Q1 runs before the
     // HAVING selection): cust2's rules have support 1/2.
-    assert!(out
-        .rules
-        .iter()
-        .all(|r| (r.support - 0.5).abs() < 1e-9), "{:#?}", out.rules);
+    assert!(
+        out.rules.iter().all(|r| (r.support - 0.5).abs() < 1e-9),
+        "{:#?}",
+        out.rules
+    );
 }
 
 #[test]
@@ -239,7 +239,11 @@ fn select_list_without_support_confidence_columns() {
         .iter()
         .map(|c| c.name.as_str())
         .collect();
-    assert_eq!(cols, vec!["BodyId", "HeadId"], "no SUPPORT/CONFIDENCE columns");
+    assert_eq!(
+        cols,
+        vec!["BodyId", "HeadId"],
+        "no SUPPORT/CONFIDENCE columns"
+    );
 }
 
 #[test]
@@ -250,7 +254,11 @@ fn body_cardinality_minimum_enforced() {
                 EXTRACTING RULES WITH SUPPORT: 0.25, CONFIDENCE: 0.1";
     let out = run(&mut db, stmt);
     assert!(!out.rules.is_empty());
-    assert!(out.rules.iter().all(|r| r.body.len() >= 2), "{:#?}", out.rules);
+    assert!(
+        out.rules.iter().all(|r| r.body.len() >= 2),
+        "{:#?}",
+        out.rules
+    );
 }
 
 #[test]
