@@ -1,8 +1,21 @@
 //! The experiments harness: regenerates every table of EXPERIMENTS.md
 //! (the paper's figures F1–F4 as correctness checks, plus the measurement
-//! experiments E1–E8 its architectural claims imply).
+//! experiments E1–E10 its architectural claims imply).
 //!
 //! Run with: `cargo run --release -p tcdm-bench --bin experiments`
+//!
+//! Flags:
+//!
+//! ```text
+//!   --quick                small workloads, one repetition (CI smoke)
+//!   --json <name>          also write the BENCH_<name>.json artifact
+//!   --check <golden>       gate on the checked-in rule-count summary
+//!   --write-golden <file>  regenerate the golden summary
+//! ```
+//!
+//! Timings inform, rule counts gate: `--check` compares only the
+//! deterministic output sizes against the golden file and exits 1 on
+//! any drift (see `docs/OBSERVABILITY.md`).
 
 use std::time::{Duration, Instant};
 
@@ -11,6 +24,7 @@ use minerule::algo::{default_pool, SimpleInput};
 use minerule::lattice::ExpansionOrder;
 use minerule::paper_example::{run_paper_example, FIGURE_2B};
 use minerule::{decoupled, MineRuleEngine};
+use tcdm_bench::report::Report;
 use tcdm_bench::{
     quest_db, retail_db, simple_statement, temporal_statement, temporal_statement_no_mining_cond,
 };
@@ -34,28 +48,125 @@ fn ms(d: Duration) -> String {
     format!("{:.2}", d.as_secs_f64() * 1e3)
 }
 
-fn main() {
-    println!("# Experiment harness — tightly-coupled MINE RULE architecture\n");
+/// Harness configuration: workload scale plus repetition count.
+#[derive(Clone, Copy)]
+struct Mode {
+    quick: bool,
+}
 
-    f2_paper_example();
-    e1_coupling();
-    e2_shared_preprocessing();
-    e3_borderline();
-    e4_algorithm_pool();
-    e5_lattice_order();
-    e6_generality_overhead();
-    e7_scaling();
-    e8_postprocess();
-    e9_pool_parameters();
-    e10_worker_scaling();
+impl Mode {
+    /// Repetitions for a best-of timing loop (quick mode measures once —
+    /// CI gates on counts, not milliseconds).
+    fn reps(&self, full: usize) -> usize {
+        if self.quick {
+            1
+        } else {
+            full
+        }
+    }
+
+    /// Pick a workload size by mode.
+    fn size(&self, quick: usize, full: usize) -> usize {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: experiments [--quick] [--json <name>] [--check <golden>] [--write-golden <file>]
+
+  --quick                small workloads, single repetition (CI smoke mode)
+  --json <name>          write results to BENCH_<name>.json (schema-versioned)
+  --check <golden>       compare rule counts against a golden summary; exit 1 on drift
+  --write-golden <file>  write the golden rule-count summary for --check";
+
+fn main() {
+    let mut quick = false;
+    let mut json_name: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut write_golden: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--json" => json_name = Some(args.next().unwrap_or_else(|| die("--json needs a name"))),
+            "--check" => check = Some(args.next().unwrap_or_else(|| die("--check needs a file"))),
+            "--write-golden" => {
+                write_golden = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--write-golden needs a file")),
+                )
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => die(&format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+
+    let mode = Mode { quick };
+    let mut report = Report::new(json_name.as_deref().unwrap_or("local"), quick);
+
+    println!("# Experiment harness — tightly-coupled MINE RULE architecture");
+    if quick {
+        println!("\n(quick mode: small workloads, single repetition)");
+    }
+    println!();
+
+    f2_paper_example(&mut report);
+    e1_coupling(&mut report, mode);
+    e2_shared_preprocessing(&mut report, mode);
+    e3_borderline(&mut report, mode);
+    e4_algorithm_pool(&mut report, mode);
+    e5_lattice_order(&mut report, mode);
+    e6_generality_overhead(&mut report, mode);
+    e7_scaling(&mut report, mode);
+    e8_postprocess(&mut report, mode);
+    e9_pool_parameters(&mut report, mode);
+    e10_worker_scaling(&mut report, mode);
 
     println!("\nall experiments completed.");
+
+    if let Some(name) = &json_name {
+        let path = format!("BENCH_{name}.json");
+        std::fs::write(&path, report.to_json()).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+        println!("wrote {path}");
+    }
+    if let Some(path) = &write_golden {
+        std::fs::write(path, report.golden_summary())
+            .unwrap_or_else(|e| die(&format!("{path}: {e}")));
+        println!("wrote golden summary to {path}");
+    }
+    if let Some(path) = &check {
+        let golden = std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+        match report.check_golden(&golden) {
+            Ok(()) => println!("golden check against {path}: ok"),
+            Err(problems) => {
+                eprintln!("golden check against {path} FAILED:");
+                for p in &problems {
+                    eprintln!("  {p}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("{message}");
+    std::process::exit(2)
 }
 
 /// F2 — Figure 2b reproduced exactly.
-fn f2_paper_example() {
+fn f2_paper_example(report: &mut Report) {
     println!("## F2 — Figure 2b (FilteredOrderedSets), paper vs measured\n");
+    let started = Instant::now();
     let (_, outcome) = run_paper_example().expect("paper example");
+    let elapsed = started.elapsed();
     println!("| BODY | HEAD | paper s | paper c | measured s | measured c |");
     println!("|---|---|---|---|---|---|");
     for (body, head, s, c) in FIGURE_2B {
@@ -76,22 +187,33 @@ fn f2_paper_example() {
         );
     }
     assert_eq!(outcome.rules.len(), FIGURE_2B.len());
+    report.case(
+        "F2",
+        "filtered-ordered-sets",
+        Some(outcome.rules.len() as u64),
+        elapsed,
+    );
     println!("\nexact match: {} rules, no extras ✓\n", FIGURE_2B.len());
 }
 
 /// E1 — tightly-coupled vs decoupled.
-fn e1_coupling() {
+fn e1_coupling(report: &mut Report, mode: Mode) {
     println!("## E1 — tightly-coupled vs decoupled architecture\n");
     println!("| baskets | coupled (ms) | decoupled (ms) | coupled/decoupled |");
     println!("|---|---|---|---|");
-    for &n in &[500usize, 1000, 2000] {
-        let (coupled, out) = best_of(3, || {
+    let sizes: &[usize] = if mode.quick {
+        &[250, 500]
+    } else {
+        &[500, 1000, 2000]
+    };
+    for &n in sizes {
+        let (coupled, out) = best_of(mode.reps(3), || {
             let mut db = quest_db(n, 7);
             MineRuleEngine::new()
                 .execute(&mut db, &simple_statement(0.03, 0.4))
                 .unwrap()
         });
-        let (dec, flat) = best_of(3, || {
+        let (dec, flat) = best_of(mode.reps(3), || {
             let mut db = quest_db(n, 7);
             decoupled::run_decoupled(
                 &mut db,
@@ -103,6 +225,12 @@ fn e1_coupling() {
             .unwrap()
         });
         assert_eq!(out.rules.len(), flat.len(), "architectures agree");
+        report.case(
+            "E1",
+            format!("baskets={n}"),
+            Some(out.rules.len() as u64),
+            coupled,
+        );
         println!(
             "| {n} | {} | {} | {:.2}x |",
             ms(coupled),
@@ -114,20 +242,24 @@ fn e1_coupling() {
 }
 
 /// E2 — shared preprocessing.
-fn e2_shared_preprocessing() {
+fn e2_shared_preprocessing(report: &mut Report, mode: Mode) {
     println!("## E2 — shared preprocessing (§3)\n");
+    let n = mode.size(500, 1500);
     let statement = simple_statement(0.03, 0.4);
-    let (cold, _) = best_of(3, || {
-        let mut db = quest_db(1500, 9);
+    let (cold, cold_out) = best_of(mode.reps(3), || {
+        let mut db = quest_db(n, 9);
         MineRuleEngine::new().execute(&mut db, &statement).unwrap()
     });
-    let mut db = quest_db(1500, 9);
+    let mut db = quest_db(n, 9);
     MineRuleEngine::new().execute(&mut db, &statement).unwrap();
-    let (warm, _) = best_of(3, || {
+    let (warm, warm_out) = best_of(mode.reps(3), || {
         MineRuleEngine::new()
             .execute_reusing_preprocessing(&mut db, &statement)
             .unwrap()
     });
+    assert_eq!(cold_out.rules, warm_out.rules, "reuse is inert");
+    report.case("E2", "cold", Some(cold_out.rules.len() as u64), cold);
+    report.case("E2", "warm", Some(warm_out.rules.len() as u64), warm);
     println!("| run | total (ms) |");
     println!("|---|---|");
     println!("| cold (full Q0..Q4 + core + post) | {} |", ms(cold));
@@ -139,11 +271,12 @@ fn e2_shared_preprocessing() {
 }
 
 /// E3 — the borderline: elementary rules in SQL vs in the core.
-fn e3_borderline() {
+fn e3_borderline(report: &mut Report, mode: Mode) {
     println!("## E3 — borderline ablation: elementary rules in SQL (Q8) vs in core\n");
     println!("| customers | variant | preprocess (ms) | core (ms) | total (ms) | rules |");
     println!("|---|---|---|---|---|---|");
-    for &n in &[200usize, 400] {
+    let sizes: &[usize] = if mode.quick { &[150] } else { &[200, 400] };
+    for &n in sizes {
         for (variant, stmt) in [
             ("mining cond in SQL", temporal_statement(0.05, 0.2)),
             (
@@ -151,10 +284,16 @@ fn e3_borderline() {
                 temporal_statement_no_mining_cond(0.05, 0.2),
             ),
         ] {
-            let (_, out) = best_of(3, || {
+            let (total, out) = best_of(mode.reps(3), || {
                 let mut db = retail_db(n, 5);
                 MineRuleEngine::new().execute(&mut db, &stmt).unwrap()
             });
+            report.case(
+                "E3",
+                format!("customers={n} {variant}"),
+                Some(out.rules.len() as u64),
+                total,
+            );
             println!(
                 "| {n} | {variant} | {} | {} | {} | {} |",
                 ms(out.timings.preprocess),
@@ -168,9 +307,10 @@ fn e3_borderline() {
 }
 
 /// E4 — the algorithm pool across support thresholds.
-fn e4_algorithm_pool() {
-    println!("## E4 — algorithm pool on T8.I3 Quest data (1500 baskets)\n");
-    let db = quest_db(1500, 77);
+fn e4_algorithm_pool(report: &mut Report, mode: Mode) {
+    let baskets = mode.size(600, 1500);
+    println!("## E4 — algorithm pool on T8.I3 Quest data ({baskets} baskets)\n");
+    let db = quest_db(baskets, 77);
     let rs = {
         let mut db = db;
         db.query("SELECT tr, item FROM Baskets").unwrap()
@@ -194,35 +334,48 @@ fn e4_algorithm_pool() {
     }
     let total = groups.len() as u32;
 
-    println!("| algorithm | s=0.05 (ms) | s=0.02 (ms) | s=0.01 (ms) | itemsets @0.01 |");
-    println!("|---|---|---|---|---|");
+    let supports: &[f64] = if mode.quick {
+        &[0.05, 0.02]
+    } else {
+        &[0.05, 0.02, 0.01]
+    };
+    println!("| algorithm | {} | itemsets @lowest |", {
+        let cells: Vec<String> = supports.iter().map(|s| format!("s={s} (ms)")).collect();
+        cells.join(" | ")
+    });
+    println!("|---|{}---|", "---|".repeat(supports.len()));
     for miner in default_pool() {
         let mut cells = Vec::new();
         let mut last_count = 0;
-        for &s in &[0.05f64, 0.02, 0.01] {
+        for &s in supports {
             let input = SimpleInput {
                 groups: groups.clone(),
                 total_groups: total,
                 min_groups: ((total as f64 * s).ceil() as u32).max(1),
             };
-            let (d, large) = best_of(3, || miner.mine(&input));
+            let (d, large) = best_of(mode.reps(3), || miner.mine(&input));
             last_count = large.len();
+            report.case(
+                "E4",
+                format!("{} s={s}", miner.name()),
+                Some(large.len() as u64),
+                d,
+            );
             cells.push(ms(d));
         }
         println!(
-            "| {} | {} | {} | {} | {last_count} |",
+            "| {} | {} | {last_count} |",
             miner.name(),
-            cells[0],
-            cells[1],
-            cells[2]
+            cells.join(" | ")
         );
     }
     println!();
 }
 
 /// E5 — lattice expansion order.
-fn e5_lattice_order() {
+fn e5_lattice_order(report: &mut Report, mode: Mode) {
     println!("## E5 — lattice expansion order (§4.3.2 optimisation)\n");
+    let customers = mode.size(120, 250);
     let statement = "MINE RULE Wide AS \
         SELECT DISTINCT 1..n item AS BODY, 1..3 item AS HEAD, SUPPORT, CONFIDENCE \
         WHERE BODY.price >= 0 \
@@ -231,16 +384,21 @@ fn e5_lattice_order() {
     println!("| order | core (ms) | rules |");
     println!("|---|---|---|");
     let mut rule_sets = Vec::new();
-    for (name, order) in [
-        ("min-cardinality parent (paper)", ExpansionOrder::MinParent),
-        ("fixed body-first", ExpansionOrder::BodyFirst),
+    for (name, key, order) in [
+        (
+            "min-cardinality parent (paper)",
+            "min-parent",
+            ExpansionOrder::MinParent,
+        ),
+        ("fixed body-first", "body-first", ExpansionOrder::BodyFirst),
     ] {
-        let (_, out) = best_of(3, || {
-            let mut db = retail_db(250, 13);
+        let (_, out) = best_of(mode.reps(3), || {
+            let mut db = retail_db(customers, 13);
             let mut engine = MineRuleEngine::new();
             engine.core.order = order;
             engine.execute(&mut db, statement).unwrap()
         });
+        report.case("E5", key, Some(out.rules.len() as u64), out.timings.core);
         println!(
             "| {name} | {} | {} |",
             ms(out.timings.core),
@@ -253,8 +411,9 @@ fn e5_lattice_order() {
 }
 
 /// E6 — generality overhead.
-fn e6_generality_overhead() {
+fn e6_generality_overhead(report: &mut Report, mode: Mode) {
     println!("## E6 — simple core vs forced general lattice (same statement)\n");
+    let baskets = mode.size(300, 800);
     let statement = "MINE RULE Both AS \
         SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD, SUPPORT, CONFIDENCE \
         FROM Baskets GROUP BY tr \
@@ -262,13 +421,17 @@ fn e6_generality_overhead() {
     println!("| path | core (ms) | rules |");
     println!("|---|---|---|");
     let mut rule_sets = Vec::new();
-    for (name, forced) in [("simple pool (apriori)", false), ("general lattice", true)] {
-        let (_, out) = best_of(3, || {
-            let mut db = quest_db(800, 17);
+    for (name, key, forced) in [
+        ("simple pool (apriori)", "simple", false),
+        ("general lattice", "general", true),
+    ] {
+        let (_, out) = best_of(mode.reps(3), || {
+            let mut db = quest_db(baskets, 17);
             let mut engine = MineRuleEngine::new();
             engine.core.force_general = forced;
             engine.execute(&mut db, statement).unwrap()
         });
+        report.case("E6", key, Some(out.rules.len() as u64), out.timings.core);
         println!(
             "| {name} | {} | {} |",
             ms(out.timings.core),
@@ -281,18 +444,29 @@ fn e6_generality_overhead() {
 }
 
 /// E7 — scaling sweeps.
-fn e7_scaling() {
+fn e7_scaling(report: &mut Report, mode: Mode) {
     println!("## E7 — scaling\n");
     println!("### groups (support 0.03)\n");
     println!("| baskets | total (ms) | preprocess (ms) | core (ms) | rules |");
     println!("|---|---|---|---|---|");
-    for &n in &[250usize, 500, 1000, 2000, 4000] {
-        let (_, out) = best_of(2, || {
+    let sizes: &[usize] = if mode.quick {
+        &[250, 500, 1000]
+    } else {
+        &[250, 500, 1000, 2000, 4000]
+    };
+    for &n in sizes {
+        let (total, out) = best_of(mode.reps(2), || {
             let mut db = quest_db(n, 19);
             MineRuleEngine::new()
                 .execute(&mut db, &simple_statement(0.03, 0.4))
                 .unwrap()
         });
+        report.case(
+            "E7",
+            format!("baskets={n}"),
+            Some(out.rules.len() as u64),
+            total,
+        );
         println!(
             "| {n} | {} | {} | {} | {} |",
             ms(out.timings.total()),
@@ -304,13 +478,24 @@ fn e7_scaling() {
     println!("\n### support threshold (1000 baskets)\n");
     println!("| support | total (ms) | core (ms) | rules |");
     println!("|---|---|---|---|");
-    for &s in &[0.08f64, 0.04, 0.02, 0.01] {
-        let (_, out) = best_of(2, || {
+    let supports: &[f64] = if mode.quick {
+        &[0.08, 0.04]
+    } else {
+        &[0.08, 0.04, 0.02, 0.01]
+    };
+    for &s in supports {
+        let (total, out) = best_of(mode.reps(2), || {
             let mut db = quest_db(1000, 19);
             MineRuleEngine::new()
                 .execute(&mut db, &simple_statement(s, 0.4))
                 .unwrap()
         });
+        report.case(
+            "E7",
+            format!("support={s}"),
+            Some(out.rules.len() as u64),
+            total,
+        );
         println!(
             "| {s} | {} | {} | {} |",
             ms(out.timings.total()),
@@ -322,15 +507,16 @@ fn e7_scaling() {
 }
 
 /// E9 — pool parameter ablations.
-fn e9_pool_parameters() {
+fn e9_pool_parameters(report: &mut Report, mode: Mode) {
     use minerule::algo::dhp::Dhp;
     use minerule::algo::partition::Partition;
     use minerule::algo::sampling::Sampling;
     use minerule::algo::ItemsetMiner;
 
-    println!("## E9 — pool parameter ablations (1500 baskets, s=0.02)\n");
+    let baskets = mode.size(500, 1500);
+    println!("## E9 — pool parameter ablations ({baskets} baskets, s=0.02)\n");
     let data = datagen::generate_quest(&datagen::QuestConfig {
-        transactions: 1500,
+        transactions: baskets,
         avg_transaction_size: 8.0,
         avg_pattern_size: 3.0,
         patterns: 50,
@@ -348,48 +534,81 @@ fn e9_pool_parameters() {
     println!("### partition count\n");
     println!("| partitions | sequential (ms) | parallel (ms) |");
     println!("|---|---|---|");
-    for &parts in &[1usize, 2, 4, 8, 16] {
-        let (seq, _) = best_of(3, || {
+    let partition_counts: &[usize] = if mode.quick {
+        &[1, 4]
+    } else {
+        &[1, 2, 4, 8, 16]
+    };
+    for &parts in partition_counts {
+        let (seq, large) = best_of(mode.reps(3), || {
             Partition {
                 partitions: parts,
                 parallel: false,
             }
             .mine(&input)
         });
-        let (par, _) = best_of(3, || {
+        let (par, _) = best_of(mode.reps(3), || {
             Partition {
                 partitions: parts,
                 parallel: true,
             }
             .mine(&input)
         });
+        report.case(
+            "E9",
+            format!("partition parts={parts}"),
+            Some(large.len() as u64),
+            seq,
+        );
         println!("| {parts} | {} | {} |", ms(seq), ms(par));
     }
 
     println!("\n### DHP hash-table size\n");
     println!("| buckets | time (ms) |");
     println!("|---|---|");
-    for &buckets in &[1usize << 8, 1 << 12, 1 << 16, 1 << 20] {
-        let (d, _) = best_of(3, || Dhp { buckets }.mine(&input));
+    let bucket_sizes: &[usize] = if mode.quick {
+        &[1 << 12]
+    } else {
+        &[1 << 8, 1 << 12, 1 << 16, 1 << 20]
+    };
+    for &buckets in bucket_sizes {
+        let (d, large) = best_of(mode.reps(3), || Dhp { buckets }.mine(&input));
+        report.case(
+            "E9",
+            format!("dhp buckets={buckets}"),
+            Some(large.len() as u64),
+            d,
+        );
         println!("| {buckets} | {} |", ms(d));
     }
 
     println!("\n### sampling fraction\n");
     println!("| fraction | time (ms) |");
     println!("|---|---|");
-    for &fraction in &[0.1f64, 0.25, 0.5, 0.75] {
+    let fractions: &[f64] = if mode.quick {
+        &[0.5]
+    } else {
+        &[0.1, 0.25, 0.5, 0.75]
+    };
+    for &fraction in fractions {
         let miner = Sampling {
             sample_fraction: fraction,
             ..Sampling::default()
         };
-        let (d, _) = best_of(3, || miner.mine(&input));
+        let (d, large) = best_of(mode.reps(3), || miner.mine(&input));
+        report.case(
+            "E9",
+            format!("sampling fraction={fraction}"),
+            Some(large.len() as u64),
+            d,
+        );
         println!("| {fraction} | {} |", ms(d));
     }
     println!();
 }
 
 /// E10 — worker scaling of the sharded mining executor.
-fn e10_worker_scaling() {
+fn e10_worker_scaling(report: &mut Report, mode: Mode) {
     println!("## E10 — sharded executor: core phase vs worker count\n");
     println!(
         "(host has {} hardware threads)\n",
@@ -399,10 +618,12 @@ fn e10_worker_scaling() {
     );
     println!("| workers | core (ms) | shard busy (ms) | speedup vs 1 | rules |");
     println!("|---|---|---|---|---|");
+    let baskets = mode.size(500, 1500);
+    let worker_counts: &[usize] = if mode.quick { &[1, 2] } else { &[1, 2, 4, 8] };
     let mut baseline: Option<(Duration, Vec<minerule::DecodedRule>)> = None;
-    for &workers in &[1usize, 2, 4, 8] {
-        let (_, out) = best_of(3, || {
-            let mut db = quest_db(1500, 19);
+    for &workers in worker_counts {
+        let (_, out) = best_of(mode.reps(3), || {
+            let mut db = quest_db(baskets, 19);
             MineRuleEngine::new()
                 .with_workers(workers)
                 .execute(&mut db, &simple_statement(0.02, 0.4))
@@ -422,6 +643,12 @@ fn e10_worker_scaling() {
                 base.as_secs_f64() / core.as_secs_f64()
             }
         };
+        report.case(
+            "E10",
+            format!("workers={workers}"),
+            Some(out.rules.len() as u64),
+            core,
+        );
         println!(
             "| {workers} | {} | {} | {speedup:.2}x | {} |",
             ms(core),
@@ -433,17 +660,29 @@ fn e10_worker_scaling() {
 }
 
 /// E8 — postprocessing cost vs rule count.
-fn e8_postprocess() {
+fn e8_postprocess(report: &mut Report, mode: Mode) {
     println!("## E8 — postprocessing (store + decode) vs rule count\n");
     println!("| support | rules | postprocess (ms) |");
     println!("|---|---|---|");
-    for &s in &[0.05f64, 0.02, 0.01] {
-        let (_, out) = best_of(2, || {
-            let mut db = quest_db(800, 29);
+    let baskets = mode.size(300, 800);
+    let supports: &[f64] = if mode.quick {
+        &[0.05, 0.02]
+    } else {
+        &[0.05, 0.02, 0.01]
+    };
+    for &s in supports {
+        let (_, out) = best_of(mode.reps(2), || {
+            let mut db = quest_db(baskets, 29);
             MineRuleEngine::new()
                 .execute(&mut db, &simple_statement(s, 0.1))
                 .unwrap()
         });
+        report.case(
+            "E8",
+            format!("support={s}"),
+            Some(out.rules.len() as u64),
+            out.timings.postprocess,
+        );
         println!(
             "| {s} | {} | {} |",
             out.rules.len(),

@@ -6,6 +6,7 @@ use datagen::{generate_quest, generate_retail, load_quest, QuestConfig, RetailCo
 use relational::Database;
 
 pub mod bench;
+pub mod report;
 
 /// A Quest basket database (`Baskets (tr INT, item VARCHAR)`).
 pub fn quest_db(transactions: usize, seed: u64) -> Database {

@@ -217,22 +217,73 @@ impl Session {
             },
             "set" => match (words.next(), words.next()) {
                 (Some("workers"), Some(n)) => match n.parse::<usize>() {
-                    Ok(n) if n >= 1 => {
+                    // Zero is rejected with the same user-facing shape as
+                    // the unknown-algorithm error: the engine's own typed
+                    // error, stated with the valid domain.
+                    Ok(0) => Outcome::Output(
+                        minerule::MineError::InvalidWorkerCount { value: 0 }.to_string(),
+                    ),
+                    Ok(n) => {
                         self.engine.core.workers = n;
                         Outcome::Output(format!("workers set to {n}"))
                     }
-                    _ => Outcome::Output(format!("'{n}' is not a valid worker count (min 1)")),
+                    Err(_) => Outcome::Output(format!("'{n}' is not a valid worker count (min 1)")),
                 },
                 (Some("workers"), None) => Outcome::Output(format!(
                     "workers: {} (mining executor threads; rules are identical for any value)",
                     self.engine.core.workers
                 )),
-                (None, _) => Outcome::Output(format!(
-                    "settings:\n  algorithm: {}\n  workers: {}",
-                    self.engine.core.algorithm, self.engine.core.workers
+                (Some("telemetry"), Some(state)) => match state {
+                    "on" | "off" => {
+                        self.engine.set_telemetry_enabled(state == "on");
+                        Outcome::Output(format!("telemetry is {state}"))
+                    }
+                    other => Outcome::Output(format!(
+                        "'{other}' is not a valid telemetry state (on | off)"
+                    )),
+                },
+                (Some("telemetry"), None) => Outcome::Output(format!(
+                    "telemetry: {} (metric recording; mined rules are identical either way)",
+                    if self.engine.telemetry_enabled() {
+                        "on"
+                    } else {
+                        "off"
+                    }
                 )),
-                (Some(other), _) => {
-                    Outcome::Output(format!("unknown setting '{other}' — try \\set workers N"))
+                (None, _) => Outcome::Output(format!(
+                    "settings:\n  algorithm: {}\n  workers: {}\n  telemetry: {}",
+                    self.engine.core.algorithm,
+                    self.engine.core.workers,
+                    if self.engine.telemetry_enabled() {
+                        "on"
+                    } else {
+                        "off"
+                    }
+                )),
+                (Some(other), _) => Outcome::Output(format!(
+                    "unknown setting '{other}' — try \\set workers N or \\set telemetry on|off"
+                )),
+            },
+            "stats" => match words.next() {
+                None => {
+                    if !self.engine.telemetry_enabled() {
+                        Outcome::Output("telemetry is off — \\set telemetry on to record".into())
+                    } else {
+                        let snapshot = self.engine.metrics_snapshot();
+                        if snapshot.is_empty() {
+                            Outcome::Output("no metrics recorded yet".into())
+                        } else {
+                            Outcome::Output(snapshot.render_text().trim_end().to_string())
+                        }
+                    }
+                }
+                Some("reset") => {
+                    self.engine.reset_metrics();
+                    Outcome::Output("metrics reset".into())
+                }
+                Some("json") => Outcome::Output(self.engine.metrics_snapshot().to_pretty_json()),
+                Some(other) => {
+                    Outcome::Output(format!("usage: \\stats [reset | json] (not '{other}')"))
                 }
             },
             "save" => match words.next() {
@@ -328,6 +379,10 @@ Commands:
   \\demo retail [n]      load a synthetic retail table (default 200 customers)
   \\algorithm [name]     show or set the simple-class mining algorithm
   \\set workers <n>      mining executor threads (same rules, faster core)
+  \\set telemetry on|off toggle metric recording (rules identical either way)
+  \\stats                show recorded pipeline metrics
+  \\stats reset          clear recorded metrics
+  \\stats json           dump the metrics snapshot as JSON
   \\rules <table>        pretty-print a MINE RULE output table
   \\save <dir>           persist the database to a directory
   \\load <dir>           load a previously saved database
@@ -406,7 +461,15 @@ mod tests {
         assert!(out(&mut s, "\\set workers").contains("workers: 1"));
         assert!(out(&mut s, "\\set workers 4").contains("workers set to 4"));
         assert!(out(&mut s, "\\set").contains("workers: 4"));
-        assert!(out(&mut s, "\\set workers 0").contains("not a valid"));
+        // Zero gets the engine's typed error — the same shape as the
+        // unknown-algorithm rejection (message states the valid domain).
+        let zero = out(&mut s, "\\set workers 0");
+        assert!(zero.contains("invalid worker count '0'"), "{zero}");
+        assert!(zero.contains("at least 1"), "{zero}");
+        assert!(
+            out(&mut s, "\\set workers").contains("workers: 4"),
+            "unchanged"
+        );
         assert!(out(&mut s, "\\set workers nan").contains("not a valid"));
         assert!(out(&mut s, "\\set gizmo on").contains("unknown setting"));
         // Mining still works (and yields the same rules) with 4 workers.
@@ -418,6 +481,40 @@ mod tests {
              EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.1",
         );
         assert!(result.contains("mined"), "{result}");
+    }
+
+    #[test]
+    fn stats_and_telemetry_commands() {
+        let mut s = Session::new();
+        assert!(out(&mut s, "\\set telemetry").contains("telemetry: on"));
+        assert!(out(&mut s, "\\stats").contains("no metrics recorded"));
+        out(&mut s, "\\demo paper");
+        out(
+            &mut s,
+            "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD, SUPPORT, CONFIDENCE \
+             FROM Purchase GROUP BY customer \
+             EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.1",
+        );
+        let stats = out(&mut s, "\\stats");
+        assert!(stats.contains("translator.statements"), "{stats}");
+        assert!(stats.contains("phase.core"), "{stats}");
+        let json = out(&mut s, "\\stats json");
+        assert!(json.contains("\"schema_version\""), "{json}");
+        assert!(out(&mut s, "\\stats reset").contains("reset"));
+        assert!(out(&mut s, "\\stats").contains("no metrics recorded"));
+        // Off: runs record nothing and \stats says so.
+        assert!(out(&mut s, "\\set telemetry off").contains("telemetry is off"));
+        out(
+            &mut s,
+            "MINE RULE R2 AS SELECT DISTINCT item AS BODY, item AS HEAD, SUPPORT, CONFIDENCE \
+             FROM Purchase GROUP BY customer \
+             EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.1",
+        );
+        assert!(out(&mut s, "\\stats").contains("telemetry is off"));
+        assert!(out(&mut s, "\\set telemetry maybe").contains("not a valid"));
+        assert!(out(&mut s, "\\set telemetry on").contains("telemetry is on"));
+        assert!(out(&mut s, "\\stats bogus").contains("usage"));
+        assert!(out(&mut s, "\\help").contains("\\stats"));
     }
 
     #[test]

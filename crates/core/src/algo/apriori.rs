@@ -55,6 +55,7 @@ pub fn mine_gidlist_with_border_exec(
     let mut level: Vec<(Itemset, Vec<u32>)> = Vec::new();
     let mut items: Vec<u32> = gidlists.keys().copied().collect();
     items.sort_unstable();
+    let l1_generated = items.len() as u64;
     for it in items {
         let gl = gidlists.remove(&it).unwrap();
         if gl.len() as u32 >= min_groups {
@@ -63,6 +64,7 @@ pub fn mine_gidlist_with_border_exec(
             border.push(vec![it]);
         }
     }
+    exec.note_level(1, l1_generated, border.len() as u64);
 
     while !level.is_empty() {
         for (set, gl) in &level {
@@ -96,11 +98,15 @@ pub fn mine_gidlist_with_border_exec(
             }
             (next, failed)
         });
+        let next_size = level[0].0.len() as u32 + 1;
         let mut next: Vec<(Itemset, Vec<u32>)> = Vec::new();
+        let mut failed = 0u64;
         for (n, f) in parts {
             next.extend(n);
+            failed += f.len() as u64;
             border.extend(f);
         }
+        exec.note_level(next_size, next.len() as u64 + failed, failed);
         level = next;
     }
     (large, border)
@@ -121,12 +127,14 @@ impl ItemsetMiner for AprioriCount {
 
         // L1: sharded singleton scan.
         let counts = exec.item_counts(&input.groups);
+        let l1_generated = counts.len() as u64;
         let mut level: Vec<LargeItemset> = counts
             .into_iter()
             .filter(|(_, c)| *c >= input.min_groups)
             .map(|(it, c)| (vec![it], c))
             .collect();
         level.sort_by(|a, b| a.0.cmp(&b.0));
+        exec.note_level(1, l1_generated, l1_generated - level.len() as u64);
 
         while !level.is_empty() {
             large.extend(level.iter().cloned());
@@ -150,6 +158,8 @@ impl ItemsetMiner for AprioriCount {
                 cands
             });
             let candidates: Vec<Itemset> = parts.into_iter().flatten().collect();
+            let next_size = level[0].0.len() as u32 + 1;
+            let generated = candidates.len() as u64;
             // The support scan — the pass that dominates — is sharded
             // over the groups with per-shard counts summed positionally.
             level = exec
@@ -157,6 +167,7 @@ impl ItemsetMiner for AprioriCount {
                 .into_iter()
                 .filter(|(_, c)| *c >= input.min_groups)
                 .collect();
+            exec.note_level(next_size, generated, generated - level.len() as u64);
         }
         large
     }

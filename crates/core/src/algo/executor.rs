@@ -20,20 +20,54 @@
 //! what lets the engine flip worker counts freely without perturbing the
 //! mined rule set.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use super::itemset::{is_subset, Itemset};
 use super::LargeItemset;
 
+/// Candidate counts for one level of a level-wise algorithm (keyed by
+/// itemset size `k`). `generated` counts candidates produced by the join
+/// step; `pruned` counts those that then failed the support threshold.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelStats {
+    pub generated: u64,
+    pub pruned: u64,
+}
+
+/// Work accounting accumulated by an executor across one mining run,
+/// drained by the core operator and published to the telemetry registry
+/// (`core.*` metrics — see `docs/OBSERVABILITY.md`). Everything except
+/// `shards_run` and `merge_passes` is worker-count invariant, mirroring
+/// the executor's determinism contract.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Shard closures executed (≥ passes; varies with worker count).
+    pub shards_run: u64,
+    /// Sharded passes whose results were merged.
+    pub merge_passes: u64,
+    /// Wall-clock spent merging per-shard results back together.
+    pub merge_time: Duration,
+    /// Group rows visited by whole-group scans (L1 scans, gid-list
+    /// builds, candidate-support passes).
+    pub groups_scanned: u64,
+    /// Candidates whose support was counted by [`ShardExec::count_candidates`].
+    pub candidates_counted: u64,
+    /// Per-level candidate generation/pruning, reported by the
+    /// level-wise pool members via [`ShardExec::note_level`].
+    pub levels: BTreeMap<u32, LevelStats>,
+}
+
 /// A shard-parallel executor. One instance drives a single mining run;
-/// per-shard wall-clock timings accumulate inside and can be drained
-/// afterwards for reporting (`PhaseTimings::core_shards`).
+/// per-shard wall-clock timings and work statistics accumulate inside
+/// and can be drained afterwards for reporting
+/// (`PhaseTimings::core_shards`, the `core.*` telemetry metrics).
 #[derive(Debug, Default)]
 pub struct ShardExec {
     workers: usize,
     shard_timings: Mutex<Vec<Duration>>,
+    stats: Mutex<ExecStats>,
 }
 
 impl ShardExec {
@@ -42,6 +76,7 @@ impl ShardExec {
         ShardExec {
             workers: workers.max(1),
             shard_timings: Mutex::new(Vec::new()),
+            stats: Mutex::new(ExecStats::default()),
         }
     }
 
@@ -60,6 +95,37 @@ impl ShardExec {
     /// `map_shards` invocation appends one duration per shard it ran.
     pub fn take_shard_timings(&self) -> Vec<Duration> {
         std::mem::take(&mut self.shard_timings.lock().expect("timings lock"))
+    }
+
+    /// Drain the work statistics accumulated since the last call.
+    pub fn take_stats(&self) -> ExecStats {
+        std::mem::take(&mut self.stats.lock().expect("stats lock"))
+    }
+
+    /// Record one level of candidate generation: `generated` candidates
+    /// of size `k` were produced, of which `pruned` failed the support
+    /// threshold. Called by the level-wise pool members; counts are
+    /// worker-count invariant by the determinism contract.
+    pub fn note_level(&self, k: u32, generated: u64, pruned: u64) {
+        if generated == 0 && pruned == 0 {
+            return;
+        }
+        let mut stats = self.stats.lock().expect("stats lock");
+        let entry = stats.levels.entry(k).or_default();
+        entry.generated += generated;
+        entry.pruned += pruned;
+    }
+
+    fn note_merge(&self, started: Instant) {
+        let mut stats = self.stats.lock().expect("stats lock");
+        stats.merge_passes += 1;
+        stats.merge_time += started.elapsed();
+    }
+
+    fn note_scan(&self, groups: u64, candidates: u64) {
+        let mut stats = self.stats.lock().expect("stats lock");
+        stats.groups_scanned += groups;
+        stats.candidates_counted += candidates;
     }
 
     /// Split `items` into at most `workers` contiguous chunks and apply
@@ -85,6 +151,7 @@ impl ShardExec {
                 .lock()
                 .expect("timings lock")
                 .push(t.elapsed());
+            self.stats.lock().expect("stats lock").shards_run += 1;
             return vec![out];
         }
         let timed: Vec<(R, Duration)> = std::thread::scope(|scope| {
@@ -106,6 +173,7 @@ impl ShardExec {
                 .map(|h| h.join().expect("shard worker panicked"))
                 .collect()
         });
+        self.stats.lock().expect("stats lock").shards_run += timed.len() as u64;
         let mut timings = self.shard_timings.lock().expect("timings lock");
         timed
             .into_iter()
@@ -126,6 +194,7 @@ impl ShardExec {
         if candidates.is_empty() {
             return Vec::new();
         }
+        self.note_scan(groups.len() as u64, candidates.len() as u64);
         let cand = &candidates;
         let partials = self.map_shards(groups, |_, part| {
             let mut counts = vec![0u32; cand.len()];
@@ -138,18 +207,21 @@ impl ShardExec {
             }
             counts
         });
+        let merge_start = Instant::now();
         let mut totals = vec![0u32; candidates.len()];
         for partial in partials {
             for (t, c) in totals.iter_mut().zip(partial) {
                 *t += c;
             }
         }
+        self.note_merge(merge_start);
         candidates.into_iter().zip(totals).collect()
     }
 
     /// Per-item occurrence counts over all groups (the L1 scan), merged
     /// from per-shard maps.
     pub fn item_counts(&self, groups: &[Vec<u32>]) -> HashMap<u32, u32> {
+        self.note_scan(groups.len() as u64, 0);
         let partials = self.map_shards(groups, |_, part| {
             let mut counts: HashMap<u32, u32> = HashMap::new();
             for items in part {
@@ -159,12 +231,14 @@ impl ShardExec {
             }
             counts
         });
+        let merge_start = Instant::now();
         let mut merged: HashMap<u32, u32> = HashMap::new();
         for partial in partials {
             for (it, c) in partial {
                 *merged.entry(it).or_insert(0) += c;
             }
         }
+        self.note_merge(merge_start);
         merged
     }
 
@@ -173,6 +247,7 @@ impl ShardExec {
     /// order, so each list comes out globally sorted — identical to a
     /// sequential scan.
     pub fn gidlists(&self, groups: &[Vec<u32>]) -> HashMap<u32, Vec<u32>> {
+        self.note_scan(groups.len() as u64, 0);
         let partials = self.map_shards(groups, |start, part| {
             let mut lists: HashMap<u32, Vec<u32>> = HashMap::new();
             for (g, items) in part.iter().enumerate() {
@@ -182,12 +257,14 @@ impl ShardExec {
             }
             lists
         });
+        let merge_start = Instant::now();
         let mut merged: HashMap<u32, Vec<u32>> = HashMap::new();
         for partial in partials {
             for (it, mut gl) in partial {
                 merged.entry(it).or_default().append(&mut gl);
             }
         }
+        self.note_merge(merge_start);
         merged
     }
 
@@ -288,6 +365,57 @@ mod tests {
         let t = exec.take_shard_timings();
         assert_eq!(t.len(), 2);
         assert!(exec.take_shard_timings().is_empty(), "drained");
+    }
+
+    #[test]
+    fn stats_accumulate_and_drain() {
+        let exec = ShardExec::new(2);
+        let g = groups();
+        exec.count_candidates(&g, vec![vec![1], vec![2, 3]]);
+        exec.item_counts(&g);
+        exec.note_level(2, 10, 4);
+        exec.note_level(2, 5, 1);
+        exec.note_level(3, 0, 0); // ignored: nothing to record
+        let stats = exec.take_stats();
+        assert_eq!(stats.groups_scanned, 2 * g.len() as u64);
+        assert_eq!(stats.candidates_counted, 2);
+        assert_eq!(stats.merge_passes, 2);
+        assert!(stats.shards_run >= 2);
+        assert_eq!(stats.levels.len(), 1);
+        assert_eq!(
+            stats.levels[&2],
+            LevelStats {
+                generated: 15,
+                pruned: 5
+            }
+        );
+        assert_eq!(exec.take_stats(), ExecStats::default(), "drained");
+    }
+
+    #[test]
+    fn scan_stats_are_worker_invariant() {
+        let g = groups();
+        let candidates = vec![vec![1], vec![2], vec![2, 3]];
+        let expect = {
+            let exec = ShardExec::sequential();
+            exec.count_candidates(&g, candidates.clone());
+            exec.gidlists(&g);
+            let mut s = exec.take_stats();
+            s.shards_run = 0;
+            s.merge_time = Duration::ZERO;
+            s.merge_passes = 0;
+            s
+        };
+        for workers in [2, 3, 7] {
+            let exec = ShardExec::new(workers);
+            exec.count_candidates(&g, candidates.clone());
+            exec.gidlists(&g);
+            let mut s = exec.take_stats();
+            s.shards_run = 0;
+            s.merge_time = Duration::ZERO;
+            s.merge_passes = 0;
+            assert_eq!(s, expect, "workers={workers}");
+        }
     }
 
     #[test]

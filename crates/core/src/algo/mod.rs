@@ -143,6 +143,16 @@ pub struct EncodedRule {
     pub confidence: f64,
 }
 
+/// Accounting from [`rules_from_itemsets_counted`], published to the
+/// telemetry registry as `core.rules.*`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuleGenStats {
+    /// Body/head splits whose confidence was evaluated.
+    pub candidates: u64,
+    /// Splits rejected by the confidence threshold.
+    pub pruned_confidence: u64,
+}
+
 /// Build rules `(L − H) ⇒ H` from the large-itemset inventory (§4.3.1),
 /// honouring the statement's cardinality specifications and minimum
 /// confidence. Support of each emitted rule is `count(L) / total`;
@@ -154,11 +164,24 @@ pub fn rules_from_itemsets(
     head_card: CardSpec,
     min_confidence: f64,
 ) -> Result<Vec<EncodedRule>> {
+    rules_from_itemsets_counted(large, total_groups, body_card, head_card, min_confidence)
+        .map(|(rules, _)| rules)
+}
+
+/// [`rules_from_itemsets`] also returning split-evaluation counts.
+pub fn rules_from_itemsets_counted(
+    large: &[LargeItemset],
+    total_groups: u32,
+    body_card: CardSpec,
+    head_card: CardSpec,
+    min_confidence: f64,
+) -> Result<(Vec<EncodedRule>, RuleGenStats)> {
     let counts: HashMap<&[u32], u32> = large
         .iter()
         .map(|(set, cnt)| (set.as_slice(), *cnt))
         .collect();
     let mut out = Vec::new();
+    let mut stats = RuleGenStats::default();
     for (set, cnt) in large {
         if set.len() < 2 {
             continue;
@@ -187,6 +210,7 @@ pub fn rules_from_itemsets(
                 });
                 return;
             };
+            stats.candidates += 1;
             let confidence = *cnt as f64 / body_cnt as f64;
             if confidence + 1e-12 >= min_confidence {
                 out.push(EncodedRule {
@@ -196,13 +220,15 @@ pub fn rules_from_itemsets(
                     support: *cnt as f64 / total_groups as f64,
                     confidence,
                 });
+            } else {
+                stats.pruned_confidence += 1;
             }
         });
         if let Some(e) = failure {
             return Err(e);
         }
     }
-    Ok(out)
+    Ok((out, stats))
 }
 
 /// Canonical sort for comparing rule inventories in tests.

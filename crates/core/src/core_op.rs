@@ -50,6 +50,7 @@ use crate::encoded::{EncodedData, EncodedInput, GeneralTuple};
 use crate::error::{MineError, Result};
 use crate::lattice::elementary::{build_contexts, BuildOptions};
 use crate::lattice::{mine_general_with_stats, ExpansionOrder, GeneralParams, LatticeStats};
+use crate::telemetry::Telemetry;
 
 /// Options steering the core operator (the "directives" of Figure 3a that
 /// aren't derivable from the statement alone).
@@ -92,10 +93,27 @@ pub struct CoreOutput {
     pub shard_timings: Vec<Duration>,
 }
 
-/// Run the core operator on encoded input.
+/// Run the core operator on encoded input (no telemetry).
 pub fn run_core(input: &EncodedInput, opts: &CoreOptions) -> Result<CoreOutput> {
+    run_core_with_telemetry(input, opts, &Telemetry::disabled())
+}
+
+/// Run the core operator, publishing `core.*` metrics (work counters,
+/// per-level candidate generation/pruning, per-shard timings and merge
+/// time) to the given telemetry registry. Telemetry never changes the
+/// mined rules — a disabled handle yields a bit-identical [`CoreOutput`].
+pub fn run_core_with_telemetry(
+    input: &EncodedInput,
+    opts: &CoreOptions,
+    telemetry: &Telemetry,
+) -> Result<CoreOutput> {
+    if opts.workers == 0 {
+        return Err(MineError::InvalidWorkerCount { value: 0 });
+    }
     match &input.data {
         EncodedData::Simple { groups } if !opts.force_general => {
+            telemetry.counter_inc("core.path.simple");
+            telemetry.counter_add("core.groups", groups.len() as u64);
             let miner =
                 algo::by_name(&opts.algorithm).ok_or_else(|| MineError::UnknownAlgorithm {
                     name: opts.algorithm.clone(),
@@ -104,7 +122,8 @@ pub fn run_core(input: &EncodedInput, opts: &CoreOptions) -> Result<CoreOutput> 
                 SimpleInput::from_groups(groups.clone(), input.total_groups, input.min_groups);
             let exec = ShardExec::new(opts.workers);
             let large = miner.mine_sharded(&simple, &exec);
-            let mut rules = algo::rules_from_itemsets(
+            telemetry.counter_add("core.itemsets.large", large.len() as u64);
+            let (mut rules, rule_stats) = algo::rules_from_itemsets_counted(
                 &large,
                 input.total_groups,
                 input.body_card,
@@ -112,11 +131,16 @@ pub fn run_core(input: &EncodedInput, opts: &CoreOptions) -> Result<CoreOutput> 
                 input.min_confidence,
             )?;
             algo::sort_rules(&mut rules);
+            telemetry.counter_add("core.rules.candidates", rule_stats.candidates);
+            telemetry.counter_add("core.rules.pruned_confidence", rule_stats.pruned_confidence);
+            telemetry.counter_add("core.rules.emitted", rules.len() as u64);
+            let shard_timings = exec.take_shard_timings();
+            publish_exec_stats(telemetry, &exec, &shard_timings);
             Ok(CoreOutput {
                 rules,
                 used_general: false,
                 lattice_stats: None,
-                shard_timings: exec.take_shard_timings(),
+                shard_timings,
             })
         }
         EncodedData::Simple { groups } => {
@@ -133,7 +157,7 @@ pub fn run_core(input: &EncodedInput, opts: &CoreOptions) -> Result<CoreOutput> 
                     })
                 })
                 .collect();
-            run_general(input, &tuples, None, None, opts)
+            run_general(input, &tuples, None, None, opts, telemetry)
         }
         EncodedData::General {
             tuples,
@@ -145,7 +169,28 @@ pub fn run_core(input: &EncodedInput, opts: &CoreOptions) -> Result<CoreOutput> 
             cluster_couples.as_deref(),
             input_rules.as_deref(),
             opts,
+            telemetry,
         ),
+    }
+}
+
+/// Publish a simple-path run's executor accounting as `core.*` metrics.
+fn publish_exec_stats(telemetry: &Telemetry, exec: &ShardExec, shard_timings: &[Duration]) {
+    if !telemetry.is_enabled() {
+        return;
+    }
+    let stats = exec.take_stats();
+    telemetry.counter_add("core.shards.run", stats.shards_run);
+    telemetry.counter_add("core.groups.scanned", stats.groups_scanned);
+    telemetry.counter_add("core.candidates.counted", stats.candidates_counted);
+    telemetry.counter_add("core.merge.passes", stats.merge_passes);
+    telemetry.record_duration("core.merge", stats.merge_time);
+    for d in shard_timings {
+        telemetry.record_duration("core.shard", *d);
+    }
+    for (k, level) in &stats.levels {
+        telemetry.counter_add(&format!("core.level.{k}.generated"), level.generated);
+        telemetry.counter_add(&format!("core.level.{k}.pruned"), level.pruned);
     }
 }
 
@@ -155,7 +200,10 @@ fn run_general(
     couples: Option<&[(u32, u32, u32)]>,
     elementary: Option<&[crate::encoded::ElemRule]>,
     opts: &CoreOptions,
+    telemetry: &Telemetry,
 ) -> Result<CoreOutput> {
+    telemetry.counter_inc("core.path.general");
+    telemetry.counter_add("core.tuples", tuples.len() as u64);
     let contexts = build_contexts(
         tuples,
         couples,
@@ -178,6 +226,9 @@ fn run_general(
             order: opts.order,
         },
     )?;
+    telemetry.counter_add("core.lattice.candidates", stats.candidates_evaluated);
+    telemetry.counter_add("core.lattice.sets", stats.set_sizes.len() as u64);
+    telemetry.counter_add("core.rules.emitted", rules.len() as u64);
     Ok(CoreOutput {
         rules,
         used_general: true,
@@ -281,6 +332,51 @@ mod tests {
             assert!(message.contains(name), "message lists '{name}': {message}");
         }
         assert!(message.contains("nope"));
+    }
+
+    #[test]
+    fn zero_workers_is_a_user_facing_error() {
+        let input = simple_input(vec![(1, vec![1])], CardSpec::one_to_one());
+        let err = run_core(
+            &input,
+            &CoreOptions {
+                workers: 0,
+                ..CoreOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, MineError::InvalidWorkerCount { value: 0 }));
+        let message = err.to_string();
+        assert!(message.contains("'0'"), "names the offender: {message}");
+        assert!(
+            message.contains("at least 1"),
+            "states the domain: {message}"
+        );
+    }
+
+    #[test]
+    fn telemetry_records_core_metrics_without_changing_rules() {
+        let groups = vec![
+            (1, vec![1, 2, 3]),
+            (2, vec![1, 2]),
+            (3, vec![2, 3]),
+            (4, vec![1, 3]),
+        ];
+        let input = simple_input(groups, CardSpec::one_to_n());
+        let plain = run_core(&input, &CoreOptions::default()).unwrap();
+        let tel = Telemetry::new();
+        let instrumented = run_core_with_telemetry(&input, &CoreOptions::default(), &tel).unwrap();
+        assert_eq!(plain.rules, instrumented.rules, "telemetry is inert");
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("core.path.simple"), 1);
+        assert_eq!(snap.counter("core.groups"), 4);
+        assert_eq!(
+            snap.counter("core.rules.emitted"),
+            instrumented.rules.len() as u64
+        );
+        assert!(snap.counter("core.level.1.generated") > 0, "L1 reported");
+        assert!(snap.histogram("core.shard").is_some(), "shard timings");
+        assert!(snap.histogram("core.merge").is_some(), "merge time");
     }
 
     #[test]

@@ -17,6 +17,9 @@ pub enum MineError {
     /// The requested mining algorithm is not a member of the pool — a
     /// user configuration error, reported with the valid names.
     UnknownAlgorithm { name: String },
+    /// A worker count of zero was configured — a user configuration
+    /// error, reported with the valid domain (like `UnknownAlgorithm`).
+    InvalidWorkerCount { value: usize },
     /// Internal invariant broken (a bug).
     Internal { message: String },
 }
@@ -116,6 +119,10 @@ impl fmt::Display for MineError {
                 f,
                 "unknown mining algorithm '{name}'; the pool contains: {}",
                 crate::algo::POOL_NAMES.join(", ")
+            ),
+            MineError::InvalidWorkerCount { value } => write!(
+                f,
+                "invalid worker count '{value}'; the mining executor needs at least 1 worker"
             ),
             MineError::Internal { message } => write!(f, "internal error: {message}"),
         }

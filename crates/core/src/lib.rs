@@ -22,7 +22,10 @@
 //!
 //! The decoupled architecture the paper argues against is implemented in
 //! [`decoupled`] as a measurable baseline, and the paper's §2 worked
-//! example lives in [`paper_example`].
+//! example lives in [`paper_example`]. Every phase reports counters and
+//! span timings through the [`telemetry`] registry (see
+//! `docs/OBSERVABILITY.md`), exported as JSON via
+//! [`MineRuleEngine::metrics_snapshot`](pipeline::MineRuleEngine::metrics_snapshot).
 //!
 //! ## Quickstart
 //!
@@ -56,6 +59,7 @@ pub mod pipeline;
 pub mod postprocess;
 pub mod preprocess;
 pub mod reference;
+pub mod telemetry;
 pub mod translator;
 
 pub use ast::{CardMax, CardSpec, ElementSpec, MineRuleStatement, SourceTable};
@@ -64,4 +68,5 @@ pub use error::{MineError, Result, SemanticViolation};
 pub use parser::{is_mine_rule, parse_mine_rule};
 pub use pipeline::{MineRuleEngine, MiningOutcome, PhaseTimings};
 pub use postprocess::DecodedRule;
+pub use telemetry::{MetricsSnapshot, Telemetry};
 pub use translator::{translate, translate_with_prefix, Translation};

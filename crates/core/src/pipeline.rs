@@ -4,17 +4,25 @@
 //! operator → postprocessor against a [`relational::Database`], exactly
 //! mirroring the process flow of the paper's architecture, and returns a
 //! [`MiningOutcome`] with the decoded rules and a per-phase breakdown.
+//!
+//! Every run reports through the engine's [`Telemetry`] registry: phase
+//! spans (`phase.*` histograms), translator directive counters,
+//! preprocessor row counts per `Qi` step, core-operator work counters
+//! and postprocessor row counts — see `docs/OBSERVABILITY.md` for the
+//! full metric inventory. [`PhaseTimings`] is a per-run view derived
+//! from the same spans, kept for its established accessors.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use relational::Database;
 
-use crate::core_op::{run_core, CoreOptions, CoreOutput};
+use crate::core_op::{run_core_with_telemetry, CoreOptions, CoreOutput};
 use crate::encoded::read_encoded;
 use crate::error::Result;
 use crate::parser::parse_mine_rule;
 use crate::postprocess::{postprocess, read_rules, store_encoded_rules, DecodedRule};
 use crate::preprocess::{preprocess, PreprocessReport};
+use crate::telemetry::{MetricsSnapshot, Telemetry};
 use crate::translator::{translate_with_prefix, Translation};
 
 /// Wall-clock breakdown of one mining run.
@@ -60,13 +68,27 @@ pub struct MiningOutcome {
 }
 
 /// The mining engine: core-operator options plus encoded-table naming.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct MineRuleEngine {
     /// Core-operator configuration (algorithm choice, lattice order).
     pub core: CoreOptions,
     /// Prefix for the encoded tables (lets several statements share one
     /// catalog, and enables preprocessing reuse).
     pub table_prefix: String,
+    /// The metrics registry every run reports into. Enabled by default;
+    /// clones of the engine share the same registry. Disabling it
+    /// changes no mined output (enforced by `tests/telemetry.rs`).
+    telemetry: Telemetry,
+}
+
+impl Default for MineRuleEngine {
+    fn default() -> Self {
+        MineRuleEngine {
+            core: CoreOptions::default(),
+            table_prefix: String::new(),
+            telemetry: Telemetry::new(),
+        }
+    }
 }
 
 impl MineRuleEngine {
@@ -89,24 +111,66 @@ impl MineRuleEngine {
     }
 
     /// Run the core operator's mining executor with `workers` threads.
-    /// The mined rule set is identical for every value; only wall-clock
-    /// changes.
+    /// The mined rule set is identical for every valid value; only
+    /// wall-clock changes. A count of 0 is rejected when the statement
+    /// runs ([`crate::MineError::InvalidWorkerCount`]).
     pub fn with_workers(mut self, workers: usize) -> MineRuleEngine {
-        self.core.workers = workers.max(1);
+        self.core.workers = workers;
         self
+    }
+
+    /// Report runs into the given telemetry registry (replaces the
+    /// engine's own). Useful to share one registry across engines.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> MineRuleEngine {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Turn metric recording on (a fresh registry) or off.
+    pub fn set_telemetry_enabled(&mut self, enabled: bool) {
+        if enabled != self.telemetry.is_enabled() {
+            self.telemetry = if enabled {
+                Telemetry::new()
+            } else {
+                Telemetry::disabled()
+            };
+        }
+    }
+
+    /// Whether runs currently record metrics.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.is_enabled()
+    }
+
+    /// The engine's telemetry handle (cloning it shares the registry).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// A point-in-time copy of every metric recorded so far.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.telemetry.snapshot()
+    }
+
+    /// Clear all recorded metrics.
+    pub fn reset_metrics(&self) {
+        self.telemetry.reset();
     }
 
     /// Parse and execute a MINE RULE statement end to end.
     pub fn execute(&self, db: &mut Database, text: &str) -> Result<MiningOutcome> {
+        self.telemetry.counter_inc("translator.statements");
         let stmt = parse_mine_rule(text)?;
 
-        let t0 = Instant::now();
+        let span = self.telemetry.span("phase.translate");
         let translation = translate_with_prefix(&stmt, db.catalog(), &self.table_prefix)?;
-        let translate_time = t0.elapsed();
+        let translate_time = span.stop();
+        self.record_translation(&translation);
 
-        let t1 = Instant::now();
+        let span = self.telemetry.span("phase.preprocess");
         let preprocess_report = preprocess(db, &translation)?;
-        let preprocess_time = t1.elapsed();
+        let preprocess_time = span.stop();
+        self.record_preprocess(&preprocess_report);
 
         self.finish(
             db,
@@ -115,6 +179,49 @@ impl MineRuleEngine {
             translate_time,
             preprocess_time,
         )
+    }
+
+    /// Count the translation's directive classification
+    /// (`translator.*` metrics).
+    fn record_translation(&self, translation: &Translation) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry
+            .counter_inc(&format!("translator.class.{}", translation.class));
+        let d = &translation.directives;
+        for (flag, set) in [
+            ("h", d.h),
+            ("w", d.w),
+            ("m", d.m),
+            ("g", d.g),
+            ("c", d.c),
+            ("k", d.k),
+            ("f", d.f),
+            ("r", d.r),
+        ] {
+            if set {
+                self.telemetry
+                    .counter_inc(&format!("translator.directive.{flag}"));
+            }
+        }
+    }
+
+    /// Count rows materialised per `Qi` step (`preprocess.*` metrics).
+    fn record_preprocess(&self, report: &PreprocessReport) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry
+            .counter_add("preprocess.steps", report.executed.len() as u64);
+        for (id, rows) in &report.executed {
+            self.telemetry
+                .counter_add(&format!("preprocess.rows.{id}"), *rows as u64);
+        }
+        self.telemetry
+            .gauge_set("preprocess.total_groups", report.total_groups as i64);
+        self.telemetry
+            .gauge_set("preprocess.min_groups", report.min_groups as i64);
     }
 
     /// Execute against *already materialised* encoded tables (the shared
@@ -127,10 +234,13 @@ impl MineRuleEngine {
         db: &mut Database,
         text: &str,
     ) -> Result<MiningOutcome> {
+        self.telemetry.counter_inc("translator.statements");
+        self.telemetry.counter_inc("preprocess.reused");
         let stmt = parse_mine_rule(text)?;
-        let t0 = Instant::now();
+        let span = self.telemetry.span("phase.translate");
         let translation = translate_with_prefix(&stmt, db.catalog(), &self.table_prefix)?;
-        let translate_time = t0.elapsed();
+        let translate_time = span.stop();
+        self.record_translation(&translation);
 
         // Drop only the output-side tables so the decode joins can rerun.
         let out = &translation.stmt.output_table;
@@ -162,21 +272,25 @@ impl MineRuleEngine {
         translate_time: Duration,
         preprocess_time: Duration,
     ) -> Result<MiningOutcome> {
-        let t2 = Instant::now();
+        let span = self.telemetry.span("phase.core");
         let encoded = read_encoded(db, &translation)?;
         let CoreOutput {
             rules,
             used_general,
             shard_timings,
             ..
-        } = run_core(&encoded, &self.core)?;
-        let core_time = t2.elapsed();
+        } = run_core_with_telemetry(&encoded, &self.core, &self.telemetry)?;
+        let core_time = span.stop();
 
-        let t3 = Instant::now();
+        let span = self.telemetry.span("phase.postprocess");
         store_encoded_rules(db, &translation, &rules)?;
+        self.telemetry
+            .counter_add("postprocess.rules_stored", rules.len() as u64);
         postprocess(db, &translation)?;
         let decoded = read_rules(db, &translation)?;
-        let postprocess_time = t3.elapsed();
+        self.telemetry
+            .counter_add("postprocess.rules_decoded", decoded.len() as u64);
+        let postprocess_time = span.stop();
 
         Ok(MiningOutcome {
             rules: decoded,

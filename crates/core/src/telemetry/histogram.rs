@@ -1,0 +1,242 @@
+//! Duration histograms with fixed log2 buckets.
+//!
+//! Values are recorded in microseconds. Bucket `i` covers the half-open
+//! range `[2^(i-1), 2^i)` microseconds (bucket 0 holds the value 0), so
+//! the full layout is known statically, two histograms recorded on
+//! different machines merge by positional addition, and the exported
+//! JSON stays small regardless of how many samples were recorded.
+
+use std::time::Duration;
+
+/// Number of log2 buckets. Bucket `BUCKETS - 1` is the overflow bucket;
+/// `2^(BUCKETS-2)` µs ≈ 2.2 hours, far beyond any phase we time.
+pub const BUCKETS: usize = 34;
+
+/// A log2-bucketed histogram of microsecond values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum_us: u64,
+    min_us: u64,
+    max_us: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum_us: 0,
+            min_us: u64::MAX,
+            max_us: 0,
+        }
+    }
+}
+
+/// The bucket a microsecond value falls into: 0 for the value 0,
+/// otherwise `floor(log2(v)) + 1`, clamped to the overflow bucket.
+pub fn bucket_index(us: u64) -> usize {
+    if us == 0 {
+        0
+    } else {
+        ((64 - us.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// The half-open `[lo, hi)` microsecond range bucket `i` covers. The
+/// overflow bucket's upper bound is `u64::MAX`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    match i {
+        0 => (0, 1),
+        _ if i >= BUCKETS - 1 => (1 << (BUCKETS - 2), u64::MAX),
+        _ => (1 << (i - 1), 1 << i),
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one microsecond value.
+    pub fn record_us(&mut self, us: u64) {
+        self.buckets[bucket_index(us)] += 1;
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+        self.min_us = self.min_us.min(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Record a duration (truncated to whole microseconds).
+    pub fn record(&mut self, d: Duration) {
+        self.record_us(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Fold another histogram into this one. Equivalent to having
+    /// recorded both histograms' samples into a single one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
+        self.min_us = self.min_us.min(other.min_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values, in microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min_us(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_us
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// Mean recorded value in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// Raw bucket counts, index-aligned with [`bucket_bounds`].
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// `(lo_us, hi_us, count)` for every non-empty bucket.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = bucket_bounds(i);
+                (lo, hi, c)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1, "overflow clamps");
+    }
+
+    #[test]
+    fn bounds_partition_the_axis() {
+        // Every bucket's hi is the next bucket's lo: no gaps, no overlap.
+        for i in 0..BUCKETS - 1 {
+            let (_, hi) = bucket_bounds(i);
+            let (lo, _) = bucket_bounds(i + 1);
+            assert_eq!(hi, lo, "bucket {i} is contiguous with {}", i + 1);
+        }
+        // And bucket_index lands each boundary value in the right bucket.
+        for i in 1..BUCKETS - 1 {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(hi - 1), i);
+        }
+    }
+
+    #[test]
+    fn record_tracks_stats() {
+        let mut h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min_us(), 0);
+        for v in [3u64, 100, 0, 7] {
+            h.record_us(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum_us(), 110);
+        assert_eq!(h.min_us(), 0);
+        assert_eq!(h.max_us(), 100);
+        assert!((h.mean_us() - 27.5).abs() < 1e-12);
+        assert_eq!(h.buckets()[bucket_index(3)], 1, "3 sits alone in [2,4)");
+        assert_eq!(h.buckets()[bucket_index(7)], 1, "7 sits alone in [4,8)");
+    }
+
+    #[test]
+    fn record_duration_uses_micros() {
+        let mut h = Histogram::new();
+        h.record(Duration::from_millis(2));
+        assert_eq!(h.sum_us(), 2000);
+        assert_eq!(h.buckets()[bucket_index(2000)], 1);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let values_a = [0u64, 1, 5, 900, 1 << 20];
+        let values_b = [2u64, 5, 1 << 30, u64::MAX];
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut combined = Histogram::new();
+        for v in values_a {
+            a.record_us(v);
+            combined.record_us(v);
+        }
+        for v in values_b {
+            b.record_us(v);
+            combined.record_us(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, combined);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Histogram::new();
+        a.record_us(42);
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a, before);
+        let mut empty = Histogram::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn nonzero_buckets_are_sparse() {
+        let mut h = Histogram::new();
+        h.record_us(5);
+        h.record_us(6);
+        h.record_us(1000);
+        let nz = h.nonzero_buckets();
+        assert_eq!(nz.len(), 2);
+        assert_eq!(nz[0], (4, 8, 2));
+        assert_eq!(nz[1], (512, 1024, 1));
+    }
+}

@@ -1,0 +1,221 @@
+//! A minimal, dependency-free JSON value model and writer.
+//!
+//! The telemetry export and the benchmark harness both need to emit
+//! machine-readable JSON without pulling serde into an offline
+//! workspace. This module supports exactly what they produce: objects,
+//! arrays, strings, bools, integers and finite floats. Object key order
+//! is preserved as inserted, so exports are deterministic.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Signed integer (serialised without a decimal point).
+    Int(i64),
+    /// Unsigned integer — kept separate so u64 counters round-trip.
+    UInt(u64),
+    /// Finite float. Non-finite values serialise as `null`.
+    Float(f64),
+    Str(String),
+    Array(Vec<Json>),
+    /// Insertion-ordered key/value pairs.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience string constructor.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An empty object to push fields onto.
+    pub fn object() -> Json {
+        Json::Object(Vec::new())
+    }
+
+    /// Add a field to an object (panics on non-objects — a programming
+    /// error in the exporter, not a data error).
+    pub fn push(&mut self, key: impl Into<String>, value: Json) -> &mut Json {
+        match self {
+            Json::Object(fields) => fields.push((key.into(), value)),
+            other => panic!("Json::push on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Serialise with two-space indentation (human-friendly artifacts).
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Float(x) => write_float(out, *x),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Object(fields) if !fields.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+}
+
+/// Compact serialisation (`to_string()` via the blanket impl).
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_float(out: &mut String, x: f64) {
+    if x.is_finite() {
+        // Rust's Display for f64 is shortest-roundtrip, which is valid
+        // JSON except that it omits ".0" on integral values — fine.
+        let _ = write!(out, "{x}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_serialise() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(Json::Bool(true).to_string(), "true");
+        assert_eq!(Json::Int(-3).to_string(), "-3");
+        assert_eq!(Json::UInt(u64::MAX).to_string(), u64::MAX.to_string());
+        assert_eq!(Json::Float(0.5).to_string(), "0.5");
+        assert_eq!(Json::Float(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(
+            Json::str("a\"b\\c\nd\te\u{1}").to_string(),
+            "\"a\\\"b\\\\c\\nd\\te\\u0001\""
+        );
+    }
+
+    #[test]
+    fn nested_structure() {
+        let mut obj = Json::object();
+        obj.push("name", Json::str("ci"));
+        obj.push("xs", Json::Array(vec![Json::Int(1), Json::Int(2)]));
+        assert_eq!(obj.to_string(), r#"{"name":"ci","xs":[1,2]}"#);
+    }
+
+    #[test]
+    fn pretty_printing_round_trips_structure() {
+        let mut obj = Json::object();
+        obj.push("a", Json::Int(1));
+        obj.push("b", Json::Array(vec![Json::str("x")]));
+        let pretty = obj.to_pretty_string();
+        assert!(pretty.contains("\"a\": 1"));
+        assert!(pretty.ends_with("}\n"));
+    }
+
+    #[test]
+    fn empty_containers_stay_compact_in_pretty_mode() {
+        let mut obj = Json::object();
+        obj.push("empty", Json::Array(vec![]));
+        obj.push("obj", Json::object());
+        assert!(obj.to_pretty_string().contains("\"empty\": []"));
+        assert!(obj.to_pretty_string().contains("\"obj\": {}"));
+    }
+}

@@ -133,6 +133,36 @@ fn session_survives_every_failure() {
 }
 
 #[test]
+fn zero_workers_is_rejected_like_an_unknown_algorithm() {
+    let mut db = purchase_db();
+    let mut engine = MineRuleEngine::new().with_workers(0);
+    let err = engine
+        .execute(
+            &mut db,
+            "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD \
+             FROM Purchase GROUP BY customer \
+             EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.1",
+        )
+        .unwrap_err();
+    assert!(matches!(err, MineError::InvalidWorkerCount { value: 0 }));
+    // Same user-facing shape as UnknownAlgorithm: name the offending
+    // value and the valid domain.
+    let message = err.to_string();
+    assert!(message.contains("'0'"), "{message}");
+    assert!(message.contains("at least 1"), "{message}");
+    // The session recovers once the setting is corrected.
+    engine.core.workers = 1;
+    assert!(engine
+        .execute(
+            &mut db,
+            "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD \
+             FROM Purchase GROUP BY customer \
+             EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.1",
+        )
+        .is_ok());
+}
+
+#[test]
 fn unknown_algorithm_fails_after_preprocessing_but_session_recovers() {
     let mut db = purchase_db();
     let mut engine = MineRuleEngine::new();

@@ -1,0 +1,175 @@
+//! End-to-end observability contract: the engine's telemetry registry
+//! records exact, deterministic work counters for the paper's example
+//! data, and recording never changes the mined rules.
+
+use minerule::paper_example::{purchase_db, FILTERED_ORDERED_SETS};
+use minerule::MineRuleEngine;
+
+/// A simple-class statement over the paper's Purchase table (Figure 1):
+/// two customer groups, gid-list Apriori, 18 rules at these thresholds.
+const SIMPLE: &str = "MINE RULE SimpleAssociations AS \
+    SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD, SUPPORT, CONFIDENCE \
+    FROM Purchase GROUP BY customer \
+    EXTRACTING RULES WITH SUPPORT: 0.25, CONFIDENCE: 0.5";
+
+#[test]
+fn simple_path_records_exact_counters() {
+    let mut db = purchase_db();
+    let engine = MineRuleEngine::new();
+    let outcome = engine.execute(&mut db, SIMPLE).unwrap();
+    assert_eq!(outcome.rules.len(), 18);
+
+    let snap = engine.metrics_snapshot();
+    // Translator: one simple statement, no directive flags set.
+    assert_eq!(snap.counter("translator.statements"), 1);
+    assert_eq!(snap.counter("translator.class.simple"), 1);
+    assert_eq!(snap.counter("translator.class.general"), 0);
+    for flag in ["h", "w", "m", "g", "c", "k", "f", "r"] {
+        assert_eq!(
+            snap.counter(&format!("translator.directive.{flag}")),
+            0,
+            "directive {flag}"
+        );
+    }
+    // Preprocessor: row counts per materialisation step (Figure 1 data).
+    assert_eq!(snap.counter("preprocess.steps"), 8);
+    assert_eq!(snap.counter("preprocess.rows.Q1"), 1);
+    assert_eq!(snap.counter("preprocess.rows.Q2"), 3);
+    assert_eq!(snap.counter("preprocess.rows.Q3"), 11);
+    assert_eq!(snap.counter("preprocess.rows.Q4"), 6);
+    assert_eq!(snap.gauge("preprocess.total_groups"), Some(2));
+    assert_eq!(snap.gauge("preprocess.min_groups"), Some(1));
+    // Core operator: gid-list Apriori over the two encoded groups.
+    assert_eq!(snap.counter("core.path.simple"), 1);
+    assert_eq!(snap.counter("core.path.general"), 0);
+    assert_eq!(snap.counter("core.groups"), 2);
+    assert_eq!(snap.counter("core.itemsets.large"), 13);
+    assert_eq!(snap.counter("core.level.1.generated"), 5);
+    assert_eq!(snap.counter("core.level.1.pruned"), 0);
+    assert_eq!(snap.counter("core.level.2.generated"), 10);
+    assert_eq!(snap.counter("core.level.2.pruned"), 4);
+    assert_eq!(snap.counter("core.level.3.generated"), 2);
+    assert_eq!(snap.counter("core.rules.candidates"), 18);
+    assert_eq!(snap.counter("core.rules.pruned_confidence"), 0);
+    assert_eq!(snap.counter("core.rules.emitted"), 18);
+    // Postprocessor: every encoded rule stored and decoded back.
+    assert_eq!(snap.counter("postprocess.rules_stored"), 18);
+    assert_eq!(snap.counter("postprocess.rules_decoded"), 18);
+    // Phase spans: exactly one sample each, and the span sums stay
+    // consistent with the PhaseTimings view derived from them.
+    for phase in [
+        "phase.translate",
+        "phase.preprocess",
+        "phase.core",
+        "phase.postprocess",
+    ] {
+        let h = snap.histogram(phase).unwrap_or_else(|| panic!("{phase}"));
+        assert_eq!(h.count(), 1, "{phase}");
+    }
+    assert!(
+        snap.histogram("phase.core").unwrap().sum_us() >= outcome.timings.core.as_micros() as u64,
+        "span covers the timed phase"
+    );
+}
+
+#[test]
+fn general_path_records_exact_counters() {
+    let mut db = purchase_db();
+    let engine = MineRuleEngine::new();
+    let outcome = engine.execute(&mut db, FILTERED_ORDERED_SETS).unwrap();
+    assert_eq!(outcome.rules.len(), 3, "Figure 2b");
+    assert!(outcome.used_general);
+
+    let snap = engine.metrics_snapshot();
+    assert_eq!(snap.counter("translator.statements"), 1);
+    assert_eq!(snap.counter("translator.class.general"), 1);
+    // The statement sets exactly the W, M, C and K directives.
+    for (flag, expect) in [
+        ("h", 0),
+        ("w", 1),
+        ("m", 1),
+        ("g", 0),
+        ("c", 1),
+        ("k", 1),
+        ("f", 0),
+        ("r", 0),
+    ] {
+        assert_eq!(
+            snap.counter(&format!("translator.directive.{flag}")),
+            expect,
+            "directive {flag}"
+        );
+    }
+    assert_eq!(snap.counter("preprocess.steps"), 17);
+    assert_eq!(snap.counter("preprocess.rows.Q0"), 8, "one row per tuple");
+    assert_eq!(snap.counter("core.path.general"), 1);
+    assert_eq!(snap.counter("core.path.simple"), 0);
+    assert_eq!(snap.counter("core.tuples"), 8);
+    assert_eq!(snap.counter("core.rules.emitted"), 3);
+    assert_eq!(snap.counter("postprocess.rules_stored"), 3);
+    assert_eq!(snap.counter("postprocess.rules_decoded"), 3);
+}
+
+#[test]
+fn telemetry_off_yields_bit_identical_rules_and_records_nothing() {
+    let mut db_on = purchase_db();
+    let engine_on = MineRuleEngine::new();
+    let mut engine_off = MineRuleEngine::new();
+    engine_off.set_telemetry_enabled(false);
+    assert!(!engine_off.telemetry_enabled());
+
+    for stmt in [SIMPLE, FILTERED_ORDERED_SETS] {
+        let mut db_off = purchase_db();
+        let on = engine_on.execute(&mut db_on, stmt).unwrap();
+        let off = engine_off.execute(&mut db_off, stmt).unwrap();
+        // Bit-identical decoded inventory: same rules, same order, same
+        // floating-point support/confidence.
+        assert_eq!(on.rules, off.rules, "{stmt}");
+        // The disabled engine still reports phase wall-clock.
+        assert!(off.timings.total() > std::time::Duration::ZERO);
+    }
+    assert!(
+        engine_off.metrics_snapshot().is_empty(),
+        "off records nothing"
+    );
+    assert!(!engine_on.metrics_snapshot().is_empty());
+}
+
+#[test]
+fn work_counters_are_worker_count_invariant() {
+    let run = |workers: usize| {
+        let mut db = purchase_db();
+        let engine = MineRuleEngine::new().with_workers(workers);
+        let outcome = engine.execute(&mut db, SIMPLE).unwrap();
+        (outcome.rules, engine.metrics_snapshot())
+    };
+    let (rules_1, snap_1) = run(1);
+    let (rules_4, snap_4) = run(4);
+    assert_eq!(rules_1, rules_4, "determinism contract");
+    // Every counter except shard accounting is identical: the sharded
+    // executor does the same logical work regardless of fan-out.
+    for (name, value) in &snap_1.counters {
+        if name == "core.shards.run" {
+            continue;
+        }
+        assert_eq!(snap_4.counter(name), *value, "{name}");
+    }
+    assert!(snap_4.counter("core.shards.run") >= snap_1.counter("core.shards.run"));
+}
+
+#[test]
+fn snapshot_json_is_schema_versioned() {
+    let mut db = purchase_db();
+    let engine = MineRuleEngine::new();
+    engine.execute(&mut db, SIMPLE).unwrap();
+    let json = engine.metrics_snapshot().to_json();
+    assert!(json.starts_with("{\"schema_version\":1,"), "{json}");
+    assert!(json.contains("\"counters\""));
+    assert!(json.contains("\"gauges\""));
+    assert!(json.contains("\"histograms\""));
+    assert!(json.contains("\"log2_buckets\""));
+
+    // Reset empties every family.
+    engine.reset_metrics();
+    assert!(engine.metrics_snapshot().is_empty());
+}
