@@ -250,18 +250,34 @@ impl Session {
                         "off"
                     }
                 )),
+                (Some("gidset"), Some(name)) => match minerule::algo::GidSetRepr::parse(name) {
+                    // Bad names get the engine's own typed error, shaped
+                    // like the unknown-algorithm / zero-workers cases.
+                    Ok(repr) => {
+                        self.engine.core.gidset = repr;
+                        Outcome::Output(format!("gidset representation set to {repr}"))
+                    }
+                    Err(e) => Outcome::Output(e.to_string()),
+                },
+                (Some("gidset"), None) => Outcome::Output(format!(
+                    "gidset: {} (gid-set representation: list | bitset | auto; \
+                     rules are identical for any choice)",
+                    self.engine.core.gidset
+                )),
                 (None, _) => Outcome::Output(format!(
-                    "settings:\n  algorithm: {}\n  workers: {}\n  telemetry: {}",
+                    "settings:\n  algorithm: {}\n  workers: {}\n  telemetry: {}\n  gidset: {}",
                     self.engine.core.algorithm,
                     self.engine.core.workers,
                     if self.engine.telemetry_enabled() {
                         "on"
                     } else {
                         "off"
-                    }
+                    },
+                    self.engine.core.gidset
                 )),
                 (Some(other), _) => Outcome::Output(format!(
-                    "unknown setting '{other}' — try \\set workers N or \\set telemetry on|off"
+                    "unknown setting '{other}' — try \\set workers N, \\set telemetry on|off \
+                     or \\set gidset list|bitset|auto"
                 )),
             },
             "stats" => match words.next() {
@@ -380,6 +396,7 @@ Commands:
   \\algorithm [name]     show or set the simple-class mining algorithm
   \\set workers <n>      mining executor threads (same rules, faster core)
   \\set telemetry on|off toggle metric recording (rules identical either way)
+  \\set gidset <repr>    pin the gid-set representation: list | bitset | auto
   \\stats                show recorded pipeline metrics
   \\stats reset          clear recorded metrics
   \\stats json           dump the metrics snapshot as JSON
@@ -481,6 +498,40 @@ mod tests {
              EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.1",
         );
         assert!(result.contains("mined"), "{result}");
+    }
+
+    #[test]
+    fn gidset_setting() {
+        let mut s = Session::new();
+        assert!(out(&mut s, "\\set gidset").contains("gidset: auto"));
+        assert!(out(&mut s, "\\set gidset bitset").contains("gidset representation set to bitset"));
+        assert!(out(&mut s, "\\set").contains("gidset: bitset"));
+        // Bad names get the engine's typed error, stating the domain.
+        let bad = out(&mut s, "\\set gidset roaring");
+        assert!(
+            bad.contains("unknown gid-set representation 'roaring'"),
+            "{bad}"
+        );
+        assert!(bad.contains("list, bitset, auto"), "{bad}");
+        assert!(
+            out(&mut s, "\\set gidset").contains("gidset: bitset"),
+            "unchanged"
+        );
+        // Mining works with every representation and yields the same rules.
+        out(&mut s, "\\demo paper");
+        let stmt =
+            "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD, SUPPORT, CONFIDENCE \
+             FROM Purchase GROUP BY customer \
+             EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.1";
+        let mut outputs = Vec::new();
+        for repr in ["list", "bitset", "auto"] {
+            out(&mut s, &format!("\\set gidset {repr}"));
+            let result = out(&mut s, stmt);
+            assert!(result.contains("mined"), "{repr}: {result}");
+            out(&mut s, "DROP TABLE R");
+            outputs.push(result);
+        }
+        assert!(outputs.windows(2).all(|w| w[0] == w[1]), "same rule counts");
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! Apriori variants: gid-list based (the paper's §4.3.1 description) and
 //! classical candidate counting.
 
-use std::collections::HashMap;
-
 use super::executor::ShardExec;
-use super::itemset::{apriori_join, immediate_subsets, intersect, is_subset, Itemset};
+use super::gidset::{GidSet, GidSetRepr, GidSetScratch};
+use super::itemset::{apriori_join, is_subset, Itemset};
+use super::trie::ItemsetTrie;
 use super::{ItemsetMiner, LargeItemset, SimpleInput};
 
 /// Apriori with group-identifier lists: each itemset carries the sorted
@@ -36,6 +36,24 @@ pub fn mine_gidlist_with_border(
     mine_gidlist_with_border_exec(groups, min_groups, &ShardExec::sequential())
 }
 
+/// [`mine_gidlist_with_border`] on a fresh sequential executor with a
+/// pinned gid-set representation — the entry point the partition and
+/// sampling miners use for their inner passes, so a caller's
+/// representation choice propagates into them (the inner pass's gid
+/// universe is the local group slice, keeping the density heuristic
+/// meaningful).
+pub fn mine_gidlist_with_border_repr(
+    groups: &[Vec<u32>],
+    min_groups: u32,
+    repr: GidSetRepr,
+) -> (Vec<LargeItemset>, Vec<Itemset>) {
+    mine_gidlist_with_border_exec(
+        groups,
+        min_groups,
+        &ShardExec::sequential().with_gidset_repr(repr),
+    )
+}
+
 /// [`mine_gidlist_with_border`] with an explicit shard executor: the L1
 /// gid-list build and the per-level join/intersection step both run
 /// sharded. The join shards partition the *outer* index of the candidate
@@ -49,17 +67,20 @@ pub fn mine_gidlist_with_border_exec(
     let mut large: Vec<LargeItemset> = Vec::new();
     let mut border: Vec<Itemset> = Vec::new();
 
-    // L1 with gid lists, built shard-wise (lists come out sorted because
-    // shards are contiguous and merged in order).
-    let mut gidlists = exec.gidlists(groups);
-    let mut level: Vec<(Itemset, Vec<u32>)> = Vec::new();
-    let mut items: Vec<u32> = gidlists.keys().copied().collect();
+    // L1 with gid sets, built shard-wise (the underlying lists come out
+    // sorted because shards are contiguous and merged in order; the
+    // hybrid representation is chosen per set from the merged global
+    // cardinality, so it is worker-count invariant too).
+    let ctx = exec.gidset_ctx(groups.len());
+    let mut gidsets = exec.gidsets(groups, &ctx);
+    let mut level: Vec<(Itemset, GidSet)> = Vec::new();
+    let mut items: Vec<u32> = gidsets.keys().copied().collect();
     items.sort_unstable();
     let l1_generated = items.len() as u64;
     for it in items {
-        let gl = gidlists.remove(&it).unwrap();
-        if gl.len() as u32 >= min_groups {
-            level.push((vec![it], gl));
+        let gs = gidsets.remove(&it).unwrap();
+        if gs.len() >= min_groups {
+            level.push((vec![it], gs));
         } else {
             border.push(vec![it]);
         }
@@ -67,30 +88,34 @@ pub fn mine_gidlist_with_border_exec(
     exec.note_level(1, l1_generated, border.len() as u64);
 
     while !level.is_empty() {
-        for (set, gl) in &level {
-            large.push((set.clone(), gl.len() as u32));
+        for (set, gs) in &level {
+            large.push((set.clone(), gs.len()));
         }
         // Join step. `level` is sorted lexicographically, so joinable
         // prefixes are adjacent runs; the outer index is sharded across
-        // workers.
-        let keys: HashMap<&[u32], ()> = level.iter().map(|(s, _)| (s.as_slice(), ())).collect();
+        // workers. The prune probes a prefix trie over the level (shared
+        // immutably across shards), and intersections run through a
+        // per-shard scratch buffer so failed candidates never allocate.
+        let trie = ItemsetTrie::from_sets(level.iter().map(|(s, _)| s.as_slice()));
         let level_ref = &level;
-        let keys_ref = &keys;
+        let (trie_ref, ctx_ref) = (&trie, &ctx);
         let parts = exec.map_index_shards(level.len(), |range| {
-            let mut next: Vec<(Itemset, Vec<u32>)> = Vec::new();
+            let mut next: Vec<(Itemset, GidSet)> = Vec::new();
             let mut failed: Vec<Itemset> = Vec::new();
+            let mut scratch = GidSetScratch::default();
             for i in range {
                 for j in (i + 1)..level_ref.len() {
                     let Some(cand) = apriori_join(&level_ref[i].0, &level_ref[j].0) else {
                         break; // sorted: once prefixes diverge, no more joins
                     };
                     // Prune: every (k-1)-subset must be large.
-                    if !immediate_subsets(&cand).all(|s| keys_ref.contains_key(s.as_slice())) {
+                    if !trie_ref.contains_all_immediate_subsets(&cand) {
                         continue;
                     }
-                    let gl = intersect(&level_ref[i].1, &level_ref[j].1);
-                    if gl.len() as u32 >= min_groups {
-                        next.push((cand, gl));
+                    let support =
+                        ctx_ref.intersect_into(&level_ref[i].1, &level_ref[j].1, &mut scratch);
+                    if support >= min_groups {
+                        next.push((cand, ctx_ref.seal(&scratch)));
                     } else {
                         failed.push(cand);
                     }
@@ -98,8 +123,9 @@ pub fn mine_gidlist_with_border_exec(
             }
             (next, failed)
         });
+        exec.note_trie(trie.node_count() as u64, trie.take_lookups());
         let next_size = level[0].0.len() as u32 + 1;
-        let mut next: Vec<(Itemset, Vec<u32>)> = Vec::new();
+        let mut next: Vec<(Itemset, GidSet)> = Vec::new();
         let mut failed = 0u64;
         for (n, f) in parts {
             next.extend(n);
@@ -138,11 +164,12 @@ impl ItemsetMiner for AprioriCount {
 
         while !level.is_empty() {
             large.extend(level.iter().cloned());
-            let keys: HashMap<&[u32], ()> = level.iter().map(|(s, _)| (s.as_slice(), ())).collect();
+            let trie = ItemsetTrie::from_sets(level.iter().map(|(s, _)| s.as_slice()));
             let level_ref = &level;
-            let keys_ref = &keys;
+            let trie_ref = &trie;
             // Candidate generation sharded over the outer join index;
-            // shard outputs concatenate into the sequential order.
+            // shard outputs concatenate into the sequential order. The
+            // subset prune walks the shared prefix trie.
             let parts = exec.map_index_shards(level.len(), |range| {
                 let mut cands: Vec<Itemset> = Vec::new();
                 for i in range {
@@ -150,13 +177,14 @@ impl ItemsetMiner for AprioriCount {
                         let Some(cand) = apriori_join(&level_ref[i].0, &level_ref[j].0) else {
                             break;
                         };
-                        if immediate_subsets(&cand).all(|s| keys_ref.contains_key(s.as_slice())) {
+                        if trie_ref.contains_all_immediate_subsets(&cand) {
                             cands.push(cand);
                         }
                     }
                 }
                 cands
             });
+            exec.note_trie(trie.node_count() as u64, trie.take_lookups());
             let candidates: Vec<Itemset> = parts.into_iter().flatten().collect();
             let next_size = level[0].0.len() as u32 + 1;
             let generated = candidates.len() as u64;

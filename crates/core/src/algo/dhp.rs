@@ -7,7 +7,8 @@
 use std::collections::HashMap;
 
 use super::executor::ShardExec;
-use super::itemset::{apriori_join, immediate_subsets, Itemset};
+use super::itemset::{apriori_join, Itemset};
+use super::trie::ItemsetTrie;
 use super::{ItemsetMiner, LargeItemset, SimpleInput};
 
 /// DHP miner; `buckets` sizes the pair-hash table.
@@ -93,21 +94,23 @@ impl ItemsetMiner for Dhp {
             .filter(|(_, c)| *c >= input.min_groups)
             .collect();
 
-        // Levels ≥ 3: classical Apriori.
+        // Levels ≥ 3: classical Apriori (subset prune via a prefix trie
+        // over the level, probed without materialising the subsets).
         while !level.is_empty() {
             large.extend(level.iter().cloned());
-            let keys: HashMap<&[u32], ()> = level.iter().map(|(s, _)| (s.as_slice(), ())).collect();
+            let trie = ItemsetTrie::from_sets(level.iter().map(|(s, _)| s.as_slice()));
             let mut candidates: Vec<Itemset> = Vec::new();
             for i in 0..level.len() {
                 for j in (i + 1)..level.len() {
                     let Some(cand) = apriori_join(&level[i].0, &level[j].0) else {
                         break;
                     };
-                    if immediate_subsets(&cand).all(|s| keys.contains_key(s.as_slice())) {
+                    if trie.contains_all_immediate_subsets(&cand) {
                         candidates.push(cand);
                     }
                 }
             }
+            exec.note_trie(trie.node_count() as u64, trie.take_lookups());
             level = exec
                 .count_candidates(&input.groups, candidates)
                 .into_iter()

@@ -5,7 +5,8 @@
 //! natural "one more member" of the paper's interoperable pool.
 
 use super::executor::ShardExec;
-use super::itemset::{intersect, Itemset};
+use super::gidset::{GidSet, GidSetCtx, GidSetScratch};
+use super::itemset::Itemset;
 use super::{ItemsetMiner, LargeItemset, SimpleInput};
 
 /// Depth-first vertical miner.
@@ -18,34 +19,45 @@ impl ItemsetMiner for Eclat {
     }
 
     fn mine_sharded(&self, input: &SimpleInput, exec: &ShardExec) -> Vec<LargeItemset> {
-        // Vertical layout: item → sorted group ids (sharded build).
-        let gidlists = exec.gidlists(&input.groups);
-        let mut frontier: Vec<(u32, Vec<u32>)> = gidlists
+        // Vertical layout: item → gid set (sharded build; representation
+        // chosen per set from the merged global cardinality).
+        let ctx = exec.gidset_ctx(input.groups.len());
+        let gidsets = exec.gidsets(&input.groups, &ctx);
+        let mut frontier: Vec<(u32, GidSet)> = gidsets
             .into_iter()
-            .filter(|(_, gl)| gl.len() as u32 >= input.min_groups)
+            .filter(|(_, gs)| gs.len() >= input.min_groups)
             .collect();
         frontier.sort_by_key(|(it, _)| *it);
 
         // The search trees rooted at each top-level item are independent,
         // so the frontier index is sharded across workers; the final sort
-        // makes the inventory order worker-count invariant.
+        // makes the inventory order worker-count invariant. Each shard
+        // reuses one intersection scratch for its whole subtree walk.
         let min_groups = input.min_groups;
         let frontier_ref = &frontier;
+        let ctx_ref = &ctx;
         let parts = exec.map_index_shards(frontier.len(), |range| {
             let mut out: Vec<LargeItemset> = Vec::new();
+            let mut scratch = GidSetScratch::default();
             for i in range {
-                let (item, gl) = &frontier_ref[i];
+                let (item, gs) = &frontier_ref[i];
                 let mut prefix: Itemset = vec![*item];
-                out.push((prefix.clone(), gl.len() as u32));
-                let mut next: Vec<(u32, Vec<u32>)> = Vec::new();
-                for (other, other_gl) in &frontier_ref[i + 1..] {
-                    let joined = intersect(gl, other_gl);
-                    if joined.len() as u32 >= min_groups {
-                        next.push((*other, joined));
+                out.push((prefix.clone(), gs.len()));
+                let mut next: Vec<(u32, GidSet)> = Vec::new();
+                for (other, other_gs) in &frontier_ref[i + 1..] {
+                    if ctx_ref.intersect_into(gs, other_gs, &mut scratch) >= min_groups {
+                        next.push((*other, ctx_ref.seal(&scratch)));
                     }
                 }
                 if !next.is_empty() {
-                    dfs(&next, &mut prefix, min_groups, &mut out);
+                    dfs(
+                        ctx_ref,
+                        &next,
+                        &mut prefix,
+                        min_groups,
+                        &mut scratch,
+                        &mut out,
+                    );
                 }
             }
             out
@@ -59,24 +71,25 @@ impl ItemsetMiner for Eclat {
 /// Extend `prefix` with each frontier item; recurse on the conditional
 /// frontier of items that still qualify.
 fn dfs(
-    frontier: &[(u32, Vec<u32>)],
+    ctx: &GidSetCtx<'_>,
+    frontier: &[(u32, GidSet)],
     prefix: &mut Itemset,
     min_groups: u32,
+    scratch: &mut GidSetScratch,
     out: &mut Vec<LargeItemset>,
 ) {
-    for (i, (item, gl)) in frontier.iter().enumerate() {
+    for (i, (item, gs)) in frontier.iter().enumerate() {
         prefix.push(*item);
-        out.push((prefix.clone(), gl.len() as u32));
-        // Conditional frontier: later items intersected with this list.
-        let mut next: Vec<(u32, Vec<u32>)> = Vec::new();
-        for (other, other_gl) in &frontier[i + 1..] {
-            let joined = intersect(gl, other_gl);
-            if joined.len() as u32 >= min_groups {
-                next.push((*other, joined));
+        out.push((prefix.clone(), gs.len()));
+        // Conditional frontier: later items intersected with this set.
+        let mut next: Vec<(u32, GidSet)> = Vec::new();
+        for (other, other_gs) in &frontier[i + 1..] {
+            if ctx.intersect_into(gs, other_gs, scratch) >= min_groups {
+                next.push((*other, ctx.seal(scratch)));
             }
         }
         if !next.is_empty() {
-            dfs(&next, prefix, min_groups, out);
+            dfs(ctx, &next, prefix, min_groups, scratch, out);
         }
         prefix.pop();
     }

@@ -24,6 +24,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use super::gidset::{GidSet, GidSetCounters, GidSetCtx, GidSetRepr};
 use super::itemset::{is_subset, Itemset};
 use super::LargeItemset;
 
@@ -57,6 +58,17 @@ pub struct ExecStats {
     /// Per-level candidate generation/pruning, reported by the
     /// level-wise pool members via [`ShardExec::note_level`].
     pub levels: BTreeMap<u32, LevelStats>,
+    /// Gid sets materialised in list form (`core.gidset.list.picked`).
+    pub gidset_list_picked: u64,
+    /// Gid sets materialised in bitset form (`core.gidset.bitset.picked`).
+    pub gidset_bitset_picked: u64,
+    /// Gid-set intersections performed (`core.gidset.intersects`).
+    pub gidset_intersects: u64,
+    /// Prefix-trie arena nodes built for candidate pruning
+    /// (`core.trie.nodes`), reported via [`ShardExec::note_trie`].
+    pub trie_nodes: u64,
+    /// Prefix-trie walks performed (`core.trie.lookups`).
+    pub trie_lookups: u64,
 }
 
 /// A shard-parallel executor. One instance drives a single mining run;
@@ -66,6 +78,8 @@ pub struct ExecStats {
 #[derive(Debug, Default)]
 pub struct ShardExec {
     workers: usize,
+    gidset_repr: GidSetRepr,
+    gidset_counters: GidSetCounters,
     shard_timings: Mutex<Vec<Duration>>,
     stats: Mutex<ExecStats>,
 }
@@ -75,9 +89,31 @@ impl ShardExec {
     pub fn new(workers: usize) -> ShardExec {
         ShardExec {
             workers: workers.max(1),
+            gidset_repr: GidSetRepr::default(),
+            gidset_counters: GidSetCounters::default(),
             shard_timings: Mutex::new(Vec::new()),
             stats: Mutex::new(ExecStats::default()),
         }
+    }
+
+    /// Pin the gid-set physical representation the run's [`GidSetCtx`]s
+    /// will use (default: the per-set density heuristic).
+    pub fn with_gidset_repr(mut self, repr: GidSetRepr) -> ShardExec {
+        self.gidset_repr = repr;
+        self
+    }
+
+    /// The configured gid-set representation policy.
+    pub fn gidset_repr(&self) -> GidSetRepr {
+        self.gidset_repr
+    }
+
+    /// A gid-set context over `universe` gids, recording representation
+    /// choices and intersections into this executor's counters. Callers
+    /// mining a shard-local slice pass that slice's length as the
+    /// universe (gids are shard-offset, so density stays meaningful).
+    pub fn gidset_ctx(&self, universe: usize) -> GidSetCtx<'_> {
+        GidSetCtx::new(universe, self.gidset_repr, &self.gidset_counters)
     }
 
     /// The sequential executor (`workers = 1`); every `mine` call without
@@ -97,9 +133,28 @@ impl ShardExec {
         std::mem::take(&mut self.shard_timings.lock().expect("timings lock"))
     }
 
-    /// Drain the work statistics accumulated since the last call.
+    /// Drain the work statistics accumulated since the last call
+    /// (including the lock-free gid-set counters).
     pub fn take_stats(&self) -> ExecStats {
-        std::mem::take(&mut self.stats.lock().expect("stats lock"))
+        let mut stats = std::mem::take(&mut *self.stats.lock().expect("stats lock"));
+        let (list, bitset, intersects) = self.gidset_counters.drain();
+        stats.gidset_list_picked += list;
+        stats.gidset_bitset_picked += bitset;
+        stats.gidset_intersects += intersects;
+        stats
+    }
+
+    /// Record one candidate prefix-trie: `nodes` arena entries were
+    /// built and `lookups` walks performed. Worker-count invariant — the
+    /// trie is built from the merged level and every candidate's probes
+    /// are independent of the sharding.
+    pub fn note_trie(&self, nodes: u64, lookups: u64) {
+        if nodes == 0 && lookups == 0 {
+            return;
+        }
+        let mut stats = self.stats.lock().expect("stats lock");
+        stats.trie_nodes += nodes;
+        stats.trie_lookups += lookups;
     }
 
     /// Record one level of candidate generation: `generated` candidates
@@ -268,6 +323,17 @@ impl ShardExec {
         merged
     }
 
+    /// [`ShardExec::gidlists`] with each list converted to a [`GidSet`]
+    /// by `ctx`'s representation policy. The lists are built and merged
+    /// under the determinism contract first, so the density decision sees
+    /// the same global cardinalities at every worker count.
+    pub fn gidsets(&self, groups: &[Vec<u32>], ctx: &GidSetCtx<'_>) -> HashMap<u32, GidSet> {
+        self.gidlists(groups)
+            .into_iter()
+            .map(|(it, gl)| (it, ctx.build(gl)))
+            .collect()
+    }
+
     /// Shard an index range `0..n` (for loops whose iterations touch a
     /// shared slice rather than owning their data). Returns per-shard
     /// results in shard order.
@@ -416,6 +482,23 @@ mod tests {
             s.merge_passes = 0;
             assert_eq!(s, expect, "workers={workers}");
         }
+    }
+
+    #[test]
+    fn gidsets_follow_repr_and_feed_stats() {
+        let g = groups();
+        let exec = ShardExec::new(2).with_gidset_repr(GidSetRepr::Bitset);
+        assert_eq!(exec.gidset_repr(), GidSetRepr::Bitset);
+        let ctx = exec.gidset_ctx(g.len());
+        let sets = exec.gidsets(&g, &ctx);
+        assert!(sets.values().all(|s| s.is_bitset()));
+        assert_eq!(sets[&1].to_sorted_list(), vec![0, 1, 3, 4]);
+        exec.note_trie(5, 12);
+        let stats = exec.take_stats();
+        assert_eq!(stats.gidset_bitset_picked, sets.len() as u64);
+        assert_eq!(stats.gidset_list_picked, 0);
+        assert_eq!((stats.trie_nodes, stats.trie_lookups), (5, 12));
+        assert_eq!(exec.take_stats(), ExecStats::default(), "atomics drained");
     }
 
     #[test]

@@ -19,22 +19,63 @@ pub fn is_subset(a: &[u32], b: &[u32]) -> bool {
     true
 }
 
+/// When the shorter list is this many times shorter than the longer one,
+/// [`intersect_into`] gallops (exponential search) instead of merging.
+pub(crate) const GALLOP_FACTOR: usize = 16;
+
 /// Intersect two strictly ascending id lists.
+///
+/// Thin wrapper over [`intersect_into`] for callers that want an owned
+/// result; hot loops should pass a reusable buffer instead.
 pub fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
-    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let mut out = Vec::new();
+    intersect_into(a, b, &mut out);
+    out
+}
+
+/// Intersect two strictly ascending id lists into a caller-provided
+/// buffer (cleared first), so per-candidate loops can reuse one
+/// allocation. Skewed pairs (one list ≥ 16× longer) use galloping —
+/// exponential search positions each element of the short list in the
+/// long one in `O(short · log(long/short))` instead of `O(short + long)`.
+pub fn intersect_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    out.clear();
+    let (small, big) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    out.reserve(small.len());
+    if small.len() * GALLOP_FACTOR < big.len() {
+        let mut base = 0usize;
+        for &x in small {
+            let tail = &big[base..];
+            if tail.is_empty() {
+                break;
+            }
+            let mut step = 1usize;
+            while step < tail.len() && tail[step] < x {
+                step <<= 1;
+            }
+            let end = (step + 1).min(tail.len());
+            match tail[..end].binary_search(&x) {
+                Ok(i) => {
+                    out.push(x);
+                    base += i + 1;
+                }
+                Err(i) => base += i,
+            }
+        }
+        return;
+    }
     let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
+    while i < small.len() && j < big.len() {
+        match small[i].cmp(&big[j]) {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
-                out.push(a[i]);
+                out.push(small[i]);
                 i += 1;
                 j += 1;
             }
         }
     }
-    out
 }
 
 /// Apriori join: combine two k-itemsets sharing their first k-1 items into
@@ -65,7 +106,13 @@ pub fn immediate_subsets(set: &[u32]) -> impl Iterator<Item = Itemset> + '_ {
 /// invoking `f(subset)` for each.
 pub fn for_each_proper_subset(set: &[u32], max_size: usize, f: &mut impl FnMut(&[u32])) {
     let n = set.len();
-    let cap = max_size.min(n.saturating_sub(1));
+    if n <= 1 || max_size == 0 {
+        // Empty and singleton sets have no non-empty proper subsets, and a
+        // zero size cap admits nothing: skip the recursion (and its buffer
+        // allocation) entirely.
+        return;
+    }
+    let cap = max_size.min(n - 1);
     let mut buf: Vec<u32> = Vec::with_capacity(cap);
     fn rec(set: &[u32], start: usize, cap: usize, buf: &mut Vec<u32>, f: &mut impl FnMut(&[u32])) {
         for i in start..set.len() {
@@ -77,9 +124,7 @@ pub fn for_each_proper_subset(set: &[u32], max_size: usize, f: &mut impl FnMut(&
             buf.pop();
         }
     }
-    if cap > 0 {
-        rec(set, 0, cap, &mut buf, f);
-    }
+    rec(set, 0, cap, &mut buf, f);
 }
 
 #[cfg(test)]
@@ -98,6 +143,38 @@ mod tests {
     fn intersect_sorted() {
         assert_eq!(intersect(&[1, 3, 5, 7], &[2, 3, 5, 8]), vec![3, 5]);
         assert!(intersect(&[1], &[2]).is_empty());
+    }
+
+    #[test]
+    fn intersect_into_reuses_buffer() {
+        let mut buf = vec![99, 99];
+        intersect_into(&[1, 3, 5], &[3, 4, 5], &mut buf);
+        assert_eq!(buf, vec![3, 5], "buffer cleared before writing");
+        intersect_into(&[1], &[2], &mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn galloping_matches_merge_on_skewed_pairs() {
+        // Short list vs a 16×+ longer one triggers the galloping path;
+        // compare against the straightforward merge semantics.
+        let big: Vec<u32> = (0..1000).filter(|x| x % 3 != 0).collect();
+        for small in [
+            vec![],
+            vec![0],
+            vec![1],
+            vec![998, 999],
+            vec![1, 2, 500, 501, 997],
+            vec![2000],
+        ] {
+            let expect: Vec<u32> = small
+                .iter()
+                .copied()
+                .filter(|x| x % 3 != 0 && *x < 1000)
+                .collect();
+            assert_eq!(intersect(&small, &big), expect, "{small:?}");
+            assert_eq!(intersect(&big, &small), expect, "order-insensitive");
+        }
     }
 
     #[test]
@@ -122,5 +199,21 @@ mod tests {
         assert!(seen.contains(&vec![2, 3]));
         assert!(!seen.contains(&vec![1, 2, 3]), "proper subsets only");
         assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    fn proper_subsets_edge_cases() {
+        // Empty set, singleton, and a zero size cap all enumerate nothing
+        // (and return before allocating the recursion buffer).
+        let mut seen = Vec::new();
+        for_each_proper_subset(&[], 3, &mut |s| seen.push(s.to_vec()));
+        assert!(seen.is_empty(), "empty set");
+        for_each_proper_subset(&[42], 3, &mut |s| seen.push(s.to_vec()));
+        assert!(seen.is_empty(), "singleton has no non-empty proper subset");
+        for_each_proper_subset(&[1, 2, 3], 0, &mut |s| seen.push(s.to_vec()));
+        assert!(seen.is_empty(), "max_size = 0 admits nothing");
+        // Sanity: a 2-set still enumerates its two singletons.
+        for_each_proper_subset(&[1, 2], 5, &mut |s| seen.push(s.to_vec()));
+        assert_eq!(seen, vec![vec![1], vec![2]]);
     }
 }

@@ -22,13 +22,15 @@ pub mod dhp;
 pub mod eclat;
 pub mod executor;
 pub mod fpgrowth;
+pub mod gidset;
 pub mod itemset;
 pub mod partition;
 pub mod sampling;
+pub mod trie;
 
 pub use executor::ShardExec;
-
-use std::collections::HashMap;
+pub use gidset::{GidSet, GidSetCtx, GidSetRepr, GidSetScratch};
+pub use trie::ItemsetTrie;
 
 use crate::ast::CardSpec;
 use crate::error::{MineError, Result};
@@ -151,6 +153,12 @@ pub struct RuleGenStats {
     pub candidates: u64,
     /// Splits rejected by the confidence threshold.
     pub pruned_confidence: u64,
+    /// Arena nodes in the support-lookup trie over the inventory
+    /// (`core.trie.nodes`).
+    pub trie_nodes: u64,
+    /// Trie walks performed for body-support lookups
+    /// (`core.trie.lookups`).
+    pub trie_lookups: u64,
 }
 
 /// Build rules `(L − H) ⇒ H` from the large-itemset inventory (§4.3.1),
@@ -176,10 +184,14 @@ pub fn rules_from_itemsets_counted(
     head_card: CardSpec,
     min_confidence: f64,
 ) -> Result<(Vec<EncodedRule>, RuleGenStats)> {
-    let counts: HashMap<&[u32], u32> = large
-        .iter()
-        .map(|(set, cnt)| (set.as_slice(), *cnt))
-        .collect();
+    // Support lookups go through a prefix trie over the inventory: the
+    // body of a split is `set \ head`, which the trie resolves with a
+    // skip-walk (`get_excluding`) — the body is only materialised for
+    // rules that actually pass the confidence threshold.
+    let mut counts = ItemsetTrie::new();
+    for (set, cnt) in large {
+        counts.insert(set, *cnt);
+    }
     let mut out = Vec::new();
     let mut stats = RuleGenStats::default();
     for (set, cnt) in large {
@@ -196,12 +208,12 @@ pub fn rules_from_itemsets_counted(
             if !body_card.admits(body_len) {
                 return;
             }
-            let body: Itemset = set
-                .iter()
-                .copied()
-                .filter(|x| head.binary_search(x).is_err())
-                .collect();
-            let Some(&body_cnt) = counts.get(body.as_slice()) else {
+            let Some(body_cnt) = counts.get_excluding(set, head) else {
+                let body: Itemset = set
+                    .iter()
+                    .copied()
+                    .filter(|x| head.binary_search(x).is_err())
+                    .collect();
                 failure = Some(MineError::Internal {
                     message: format!(
                         "subset {body:?} of large itemset {set:?} missing from inventory \
@@ -213,6 +225,11 @@ pub fn rules_from_itemsets_counted(
             stats.candidates += 1;
             let confidence = *cnt as f64 / body_cnt as f64;
             if confidence + 1e-12 >= min_confidence {
+                let body: Itemset = set
+                    .iter()
+                    .copied()
+                    .filter(|x| head.binary_search(x).is_err())
+                    .collect();
                 out.push(EncodedRule {
                     body,
                     head: head.to_vec(),
@@ -228,6 +245,8 @@ pub fn rules_from_itemsets_counted(
             return Err(e);
         }
     }
+    stats.trie_nodes = counts.node_count() as u64;
+    stats.trie_lookups = counts.take_lookups();
     Ok((out, stats))
 }
 

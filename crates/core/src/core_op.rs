@@ -45,7 +45,7 @@
 
 use std::time::Duration;
 
-use crate::algo::{self, EncodedRule, ShardExec, SimpleInput};
+use crate::algo::{self, EncodedRule, GidSetRepr, ShardExec, SimpleInput};
 use crate::encoded::{EncodedData, EncodedInput, GeneralTuple};
 use crate::error::{MineError, Result};
 use crate::lattice::elementary::{build_contexts, BuildOptions};
@@ -67,6 +67,11 @@ pub struct CoreOptions {
     /// `1` keeps everything on the calling thread; any value produces the
     /// same rule inventory (the executor's determinism contract).
     pub workers: usize,
+    /// Physical gid-set representation for the vertical pool members
+    /// (simple path). [`GidSetRepr::Auto`] picks per set by density;
+    /// pinning `List` or `Bitset` is a debugging/bench knob — every
+    /// choice yields the same rule inventory.
+    pub gidset: GidSetRepr,
 }
 
 impl Default for CoreOptions {
@@ -76,6 +81,7 @@ impl Default for CoreOptions {
             order: ExpansionOrder::MinParent,
             force_general: false,
             workers: 1,
+            gidset: GidSetRepr::Auto,
         }
     }
 }
@@ -120,7 +126,7 @@ pub fn run_core_with_telemetry(
                 })?;
             let simple =
                 SimpleInput::from_groups(groups.clone(), input.total_groups, input.min_groups);
-            let exec = ShardExec::new(opts.workers);
+            let exec = ShardExec::new(opts.workers).with_gidset_repr(opts.gidset);
             let large = miner.mine_sharded(&simple, &exec);
             telemetry.counter_add("core.itemsets.large", large.len() as u64);
             let (mut rules, rule_stats) = algo::rules_from_itemsets_counted(
@@ -134,6 +140,8 @@ pub fn run_core_with_telemetry(
             telemetry.counter_add("core.rules.candidates", rule_stats.candidates);
             telemetry.counter_add("core.rules.pruned_confidence", rule_stats.pruned_confidence);
             telemetry.counter_add("core.rules.emitted", rules.len() as u64);
+            telemetry.counter_add("core.trie.nodes", rule_stats.trie_nodes);
+            telemetry.counter_add("core.trie.lookups", rule_stats.trie_lookups);
             let shard_timings = exec.take_shard_timings();
             publish_exec_stats(telemetry, &exec, &shard_timings);
             Ok(CoreOutput {
@@ -184,6 +192,11 @@ fn publish_exec_stats(telemetry: &Telemetry, exec: &ShardExec, shard_timings: &[
     telemetry.counter_add("core.groups.scanned", stats.groups_scanned);
     telemetry.counter_add("core.candidates.counted", stats.candidates_counted);
     telemetry.counter_add("core.merge.passes", stats.merge_passes);
+    telemetry.counter_add("core.gidset.list.picked", stats.gidset_list_picked);
+    telemetry.counter_add("core.gidset.bitset.picked", stats.gidset_bitset_picked);
+    telemetry.counter_add("core.gidset.intersects", stats.gidset_intersects);
+    telemetry.counter_add("core.trie.nodes", stats.trie_nodes);
+    telemetry.counter_add("core.trie.lookups", stats.trie_lookups);
     telemetry.record_duration("core.merge", stats.merge_time);
     for d in shard_timings {
         telemetry.record_duration("core.shard", *d);
@@ -377,6 +390,40 @@ mod tests {
         assert!(snap.counter("core.level.1.generated") > 0, "L1 reported");
         assert!(snap.histogram("core.shard").is_some(), "shard timings");
         assert!(snap.histogram("core.merge").is_some(), "merge time");
+    }
+
+    #[test]
+    fn gidset_representations_agree_on_rules() {
+        let groups = vec![
+            (1, vec![1, 2, 3]),
+            (2, vec![1, 2]),
+            (3, vec![2, 3]),
+            (4, vec![1, 3]),
+            (5, vec![1, 2, 3]),
+        ];
+        let input = simple_input(groups, CardSpec::one_to_n());
+        let baseline = run_core(
+            &input,
+            &CoreOptions {
+                gidset: GidSetRepr::List,
+                ..CoreOptions::default()
+            },
+        )
+        .unwrap();
+        for repr in [GidSetRepr::Bitset, GidSetRepr::Auto] {
+            for algorithm in ["apriori", "eclat", "partition", "sampling"] {
+                let out = run_core(
+                    &input,
+                    &CoreOptions {
+                        algorithm: algorithm.into(),
+                        gidset: repr,
+                        ..CoreOptions::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(out.rules, baseline.rules, "{algorithm} repr={repr}");
+            }
+        }
     }
 
     #[test]

@@ -20,6 +20,9 @@ pub enum MineError {
     /// A worker count of zero was configured — a user configuration
     /// error, reported with the valid domain (like `UnknownAlgorithm`).
     InvalidWorkerCount { value: usize },
+    /// An unrecognised gid-set representation name was configured — a
+    /// user configuration error, reported with the valid domain.
+    UnknownGidSetRepr { name: String },
     /// Internal invariant broken (a bug).
     Internal { message: String },
 }
@@ -123,6 +126,10 @@ impl fmt::Display for MineError {
             MineError::InvalidWorkerCount { value } => write!(
                 f,
                 "invalid worker count '{value}'; the mining executor needs at least 1 worker"
+            ),
+            MineError::UnknownGidSetRepr { name } => write!(
+                f,
+                "unknown gid-set representation '{name}'; valid choices: list, bitset, auto"
             ),
             MineError::Internal { message } => write!(f, "internal error: {message}"),
         }

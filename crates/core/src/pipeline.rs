@@ -119,6 +119,14 @@ impl MineRuleEngine {
         self
     }
 
+    /// Pin the physical gid-set representation used by the vertical pool
+    /// members (`auto` — the default — picks per set by density). Every
+    /// choice mines the same rules; this is a debugging/bench knob.
+    pub fn with_gidset(mut self, repr: crate::algo::GidSetRepr) -> MineRuleEngine {
+        self.core.gidset = repr;
+        self
+    }
+
     /// Report runs into the given telemetry registry (replaces the
     /// engine's own). Useful to share one registry across engines.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> MineRuleEngine {

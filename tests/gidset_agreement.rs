@@ -1,0 +1,159 @@
+//! Randomized agreement suite for the hybrid gid-set representation:
+//! for random inputs spanning the density spectrum — from sparse
+//! (`auto` stays on sorted lists) to dense (`auto` flips to bitset
+//! words) — every pool member must produce an itemset inventory
+//! *bit-identical* to the list-only run, at every worker count, and the
+//! full core operator must mine identical rule sets for every pinned
+//! representation.
+
+use datagen::rng::Rng;
+use minerule::algo::{
+    default_pool, sort_itemsets, GidSetRepr, LargeItemset, ShardExec, SimpleInput,
+};
+use minerule::ast::CardSpec;
+use minerule::core_op::{run_core, CoreOptions};
+use minerule::directives::{Directives, StatementClass};
+use minerule::encoded::{EncodedData, EncodedInput};
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 7];
+const REPRS: [GidSetRepr; 3] = [GidSetRepr::List, GidSetRepr::Auto, GidSetRepr::Bitset];
+
+/// A random workload: `groups` baskets over a `catalog`-item universe,
+/// each item drawn independently with probability `density`. Small
+/// catalogs with high density force the bitset arm of `auto`; large
+/// catalogs with low density keep it on lists.
+fn random_input(groups: usize, catalog: u32, density: f64, seed: u64) -> SimpleInput {
+    let mut rng = Rng::seed_from_u64(seed);
+    let transactions: Vec<Vec<u32>> = (0..groups)
+        .map(|_| {
+            (0..catalog)
+                .filter(|_| rng.gen_f64() < density)
+                .collect::<Vec<u32>>()
+        })
+        .collect();
+    let total = transactions.len() as u32;
+    // Support low enough that several levels survive at every density.
+    let min_groups = ((total as f64 * density * 0.5).ceil() as u32).max(2);
+    SimpleInput {
+        groups: transactions,
+        total_groups: total,
+        min_groups,
+    }
+}
+
+/// The density × seed grid. Universes of 12, 60 and 150 groups cross the
+/// `len * 32 > universe` threshold at very different list lengths, so the
+/// grid exercises list-only, bitset-heavy and genuinely mixed runs.
+fn grid() -> Vec<(SimpleInput, String)> {
+    let mut inputs = Vec::new();
+    for (groups, catalog, density) in [
+        (12usize, 18u32, 0.5),
+        (60, 25, 0.35),
+        (60, 120, 0.06),
+        (120, 40, 0.22),
+        (120, 300, 0.025),
+    ] {
+        for seed in [1u64, 2] {
+            inputs.push((
+                random_input(groups, catalog, density, seed ^ (groups as u64) << 8),
+                format!("g={groups} c={catalog} d={density} seed={seed}"),
+            ));
+        }
+    }
+    inputs
+}
+
+fn mine_sorted(
+    miner: &dyn minerule::algo::ItemsetMiner,
+    input: &SimpleInput,
+    repr: GidSetRepr,
+    workers: usize,
+) -> Vec<LargeItemset> {
+    let exec = ShardExec::new(workers).with_gidset_repr(repr);
+    let mut got = miner.mine_sharded(input, &exec);
+    sort_itemsets(&mut got);
+    got
+}
+
+/// Every pool member × representation × worker count agrees bit-for-bit
+/// with the list-only single-worker inventory on every grid point.
+#[test]
+fn inventories_agree_across_representations_and_workers() {
+    for (input, label) in grid() {
+        for miner in default_pool() {
+            let reference = mine_sorted(miner.as_ref(), &input, GidSetRepr::List, 1);
+            // List at workers > 1 is already covered by the blanket
+            // parallel_agreement suite; here one high worker count pins
+            // it against the same reference. The hybrid arm gets the
+            // full worker grid; the all-bitset arm its extremes.
+            for (repr, workers_to_check) in [
+                (GidSetRepr::List, &WORKER_COUNTS[3..]),
+                (GidSetRepr::Auto, &WORKER_COUNTS[..]),
+                (
+                    GidSetRepr::Bitset,
+                    &[WORKER_COUNTS[0], WORKER_COUNTS[3]][..],
+                ),
+            ] {
+                for &workers in workers_to_check {
+                    let got = mine_sorted(miner.as_ref(), &input, repr, workers);
+                    assert_eq!(
+                        got,
+                        reference,
+                        "{label}: {} diverges at repr={repr} workers={workers}",
+                        miner.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The representation knob must never change mined rules through the
+/// full core operator either.
+#[test]
+fn rule_sets_agree_across_representations_through_run_core() {
+    let simple = random_input(80, 30, 0.3, 77);
+    let input = EncodedInput {
+        directives: Directives::default(),
+        class: StatementClass::Simple,
+        total_groups: simple.total_groups,
+        min_groups: simple.min_groups,
+        min_support: 0.1,
+        min_confidence: 0.2,
+        body_card: CardSpec::one_to_n(),
+        head_card: CardSpec::one_to_one(),
+        data: EncodedData::Simple {
+            groups: simple
+                .groups
+                .iter()
+                .enumerate()
+                .map(|(g, items)| (g as u32, items.clone()))
+                .collect(),
+        },
+    };
+    for algorithm in ["apriori", "partition", "sampling", "eclat"] {
+        let mut baseline = None;
+        for repr in REPRS {
+            for workers in [1usize, 4] {
+                let out = run_core(
+                    &input,
+                    &CoreOptions {
+                        algorithm: algorithm.into(),
+                        workers,
+                        gidset: repr,
+                        ..CoreOptions::default()
+                    },
+                )
+                .unwrap();
+                assert!(!out.used_general);
+                match &baseline {
+                    None => baseline = Some(out.rules),
+                    Some(b) => {
+                        assert_eq!(&out.rules, b, "{algorithm} repr={repr} workers={workers}")
+                    }
+                }
+            }
+        }
+        assert!(!baseline.unwrap().is_empty(), "{algorithm} found rules");
+    }
+}

@@ -52,6 +52,16 @@ fn simple_path_records_exact_counters() {
     assert_eq!(snap.counter("core.rules.candidates"), 18);
     assert_eq!(snap.counter("core.rules.pruned_confidence"), 0);
     assert_eq!(snap.counter("core.rules.emitted"), 18);
+    // Physical layer: gid sets were built and intersected, and the
+    // candidate tries (Apriori prune + rule extraction) were walked.
+    // Exact values are pinned by unit tests; here presence suffices.
+    assert!(
+        snap.counter("core.gidset.list.picked") + snap.counter("core.gidset.bitset.picked") > 0,
+        "gid-set representation picks recorded"
+    );
+    assert!(snap.counter("core.gidset.intersects") > 0);
+    assert!(snap.counter("core.trie.nodes") > 0);
+    assert!(snap.counter("core.trie.lookups") > 0);
     // Postprocessor: every encoded rule stored and decoded back.
     assert_eq!(snap.counter("postprocess.rules_stored"), 18);
     assert_eq!(snap.counter("postprocess.rules_decoded"), 18);
