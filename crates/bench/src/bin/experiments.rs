@@ -129,6 +129,7 @@ fn main() {
     e9_pool_parameters(&mut report, mode);
     e10_worker_scaling(&mut report, mode);
     e11_representation_shootout(&mut report, mode);
+    e12_borderline_shootout(&mut report, mode);
 
     println!("\nall experiments completed.");
 
@@ -759,6 +760,92 @@ fn e11_representation_shootout(report: &mut Report, mode: Mode) {
         }
     }
     println!("\n(identical itemsets asserted per representation pair)\n");
+}
+
+/// E12 — borderline shootout: compiled vs interpreted expression
+/// execution for the relational half of the pipeline. The mined rules
+/// and preprocessor row counts must be bit-identical; only the
+/// preprocess/postprocess wall-clock moves.
+fn e12_borderline_shootout(report: &mut Report, mode: Mode) {
+    use relational::SqlExec;
+
+    println!("## E12 — borderline shootout: compiled vs interpreted SQL execution\n");
+    println!("| workload | sqlexec | preprocess (ms) | total (ms) | rules | preproc rows |");
+    println!("|---|---|---|---|---|---|");
+
+    let quest_n = mode.size(300, 1500);
+    let retail_n = mode.size(150, 400);
+    // One workload row: (name, database builder, size, seed, statement).
+    type Workload = (
+        &'static str,
+        fn(usize, u64) -> relational::Database,
+        usize,
+        u64,
+        String,
+    );
+    let builders: [Workload; 2] = [
+        (
+            "quest-simple",
+            quest_db,
+            quest_n,
+            31,
+            simple_statement(0.03, 0.4),
+        ),
+        (
+            "retail-temporal",
+            retail_db,
+            retail_n,
+            5,
+            temporal_statement(0.05, 0.2),
+        ),
+    ];
+    for (workload, build, n, seed, stmt) in &builders {
+        let mut runs = Vec::new();
+        for exec in [SqlExec::Interpreted, SqlExec::Compiled] {
+            let (total, out) = best_of(mode.reps(3), || {
+                let mut db = build(*n, *seed);
+                MineRuleEngine::new()
+                    .with_sqlexec(exec)
+                    .execute(&mut db, stmt)
+                    .unwrap()
+            });
+            let preproc_rows: usize = out.preprocess_report.executed.iter().map(|(_, r)| r).sum();
+            report.case(
+                "E12",
+                format!("{workload} sqlexec={exec}"),
+                Some(out.rules.len() as u64),
+                total,
+            );
+            report.case(
+                "E12",
+                format!("{workload} sqlexec={exec} preproc-rows"),
+                Some(preproc_rows as u64),
+                out.timings.preprocess,
+            );
+            println!(
+                "| {workload} | {exec} | {} | {} | {} | {preproc_rows} |",
+                ms(out.timings.preprocess),
+                ms(total),
+                out.rules.len()
+            );
+            runs.push(out);
+        }
+        let (interpreted, compiled) = (&runs[0], &runs[1]);
+        assert_eq!(
+            interpreted.rules, compiled.rules,
+            "{workload}: modes disagree on rules"
+        );
+        assert_eq!(
+            interpreted.preprocess_report.executed, compiled.preprocess_report.executed,
+            "{workload}: modes disagree on preprocessor row counts"
+        );
+        println!(
+            "| {workload} | speedup (preprocess) | {:.2}x | | | |",
+            interpreted.timings.preprocess.as_secs_f64()
+                / compiled.timings.preprocess.as_secs_f64()
+        );
+    }
+    println!("\n(identical rules and preprocessor row counts asserted per workload)\n");
 }
 
 /// E8 — postprocessing cost vs rule count.

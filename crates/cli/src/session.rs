@@ -264,8 +264,26 @@ impl Session {
                      rules are identical for any choice)",
                     self.engine.core.gidset
                 )),
+                (Some("sqlexec"), Some(name)) => match minerule::parse_sqlexec(name) {
+                    // Bad names get the engine's own typed error, shaped
+                    // like the unknown-algorithm / zero-workers cases.
+                    Ok(mode) => {
+                        // Mining runs stamp the database from the engine;
+                        // plain SQL goes straight to the database, so set
+                        // both here.
+                        self.engine.sqlexec = mode;
+                        self.db.set_sqlexec(mode);
+                        Outcome::Output(format!("sql executor set to {mode}"))
+                    }
+                    Err(e) => Outcome::Output(e.to_string()),
+                },
+                (Some("sqlexec"), None) => Outcome::Output(format!(
+                    "sqlexec: {} (expression execution: compiled | interpreted | auto; \
+                     results are identical for any choice)",
+                    self.engine.sqlexec
+                )),
                 (None, _) => Outcome::Output(format!(
-                    "settings:\n  algorithm: {}\n  workers: {}\n  telemetry: {}\n  gidset: {}",
+                    "settings:\n  algorithm: {}\n  workers: {}\n  telemetry: {}\n  gidset: {}\n  sqlexec: {}",
                     self.engine.core.algorithm,
                     self.engine.core.workers,
                     if self.engine.telemetry_enabled() {
@@ -273,11 +291,12 @@ impl Session {
                     } else {
                         "off"
                     },
-                    self.engine.core.gidset
+                    self.engine.core.gidset,
+                    self.engine.sqlexec
                 )),
                 (Some(other), _) => Outcome::Output(format!(
-                    "unknown setting '{other}' — try \\set workers N, \\set telemetry on|off \
-                     or \\set gidset list|bitset|auto"
+                    "unknown setting '{other}' — try \\set workers N, \\set telemetry on|off, \
+                     \\set gidset list|bitset|auto or \\set sqlexec compiled|interpreted|auto"
                 )),
             },
             "stats" => match words.next() {
@@ -397,6 +416,7 @@ Commands:
   \\set workers <n>      mining executor threads (same rules, faster core)
   \\set telemetry on|off toggle metric recording (rules identical either way)
   \\set gidset <repr>    pin the gid-set representation: list | bitset | auto
+  \\set sqlexec <mode>   pin SQL expression execution: compiled | interpreted | auto
   \\stats                show recorded pipeline metrics
   \\stats reset          clear recorded metrics
   \\stats json           dump the metrics snapshot as JSON
@@ -532,6 +552,42 @@ mod tests {
             outputs.push(result);
         }
         assert!(outputs.windows(2).all(|w| w[0] == w[1]), "same rule counts");
+    }
+
+    #[test]
+    fn sqlexec_setting() {
+        let mut s = Session::new();
+        assert!(out(&mut s, "\\set sqlexec").contains("sqlexec: auto"));
+        assert!(out(&mut s, "\\set sqlexec compiled").contains("sql executor set to compiled"));
+        assert!(out(&mut s, "\\set").contains("sqlexec: compiled"));
+        // Bad names get the engine's typed error, stating the domain.
+        let bad = out(&mut s, "\\set sqlexec vectorized");
+        assert!(
+            bad.contains("unknown sql execution mode 'vectorized'"),
+            "{bad}"
+        );
+        assert!(bad.contains("compiled, interpreted, auto"), "{bad}");
+        assert!(
+            out(&mut s, "\\set sqlexec").contains("sqlexec: compiled"),
+            "unchanged"
+        );
+        // Both plain SQL and mining work under every mode, with identical
+        // results.
+        out(&mut s, "\\demo paper");
+        let stmt =
+            "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD, SUPPORT, CONFIDENCE \
+             FROM Purchase GROUP BY customer \
+             EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.1";
+        let mut outputs = Vec::new();
+        for mode in ["interpreted", "compiled", "auto"] {
+            out(&mut s, &format!("\\set sqlexec {mode}"));
+            let select = out(&mut s, "SELECT COUNT(*) FROM Purchase WHERE price >= 100");
+            let result = out(&mut s, stmt);
+            assert!(result.contains("mined"), "{mode}: {result}");
+            out(&mut s, "DROP TABLE R");
+            outputs.push((select, result));
+        }
+        assert!(outputs.windows(2).all(|w| w[0] == w[1]), "same results");
     }
 
     #[test]

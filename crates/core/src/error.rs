@@ -23,6 +23,9 @@ pub enum MineError {
     /// An unrecognised gid-set representation name was configured — a
     /// user configuration error, reported with the valid domain.
     UnknownGidSetRepr { name: String },
+    /// An unrecognised SQL execution mode name was configured — a user
+    /// configuration error, reported with the valid domain.
+    UnknownSqlExec { name: String },
     /// Internal invariant broken (a bug).
     Internal { message: String },
 }
@@ -130,6 +133,10 @@ impl fmt::Display for MineError {
             MineError::UnknownGidSetRepr { name } => write!(
                 f,
                 "unknown gid-set representation '{name}'; valid choices: list, bitset, auto"
+            ),
+            MineError::UnknownSqlExec { name } => write!(
+                f,
+                "unknown sql execution mode '{name}'; valid choices: compiled, interpreted, auto"
             ),
             MineError::Internal { message } => write!(f, "internal error: {message}"),
         }

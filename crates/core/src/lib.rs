@@ -66,7 +66,7 @@ pub use ast::{CardMax, CardSpec, ElementSpec, MineRuleStatement, SourceTable};
 pub use directives::{Directives, StatementClass};
 pub use error::{MineError, Result, SemanticViolation};
 pub use parser::{is_mine_rule, parse_mine_rule};
-pub use pipeline::{MineRuleEngine, MiningOutcome, PhaseTimings};
+pub use pipeline::{parse_sqlexec, MineRuleEngine, MiningOutcome, PhaseTimings};
 pub use postprocess::DecodedRule;
 pub use telemetry::{MetricsSnapshot, Telemetry};
 pub use translator::{translate, translate_with_prefix, Translation};

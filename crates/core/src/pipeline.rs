@@ -14,11 +14,11 @@
 
 use std::time::Duration;
 
-use relational::Database;
+use relational::{Database, ExecStats, SqlExec};
 
 use crate::core_op::{run_core_with_telemetry, CoreOptions, CoreOutput};
 use crate::encoded::read_encoded;
-use crate::error::Result;
+use crate::error::{MineError, Result};
 use crate::parser::parse_mine_rule;
 use crate::postprocess::{postprocess, read_rules, store_encoded_rules, DecodedRule};
 use crate::preprocess::{preprocess, PreprocessReport};
@@ -75,6 +75,11 @@ pub struct MineRuleEngine {
     /// Prefix for the encoded tables (lets several statements share one
     /// catalog, and enables preprocessing reuse).
     pub table_prefix: String,
+    /// How the SQL server evaluates expressions for this engine's runs
+    /// (`auto` — the default — uses the compiled path). Every choice
+    /// produces bit-identical rules and preprocessing reports; this is a
+    /// perf/debugging knob, enforced by `tests/sqlexec_agreement.rs`.
+    pub sqlexec: SqlExec,
     /// The metrics registry every run reports into. Enabled by default;
     /// clones of the engine share the same registry. Disabling it
     /// changes no mined output (enforced by `tests/telemetry.rs`).
@@ -86,6 +91,7 @@ impl Default for MineRuleEngine {
         MineRuleEngine {
             core: CoreOptions::default(),
             table_prefix: String::new(),
+            sqlexec: SqlExec::default(),
             telemetry: Telemetry::new(),
         }
     }
@@ -124,6 +130,14 @@ impl MineRuleEngine {
     /// choice mines the same rules; this is a debugging/bench knob.
     pub fn with_gidset(mut self, repr: crate::algo::GidSetRepr) -> MineRuleEngine {
         self.core.gidset = repr;
+        self
+    }
+
+    /// Pin the SQL server's expression execution mode for every run of
+    /// this engine (`auto` — the default — uses the compiled path).
+    /// Every choice mines the same rules; this is a perf/debugging knob.
+    pub fn with_sqlexec(mut self, mode: SqlExec) -> MineRuleEngine {
+        self.sqlexec = mode;
         self
     }
 
@@ -168,6 +182,8 @@ impl MineRuleEngine {
     /// Parse and execute a MINE RULE statement end to end.
     pub fn execute(&self, db: &mut Database, text: &str) -> Result<MiningOutcome> {
         self.telemetry.counter_inc("translator.statements");
+        db.set_sqlexec(self.sqlexec);
+        let sql_before = db.stats();
         let stmt = parse_mine_rule(text)?;
 
         let span = self.telemetry.span("phase.translate");
@@ -186,6 +202,7 @@ impl MineRuleEngine {
             preprocess_report,
             translate_time,
             preprocess_time,
+            sql_before,
         )
     }
 
@@ -244,6 +261,8 @@ impl MineRuleEngine {
     ) -> Result<MiningOutcome> {
         self.telemetry.counter_inc("translator.statements");
         self.telemetry.counter_inc("preprocess.reused");
+        db.set_sqlexec(self.sqlexec);
+        let sql_before = db.stats();
         let stmt = parse_mine_rule(text)?;
         let span = self.telemetry.span("phase.translate");
         let translation = translate_with_prefix(&stmt, db.catalog(), &self.table_prefix)?;
@@ -269,7 +288,56 @@ impl MineRuleEngine {
             PreprocessReport::default(),
             translate_time,
             Duration::ZERO,
+            sql_before,
         )
+    }
+
+    /// Publish the SQL server's execution-counter deltas for one run
+    /// (`relational.*` metrics). Zero deltas are skipped so interpreted
+    /// runs don't mint empty `relational.compile.*` counters; every
+    /// published value is independent of the core's worker count because
+    /// the relational layer runs single-threaded.
+    fn record_relational(&self, before: ExecStats, after: ExecStats) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        for (name, before, after) in [
+            (
+                "relational.compile.programs",
+                before.programs_compiled,
+                after.programs_compiled,
+            ),
+            (
+                "relational.compile.const_folded",
+                before.exprs_const_folded,
+                after.exprs_const_folded,
+            ),
+            (
+                "relational.compile.fallback_ops",
+                before.compile_fallback_ops,
+                after.compile_fallback_ops,
+            ),
+            (
+                "relational.rows.scanned",
+                before.rows_scanned,
+                after.rows_scanned,
+            ),
+            (
+                "relational.rows.filtered",
+                before.rows_filtered,
+                after.rows_filtered,
+            ),
+            (
+                "relational.rows.joined",
+                before.rows_joined,
+                after.rows_joined,
+            ),
+        ] {
+            let delta = after.saturating_sub(before);
+            if delta > 0 {
+                self.telemetry.counter_add(name, delta);
+            }
+        }
     }
 
     fn finish(
@@ -279,6 +347,7 @@ impl MineRuleEngine {
         preprocess_report: PreprocessReport,
         translate_time: Duration,
         preprocess_time: Duration,
+        sql_before: ExecStats,
     ) -> Result<MiningOutcome> {
         let span = self.telemetry.span("phase.core");
         let encoded = read_encoded(db, &translation)?;
@@ -299,6 +368,7 @@ impl MineRuleEngine {
         self.telemetry
             .counter_add("postprocess.rules_decoded", decoded.len() as u64);
         let postprocess_time = span.stop();
+        self.record_relational(sql_before, db.stats());
 
         Ok(MiningOutcome {
             rules: decoded,
@@ -314,4 +384,13 @@ impl MineRuleEngine {
             },
         })
     }
+}
+
+/// Resolve a SQL execution mode by name (`"compiled"`, `"interpreted"`,
+/// `"auto"`; ASCII-case-insensitive), reporting unknown names with the
+/// valid domain like [`crate::MineError::UnknownAlgorithm`] does.
+pub fn parse_sqlexec(name: &str) -> Result<SqlExec> {
+    SqlExec::from_name(name).ok_or_else(|| MineError::UnknownSqlExec {
+        name: name.to_string(),
+    })
 }

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use crate::catalog::{Catalog, View};
 use crate::error::{Error, Result};
 use crate::exec::run_select;
+use crate::expr::compile::{ExecCounter, SqlExec};
 use crate::expr::eval::{eval_expr, QueryCtx};
 use crate::expr::Expr;
 use crate::resultset::ResultSet;
@@ -23,6 +24,18 @@ pub struct ExecStats {
     pub statements: u64,
     /// Rows inserted into base tables.
     pub rows_inserted: u64,
+    /// Expression programs compiled by the SQL executor.
+    pub programs_compiled: u64,
+    /// Constant subtrees folded during expression compilation.
+    pub exprs_const_folded: u64,
+    /// Interpreter-fallback ops emitted by the compiler (subqueries).
+    pub compile_fallback_ops: u64,
+    /// Base-table rows fed into SELECT evaluation.
+    pub rows_scanned: u64,
+    /// Rows removed by WHERE / join-residual filters.
+    pub rows_filtered: u64,
+    /// Rows produced by join operators.
+    pub rows_joined: u64,
 }
 
 /// Result of executing one statement.
@@ -50,6 +63,7 @@ pub struct Database {
     catalog: Catalog,
     vars: HashMap<String, Value>,
     stats: ExecStats,
+    sqlexec: SqlExec,
 }
 
 impl Database {
@@ -71,6 +85,17 @@ impl Database {
     /// Execution statistics so far.
     pub fn stats(&self) -> ExecStats {
         self.stats
+    }
+
+    /// Set the expression-execution strategy for subsequent statements
+    /// (results are bit-identical for every choice; see [`SqlExec`]).
+    pub fn set_sqlexec(&mut self, mode: SqlExec) {
+        self.sqlexec = mode;
+    }
+
+    /// The current expression-execution strategy.
+    pub fn sqlexec(&self) -> SqlExec {
+        self.sqlexec
     }
 
     /// Bind a host variable (`:name`).
@@ -371,6 +396,22 @@ impl QueryCtx for Database {
             .ok_or_else(|| Error::UnboundVariable {
                 name: name.to_string(),
             })
+    }
+
+    fn sqlexec(&self) -> SqlExec {
+        self.sqlexec
+    }
+
+    fn bump(&mut self, counter: ExecCounter, n: u64) {
+        let stats = &mut self.stats;
+        match counter {
+            ExecCounter::ProgramsCompiled => stats.programs_compiled += n,
+            ExecCounter::ConstFolded => stats.exprs_const_folded += n,
+            ExecCounter::FallbackOps => stats.compile_fallback_ops += n,
+            ExecCounter::RowsScanned => stats.rows_scanned += n,
+            ExecCounter::RowsFiltered => stats.rows_filtered += n,
+            ExecCounter::RowsJoined => stats.rows_joined += n,
+        }
     }
 }
 

@@ -11,7 +11,8 @@
 use std::collections::HashMap;
 
 use crate::error::Result;
-use crate::expr::eval::{eval_expr, QueryCtx};
+use crate::expr::compile::{ExecCounter, SiteEval};
+use crate::expr::eval::QueryCtx;
 use crate::expr::{BinOp, Expr};
 use crate::row::Row;
 use crate::types::Schema;
@@ -94,15 +95,20 @@ fn as_equi<'a>(expr: &'a Expr) -> Option<EquiPred<'a>> {
     None
 }
 
-/// Filter `rel` in place by `pred`.
+/// Filter `rel` in place by `pred` — the predicate is planned once
+/// (compiled under the context's [`SqlExec`](crate::SqlExec) mode) and
+/// run per row with a reused stack.
 pub fn filter_relation(rel: &mut Relation, pred: &Expr, ctx: &mut dyn QueryCtx) -> Result<()> {
     let schema = rel.schema.clone();
+    let eval = SiteEval::plan(pred, &schema, ctx);
+    let before = rel.rows.len();
+    let mut stack = Vec::new();
     let mut err = None;
     rel.rows.retain(|row| {
         if err.is_some() {
             return false;
         }
-        match eval_expr(pred, &schema, row, ctx) {
+        match eval.eval(&schema, row, ctx, &mut stack) {
             Ok(v) => v.is_true(),
             Err(e) => {
                 err = Some(e);
@@ -112,7 +118,10 @@ pub fn filter_relation(rel: &mut Relation, pred: &Expr, ctx: &mut dyn QueryCtx) 
     });
     match err {
         Some(e) => Err(e),
-        None => Ok(()),
+        None => {
+            ctx.bump(ExecCounter::RowsFiltered, (before - rel.rows.len()) as u64);
+            Ok(())
+        }
     }
 }
 
@@ -183,7 +192,7 @@ pub fn join_factors<'a>(
         equis = kept;
 
         current = if build_keys.is_empty() {
-            cross_join(&current, &next)
+            cross_join(&current, &next, ctx)
         } else {
             hash_join(&current, &next, &probe_keys, &build_keys, ctx)?
         };
@@ -197,21 +206,28 @@ pub fn join_factors<'a>(
     Ok((current, residual))
 }
 
-fn cross_join(a: &Relation, b: &Relation) -> Relation {
+fn cross_join(a: &Relation, b: &Relation, ctx: &mut dyn QueryCtx) -> Relation {
     let schema = a.schema.join(&b.schema);
+    let width = schema.len();
     let mut rows = Vec::with_capacity(a.rows.len() * b.rows.len());
     for ra in &a.rows {
         for rb in &b.rows {
-            let mut r = ra.clone();
-            r.extend(rb.iter().cloned());
+            let mut r = Vec::with_capacity(width);
+            r.extend_from_slice(ra);
+            r.extend_from_slice(rb);
             rows.push(r);
         }
     }
+    ctx.bump(ExecCounter::RowsJoined, rows.len() as u64);
     Relation { schema, rows }
 }
 
 /// Hash join `probe ⋈ build` on the given key expressions. NULL keys never
 /// match (SQL equality semantics).
+///
+/// Key expressions are planned once per side; the probe phase collects
+/// `(probe_idx, build_idx)` pairs and the output rows are materialised in
+/// a single exact-capacity pass — no intermediate row clones.
 fn hash_join(
     probe: &Relation,
     build: &Relation,
@@ -220,11 +236,20 @@ fn hash_join(
     ctx: &mut dyn QueryCtx,
 ) -> Result<Relation> {
     let schema = probe.schema.join(&build.schema);
+    let build_evals: Vec<SiteEval> = build_keys
+        .iter()
+        .map(|k| SiteEval::plan(k, &build.schema, ctx))
+        .collect();
+    let probe_evals: Vec<SiteEval> = probe_keys
+        .iter()
+        .map(|k| SiteEval::plan(k, &probe.schema, ctx))
+        .collect();
+    let mut stack = Vec::new();
     let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(build.rows.len());
     'build: for (i, row) in build.rows.iter().enumerate() {
-        let mut key = Vec::with_capacity(build_keys.len());
-        for k in build_keys {
-            let v = eval_expr(k, &build.schema, row, ctx)?;
+        let mut key = Vec::with_capacity(build_evals.len());
+        for k in &build_evals {
+            let v = k.eval(&build.schema, row, ctx, &mut stack)?;
             if v.is_null() {
                 continue 'build;
             }
@@ -232,11 +257,12 @@ fn hash_join(
         }
         table.entry(key).or_default().push(i);
     }
-    let mut rows = Vec::new();
-    'probe: for row in &probe.rows {
-        let mut key = Vec::with_capacity(probe_keys.len());
-        for k in probe_keys {
-            let v = eval_expr(k, &probe.schema, row, ctx)?;
+    let mut key: Vec<Value> = Vec::with_capacity(probe_evals.len());
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    'probe: for (pi, row) in probe.rows.iter().enumerate() {
+        key.clear();
+        for k in &probe_evals {
+            let v = k.eval(&probe.schema, row, ctx, &mut stack)?;
             if v.is_null() {
                 continue 'probe;
             }
@@ -244,12 +270,19 @@ fn hash_join(
         }
         if let Some(matches) = table.get(&key) {
             for &bi in matches {
-                let mut r = row.clone();
-                r.extend(build.rows[bi].iter().cloned());
-                rows.push(r);
+                pairs.push((pi, bi));
             }
         }
     }
+    let width = schema.len();
+    let mut rows = Vec::with_capacity(pairs.len());
+    for (pi, bi) in pairs {
+        let mut r = Vec::with_capacity(width);
+        r.extend_from_slice(&probe.rows[pi]);
+        r.extend_from_slice(&build.rows[bi]);
+        rows.push(r);
+    }
+    ctx.bump(ExecCounter::RowsJoined, rows.len() as u64);
     Ok(Relation { schema, rows })
 }
 

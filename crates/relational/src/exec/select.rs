@@ -1,16 +1,19 @@
 //! SELECT execution: scan/join → filter → group/aggregate → project →
 //! distinct → order → limit, all fully materialised.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 use crate::engine::Database;
 use crate::error::{Error, Result};
 use crate::exec::join::{conjuncts, filter_relation, join_factors, Relation};
-use crate::expr::eval::{eval_expr, eval_grouped, QueryCtx};
+use crate::expr::compile::{ExecCounter, SiteEval};
+use crate::expr::eval::{eval_grouped, QueryCtx};
 use crate::expr::{AggFunc, BinOp, Expr};
 use crate::resultset::ResultSet;
 use crate::row::Row;
-use crate::sql::ast::{JoinKind, SelectItem, SelectStmt, SetOpKind, TableSource};
+use crate::sql::ast::{JoinKind, OrderItem, SelectItem, SelectStmt, SetOpKind, TableSource};
 use crate::types::{Column, DataType, Schema};
 use crate::value::Value;
 
@@ -19,19 +22,40 @@ pub fn run_select(db: &mut Database, stmt: &SelectStmt) -> Result<ResultSet> {
     if stmt.set_op.is_some() {
         return run_set_op(db, stmt);
     }
-    run_plain_select(db, stmt)
+    run_select_arm(db, stmt, true)
+}
+
+/// 64-bit hash of a row, used with candidate-index buckets for
+/// clone-free DISTINCT / set-operation dedup.
+fn row_hash(row: &Row) -> u64 {
+    let mut h = DefaultHasher::new();
+    row.hash(&mut h);
+    h.finish()
+}
+
+/// Keep the first occurrence of each distinct row. Rows are moved, never
+/// cloned: the seen-set stores hashes and indices into the output.
+fn dedup_rows(rows: Vec<Row>) -> Vec<Row> {
+    let mut seen: HashMap<u64, Vec<usize>> = HashMap::with_capacity(rows.len());
+    let mut out: Vec<Row> = Vec::with_capacity(rows.len());
+    for row in rows {
+        let bucket = seen.entry(row_hash(&row)).or_default();
+        if bucket.iter().any(|&i| out[i] == row) {
+            continue;
+        }
+        bucket.push(out.len());
+        out.push(row);
+    }
+    out
 }
 
 /// Execute a SELECT combined with UNION/INTERSECT/EXCEPT: evaluate both
 /// sides, combine with SQL set semantics, then apply the trailing
-/// ORDER BY / LIMIT to the combined rows.
+/// ORDER BY / LIMIT to the combined rows. The left arm is the statement
+/// itself minus its set-op tail, borrowed directly (no clone).
 fn run_set_op(db: &mut Database, stmt: &SelectStmt) -> Result<ResultSet> {
     let (kind, rhs) = stmt.set_op.as_ref().expect("checked by run_select");
-    let mut left_stmt = stmt.clone();
-    left_stmt.set_op = None;
-    left_stmt.order_by = Vec::new();
-    left_stmt.limit = None;
-    let left = run_plain_select(db, &left_stmt)?;
+    let left = run_select_arm(db, stmt, false)?;
     let right = run_select(db, rhs)?;
     if left.schema().len() != right.schema().len() {
         return Err(Error::Arity {
@@ -47,32 +71,25 @@ fn run_set_op(db: &mut Database, stmt: &SelectStmt) -> Result<ResultSet> {
             rows
         }
         SetOpKind::Union => {
-            let mut seen: HashMap<Row, ()> = HashMap::new();
-            let mut rows = Vec::new();
-            for r in left.into_rows().into_iter().chain(right.into_rows()) {
-                if seen.insert(r.clone(), ()).is_none() {
-                    rows.push(r);
-                }
+            let mut rows = left.into_rows();
+            rows.extend(right.into_rows());
+            dedup_rows(rows)
+        }
+        SetOpKind::Intersect | SetOpKind::Except => {
+            let right_rows = right.into_rows();
+            let mut membership: HashMap<u64, Vec<usize>> = HashMap::with_capacity(right_rows.len());
+            for (i, r) in right_rows.iter().enumerate() {
+                membership.entry(row_hash(r)).or_default().push(i);
             }
-            rows
-        }
-        SetOpKind::Intersect => {
-            let right_set: HashMap<Row, ()> =
-                right.into_rows().into_iter().map(|r| (r, ())).collect();
-            let mut seen: HashMap<Row, ()> = HashMap::new();
-            left.into_rows()
-                .into_iter()
-                .filter(|r| right_set.contains_key(r) && seen.insert(r.clone(), ()).is_none())
-                .collect()
-        }
-        SetOpKind::Except => {
-            let right_set: HashMap<Row, ()> =
-                right.into_rows().into_iter().map(|r| (r, ())).collect();
-            let mut seen: HashMap<Row, ()> = HashMap::new();
-            left.into_rows()
-                .into_iter()
-                .filter(|r| !right_set.contains_key(r) && seen.insert(r.clone(), ()).is_none())
-                .collect()
+            let keep_members = matches!(kind, SetOpKind::Intersect);
+            let mut kept = left.into_rows();
+            kept.retain(|r| {
+                let member = membership
+                    .get(&row_hash(r))
+                    .is_some_and(|b| b.iter().any(|&i| right_rows[i] == *r));
+                member == keep_members
+            });
+            dedup_rows(kept)
         }
     };
     // Trailing ORDER BY: output positions or column names only.
@@ -108,7 +125,14 @@ fn run_set_op(db: &mut Database, stmt: &SelectStmt) -> Result<ResultSet> {
     Ok(ResultSet::new(schema, rows))
 }
 
-fn run_plain_select(db: &mut Database, stmt: &SelectStmt) -> Result<ResultSet> {
+/// Run one SELECT body. `with_tail` applies the trailing ORDER BY /
+/// LIMIT; the left arm of a set operation passes `false` (the tail
+/// belongs to the combined result), which lets `run_set_op` borrow the
+/// arm from the original statement instead of deep-cloning it.
+fn run_select_arm(db: &mut Database, stmt: &SelectStmt, with_tail: bool) -> Result<ResultSet> {
+    let order_by: &[OrderItem] = if with_tail { &stmt.order_by } else { &[] };
+    let limit = if with_tail { stmt.limit } else { None };
+
     // 1. FROM: materialise factors, plan joins, push filters.
     let mut factors = Vec::with_capacity(stmt.from.len());
     for tref in &stmt.from {
@@ -146,34 +170,66 @@ fn run_plain_select(db: &mut Database, stmt: &SelectStmt) -> Result<ResultSet> {
     // 3/4. Evaluate rows (grouped or per-row) together with sort keys.
     let out_names: Vec<String> = items.iter().map(|(_, n)| n.clone()).collect();
     let mut projected: Vec<(Row, Vec<Value>)> = if grouped {
-        run_grouped(db, &input, stmt, &items, &out_names)?
+        run_grouped(db, &input, stmt, order_by, &items, &out_names)?
     } else {
         if stmt.having.is_some() {
             return Err(Error::Aggregate {
                 message: "HAVING requires GROUP BY or aggregates".into(),
             });
         }
+        // Plan every projection and order-key expression once; the row
+        // loop then runs flat programs (or the interpreter, per the
+        // session's sqlexec mode) with a reused stack.
+        let item_evals: Vec<SiteEval> = items
+            .iter()
+            .map(|(e, _)| SiteEval::plan(e, &input.schema, db))
+            .collect();
+        let order_evals: Vec<OrderSource> = order_by
+            .iter()
+            .map(
+                |o| match plan_output_key(&o.expr, &out_names, items.len()) {
+                    Some(idx) => OrderSource::Output(idx),
+                    None => OrderSource::Input(SiteEval::plan(&o.expr, &input.schema, db)),
+                },
+            )
+            .collect();
+        let mut stack = Vec::new();
         let mut out = Vec::with_capacity(input.rows.len());
         for row in &input.rows {
             let mut o = Vec::with_capacity(items.len());
-            for (e, _) in &items {
-                o.push(eval_expr(e, &input.schema, row, db)?);
+            for ev in &item_evals {
+                o.push(ev.eval(&input.schema, row, db, &mut stack)?);
             }
-            let keys = order_keys_for_row(db, stmt, &input.schema, row, &o, &out_names)?;
+            let mut keys = Vec::with_capacity(order_evals.len());
+            for src in &order_evals {
+                keys.push(match src {
+                    OrderSource::Output(i) => o[*i].clone(),
+                    OrderSource::Input(ev) => ev.eval(&input.schema, row, db, &mut stack)?,
+                });
+            }
             out.push((o, keys));
         }
         out
     };
 
-    // 5. DISTINCT.
+    // 5. DISTINCT — hashed row-index buckets; rows move, never clone.
     if stmt.distinct {
-        let mut seen: HashMap<Row, ()> = HashMap::with_capacity(projected.len());
-        projected.retain(|(row, _)| seen.insert(row.clone(), ()).is_none());
+        let mut seen: HashMap<u64, Vec<usize>> = HashMap::with_capacity(projected.len());
+        let mut kept: Vec<(Row, Vec<Value>)> = Vec::with_capacity(projected.len());
+        for (row, keys) in projected {
+            let bucket = seen.entry(row_hash(&row)).or_default();
+            if bucket.iter().any(|&i| kept[i].0 == row) {
+                continue;
+            }
+            bucket.push(kept.len());
+            kept.push((row, keys));
+        }
+        projected = kept;
     }
 
     // 6. ORDER BY.
-    if !stmt.order_by.is_empty() {
-        let dirs: Vec<bool> = stmt.order_by.iter().map(|o| o.asc).collect();
+    if !order_by.is_empty() {
+        let dirs: Vec<bool> = order_by.iter().map(|o| o.asc).collect();
         projected.sort_by(|(_, ka), (_, kb)| {
             for ((a, b), asc) in ka.iter().zip(kb.iter()).zip(&dirs) {
                 let ord = a.total_cmp(b);
@@ -186,7 +242,7 @@ fn run_plain_select(db: &mut Database, stmt: &SelectStmt) -> Result<ResultSet> {
     }
 
     // 7. LIMIT.
-    if let Some(l) = stmt.limit {
+    if let Some(l) = limit {
         projected.truncate(l as usize);
     }
 
@@ -250,28 +306,36 @@ fn explicit_join(
     on: Option<&Expr>,
 ) -> Result<Relation> {
     let schema = left.schema.join(&right.schema);
+    let on_eval = on.map(|pred| SiteEval::plan(pred, &schema, db));
     let null_right: Row = vec![Value::Null; right.schema.len()];
+    let mut stack = Vec::new();
+    // One scratch combined row, reused per pair; cloned into the output
+    // only when the pair survives the ON predicate.
+    let mut combined: Row = Vec::with_capacity(schema.len());
     let mut rows = Vec::new();
     for lrow in &left.rows {
         let mut matched = false;
         for rrow in &right.rows {
-            let mut combined = lrow.clone();
-            combined.extend(rrow.iter().cloned());
-            let keep = match on {
+            combined.clear();
+            combined.extend_from_slice(lrow);
+            combined.extend_from_slice(rrow);
+            let keep = match &on_eval {
                 None => true,
-                Some(pred) => eval_expr(pred, &schema, &combined, db)?.is_true(),
+                Some(pred) => pred.eval(&schema, &combined, db, &mut stack)?.is_true(),
             };
             if keep {
                 matched = true;
-                rows.push(combined);
+                rows.push(combined.clone());
             }
         }
         if !matched && kind == JoinKind::LeftOuter {
-            let mut combined = lrow.clone();
-            combined.extend(null_right.iter().cloned());
-            rows.push(combined);
+            let mut r = Vec::with_capacity(schema.len());
+            r.extend_from_slice(lrow);
+            r.extend_from_slice(&null_right);
+            rows.push(r);
         }
     }
+    db.bump(ExecCounter::RowsJoined, rows.len() as u64);
     Ok(Relation { schema, rows })
 }
 
@@ -285,10 +349,12 @@ fn materialize_named(db: &mut Database, name: &str) -> Result<Relation> {
         });
     }
     let table = db.catalog().table(name)?;
-    Ok(Relation {
+    let relation = Relation {
         schema: table.schema().clone(),
         rows: table.rows().to_vec(),
-    })
+    };
+    db.bump(ExecCounter::RowsScanned, relation.rows.len() as u64);
+    Ok(relation)
 }
 
 /// Expand wildcards and name every projection item.
@@ -349,6 +415,7 @@ fn run_grouped(
     db: &mut Database,
     input: &Relation,
     stmt: &SelectStmt,
+    order_by: &[OrderItem],
     items: &[(Expr, String)],
     out_names: &[String],
 ) -> Result<Vec<(Row, Vec<Value>)>> {
@@ -359,10 +426,20 @@ fn run_grouped(
         buckets.insert(Vec::new(), (0..input.rows.len()).collect());
         order.push(Vec::new());
     } else {
+        // Key expressions are planned once for the per-row bucketing
+        // loop. HAVING and the projection items stay on the interpreter
+        // (`eval_grouped`): aggregates need whole-group context that the
+        // row-at-a-time programs cannot host.
+        let key_evals: Vec<SiteEval> = stmt
+            .group_by
+            .iter()
+            .map(|g| SiteEval::plan(g, &input.schema, db))
+            .collect();
+        let mut stack = Vec::new();
         for (i, row) in input.rows.iter().enumerate() {
-            let mut key = Vec::with_capacity(stmt.group_by.len());
-            for g in &stmt.group_by {
-                key.push(eval_expr(g, &input.schema, row, db)?);
+            let mut key = Vec::with_capacity(key_evals.len());
+            for g in &key_evals {
+                key.push(g.eval(&input.schema, row, db, &mut stack)?);
             }
             match buckets.entry(key.clone()) {
                 std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push(i),
@@ -396,8 +473,8 @@ fn run_grouped(
             )?);
         }
         // Order keys for the grouped row.
-        let mut keys = Vec::with_capacity(stmt.order_by.len());
-        for ord in &stmt.order_by {
+        let mut keys = Vec::with_capacity(order_by.len());
+        for ord in order_by {
             if let Some(v) = output_key(&ord.expr, &o, out_names) {
                 keys.push(v);
             } else {
@@ -416,42 +493,36 @@ fn run_grouped(
     Ok(out)
 }
 
-/// Resolve an ORDER BY expression against the projected output row:
-/// positional (`ORDER BY 2`) or by output name/alias.
-fn output_key(expr: &Expr, out_row: &Row, out_names: &[String]) -> Option<Value> {
+/// Where a non-grouped ORDER BY key comes from, decided once per
+/// statement (the decision in [`plan_output_key`] is row-independent).
+enum OrderSource<'e> {
+    /// Index into the projected output row.
+    Output(usize),
+    /// Planned evaluator over the input row.
+    Input(SiteEval<'e>),
+}
+
+/// The row-independent half of [`output_key`]: whether an ORDER BY
+/// expression names an output position (`ORDER BY 2`) or an output
+/// column/alias, and which index that is.
+fn plan_output_key(expr: &Expr, out_names: &[String], width: usize) -> Option<usize> {
     match expr {
         Expr::Literal(Value::Int(i)) => {
             let idx = (*i as usize).checked_sub(1)?;
-            out_row.get(idx).cloned()
+            (idx < width).then_some(idx)
         }
         Expr::Column {
             qualifier: None,
             name,
-        } => out_names
-            .iter()
-            .position(|n| n.eq_ignore_ascii_case(name))
-            .and_then(|i| out_row.get(i).cloned()),
+        } => out_names.iter().position(|n| n.eq_ignore_ascii_case(name)),
         _ => None,
     }
 }
 
-fn order_keys_for_row(
-    db: &mut Database,
-    stmt: &SelectStmt,
-    schema: &Schema,
-    row: &Row,
-    out_row: &Row,
-    out_names: &[String],
-) -> Result<Vec<Value>> {
-    let mut keys = Vec::with_capacity(stmt.order_by.len());
-    for ord in &stmt.order_by {
-        if let Some(v) = output_key(&ord.expr, out_row, out_names) {
-            keys.push(v);
-        } else {
-            keys.push(eval_expr(&ord.expr, schema, row, db)?);
-        }
-    }
-    Ok(keys)
+/// Resolve an ORDER BY expression against the projected output row:
+/// positional (`ORDER BY 2`) or by output name/alias.
+fn output_key(expr: &Expr, out_row: &Row, out_names: &[String]) -> Option<Value> {
+    plan_output_key(expr, out_names, out_row.len()).and_then(|i| out_row.get(i).cloned())
 }
 
 /// Infer the output schema: static expression typing refined by the first

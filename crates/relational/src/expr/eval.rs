@@ -9,6 +9,7 @@ use std::cmp::Ordering;
 use std::collections::HashSet;
 
 use crate::error::{Error, Result};
+use crate::expr::compile::{ExecCounter, SqlExec};
 use crate::expr::{AggFunc, BinOp, Expr, UnaryOp};
 use crate::resultset::ResultSet;
 use crate::row::Row;
@@ -25,6 +26,15 @@ pub trait QueryCtx {
     fn nextval(&mut self, sequence: &str) -> Result<i64>;
     /// Read a host variable.
     fn host_var(&self, name: &str) -> Result<Value>;
+    /// Which execution strategy the hot operators should plan with.
+    /// Engines with a user-facing knob override this; the default
+    /// compiles (see [`SqlExec`]).
+    fn sqlexec(&self) -> SqlExec {
+        SqlExec::Auto
+    }
+    /// Record executor work ([`ExecCounter`]). A no-op outside an
+    /// engine, so plan-level helpers can report unconditionally.
+    fn bump(&mut self, _counter: ExecCounter, _n: u64) {}
 }
 
 /// A context for expression evaluation outside any engine (literals only);
@@ -466,7 +476,7 @@ fn eval_logical(
     })
 }
 
-fn truth(v: &Value) -> Result<Option<bool>> {
+pub(crate) fn truth(v: &Value) -> Result<Option<bool>> {
     match v {
         Value::Null => Ok(None),
         Value::Bool(b) => Ok(Some(*b)),
@@ -477,7 +487,7 @@ fn truth(v: &Value) -> Result<Option<bool>> {
     }
 }
 
-fn logical_and(l: Value, r: Value) -> Value {
+pub(crate) fn logical_and(l: Value, r: Value) -> Value {
     match (truth(&l), truth(&r)) {
         (Ok(Some(false)), _) | (_, Ok(Some(false))) => Value::Bool(false),
         (Ok(Some(true)), Ok(Some(true))) => Value::Bool(true),
@@ -485,7 +495,7 @@ fn logical_and(l: Value, r: Value) -> Value {
     }
 }
 
-fn logical_or(l: Value, r: Value) -> Value {
+pub(crate) fn logical_or(l: Value, r: Value) -> Value {
     match (truth(&l), truth(&r)) {
         (Ok(Some(true)), _) | (_, Ok(Some(true))) => Value::Bool(true),
         (Ok(Some(false)), Ok(Some(false))) => Value::Bool(false),
@@ -493,7 +503,7 @@ fn logical_or(l: Value, r: Value) -> Value {
     }
 }
 
-fn maybe_negate(v: Value, negated: bool) -> Value {
+pub(crate) fn maybe_negate(v: Value, negated: bool) -> Value {
     if !negated {
         return v;
     }
@@ -503,7 +513,7 @@ fn maybe_negate(v: Value, negated: bool) -> Value {
     }
 }
 
-fn eval_unary(op: UnaryOp, v: Value) -> Result<Value> {
+pub(crate) fn eval_unary(op: UnaryOp, v: Value) -> Result<Value> {
     match op {
         UnaryOp::Neg => match v {
             Value::Null => Ok(Value::Null),
@@ -613,7 +623,7 @@ pub fn eval_binary(op: BinOp, l: Value, r: Value) -> Result<Value> {
     }
 }
 
-fn eval_scalar_func(name: &str, args: Vec<Value>) -> Result<Value> {
+pub(crate) fn eval_scalar_func(name: &str, args: Vec<Value>) -> Result<Value> {
     let upper = name.to_ascii_uppercase();
     let arity = |n: usize| -> Result<()> {
         if args.len() == n {
@@ -642,14 +652,16 @@ fn eval_scalar_func(name: &str, args: Vec<Value>) -> Result<Value> {
             arity(1)?;
             match &args[0] {
                 Value::Null => Ok(Value::Null),
-                v => Ok(Value::Str(v.as_str()?.to_uppercase())),
+                // ASCII-only, matching the lexer's identifier folding:
+                // byte-for-byte stable regardless of Unicode tables.
+                v => Ok(Value::Str(v.as_str()?.to_ascii_uppercase())),
             }
         }
         "LOWER" => {
             arity(1)?;
             match &args[0] {
                 Value::Null => Ok(Value::Null),
-                v => Ok(Value::Str(v.as_str()?.to_lowercase())),
+                v => Ok(Value::Str(v.as_str()?.to_ascii_lowercase())),
             }
         }
         "LENGTH" => {
@@ -752,7 +764,7 @@ fn eval_scalar_func(name: &str, args: Vec<Value>) -> Result<Value> {
 }
 
 /// SQL LIKE with `%` (any run) and `_` (any single char).
-fn like_match(s: &str, pattern: &str) -> bool {
+pub(crate) fn like_match(s: &str, pattern: &str) -> bool {
     fn rec(s: &[char], p: &[char]) -> bool {
         match p.first() {
             None => s.is_empty(),
@@ -805,6 +817,23 @@ mod tests {
 
     fn row_abc() -> Row {
         vec![Value::Int(5), Value::Str("hello".into()), Value::Float(2.5)]
+    }
+
+    #[test]
+    fn upper_lower_fold_ascii_only() {
+        // Pinned: UPPER/LOWER fold ASCII only, matching the lexer's
+        // identifier folding — non-ASCII letters pass through untouched,
+        // so compiled and interpreted modes can never diverge on
+        // Unicode case tables.
+        assert_eq!(
+            ev("LOWER('ABCÄ')", row_abc()),
+            Ok(Value::Str("abcÄ".into()))
+        );
+        assert_eq!(
+            ev("UPPER('abcä')", row_abc()),
+            Ok(Value::Str("ABCä".into()))
+        );
+        assert_eq!(ev("LOWER(NULL)", row_abc()), Ok(Value::Null));
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! translator relies on this to splice user-written conditions into the
 //! generated preprocessing queries of Appendix A.
 
+pub mod compile;
 pub mod eval;
 
 use std::fmt;

@@ -47,6 +47,7 @@ pub mod value;
 
 pub use engine::{Database, ExecOutcome, ExecStats};
 pub use error::{Error, ObjectKind, Result};
+pub use expr::compile::{CompiledExpr, ExecCounter, SqlExec};
 pub use resultset::ResultSet;
 pub use row::Row;
 pub use table::Table;

@@ -163,6 +163,30 @@ fn zero_workers_is_rejected_like_an_unknown_algorithm() {
 }
 
 #[test]
+fn unknown_sqlexec_is_rejected_like_an_unknown_algorithm() {
+    let err = minerule::parse_sqlexec("vectorized").unwrap_err();
+    assert!(
+        matches!(err, MineError::UnknownSqlExec { ref name } if name == "vectorized"),
+        "{err:?}"
+    );
+    // Same user-facing shape as UnknownAlgorithm: name the offending
+    // value and the valid domain.
+    let message = err.to_string();
+    assert!(message.contains("'vectorized'"), "{message}");
+    for choice in ["compiled", "interpreted", "auto"] {
+        assert!(message.contains(choice), "{message}");
+    }
+    // Valid names parse regardless of ASCII case.
+    for (name, mode) in [
+        ("compiled", relational::SqlExec::Compiled),
+        ("INTERPRETED", relational::SqlExec::Interpreted),
+        ("Auto", relational::SqlExec::Auto),
+    ] {
+        assert_eq!(minerule::parse_sqlexec(name).unwrap(), mode);
+    }
+}
+
+#[test]
 fn unknown_algorithm_fails_after_preprocessing_but_session_recovers() {
     let mut db = purchase_db();
     let mut engine = MineRuleEngine::new();
