@@ -10,6 +10,60 @@ use minerule::paper_example::load_purchase_table;
 use minerule::{is_mine_rule, MineRuleEngine};
 use relational::Database;
 
+/// One `\set` knob: the single source of truth for the `\set` no-arg
+/// listing, the `\help` text and the unknown-setting hint, so the three
+/// surfaces can never drift apart (asserted in the session tests).
+pub struct Knob {
+    /// The `\set` name.
+    pub name: &'static str,
+    /// Value domain shown in help (`on|off`, `<n>`, ...).
+    pub domain: &'static str,
+    /// One-line description for `\help`.
+    pub blurb: &'static str,
+}
+
+/// Every `\set` knob the shell understands.
+pub const KNOBS: &[Knob] = &[
+    Knob {
+        name: "workers",
+        domain: "<n>",
+        blurb: "mining executor threads (same rules, faster core)",
+    },
+    Knob {
+        name: "telemetry",
+        domain: "on|off",
+        blurb: "toggle metric recording (rules identical either way)",
+    },
+    Knob {
+        name: "gidset",
+        domain: "list|bitset|auto",
+        blurb: "pin the gid-set representation",
+    },
+    Knob {
+        name: "sqlexec",
+        domain: "compiled|interpreted|auto",
+        blurb: "pin SQL expression execution",
+    },
+    Knob {
+        name: "preprocache",
+        domain: "on|off",
+        blurb: "preprocess artifact cache (rules identical either way)",
+    },
+    Knob {
+        name: "indexes",
+        domain: "auto|off",
+        blurb: "relational hash-index policy (results identical either way)",
+    },
+];
+
+fn on_off(state: bool) -> &'static str {
+    if state {
+        "on"
+    } else {
+        "off"
+    }
+}
+
 /// What a processed input line produced.
 #[derive(Debug, PartialEq)]
 pub enum Outcome {
@@ -102,6 +156,19 @@ impl Session {
         Ok(out)
     }
 
+    /// The current value of a `\set` knob, for the no-arg listing.
+    fn knob_value(&self, name: &str) -> String {
+        match name {
+            "workers" => self.engine.core.workers.to_string(),
+            "telemetry" => on_off(self.engine.telemetry_enabled()).to_string(),
+            "gidset" => self.engine.core.gidset.to_string(),
+            "sqlexec" => self.engine.sqlexec.to_string(),
+            "preprocache" => on_off(self.engine.preprocache_enabled()).to_string(),
+            "indexes" => self.db.index_policy().to_string(),
+            other => format!("<unknown knob '{other}'>"),
+        }
+    }
+
     /// Pretty-print a MINE RULE output-table triple, strongest rules first.
     fn show_rules(&mut self, table: &str) -> Outcome {
         let sql = format!(
@@ -168,7 +235,7 @@ impl Session {
         let mut words = cmd.split_whitespace();
         match words.next().unwrap_or("") {
             "q" | "quit" | "exit" => Outcome::Quit,
-            "help" | "h" | "?" => Outcome::Output(HELP.to_string()),
+            "help" | "h" | "?" => Outcome::Output(help_text()),
             "tables" | "dt" => {
                 let names = self.db.catalog().table_names();
                 if names.is_empty() {
@@ -282,22 +349,48 @@ impl Session {
                      results are identical for any choice)",
                     self.engine.sqlexec
                 )),
-                (None, _) => Outcome::Output(format!(
-                    "settings:\n  algorithm: {}\n  workers: {}\n  telemetry: {}\n  gidset: {}\n  sqlexec: {}",
-                    self.engine.core.algorithm,
-                    self.engine.core.workers,
-                    if self.engine.telemetry_enabled() {
-                        "on"
-                    } else {
-                        "off"
-                    },
-                    self.engine.core.gidset,
-                    self.engine.sqlexec
+                (Some("preprocache"), Some(name)) => match minerule::parse_preprocache(name) {
+                    // Bad names get the engine's own typed error, shaped
+                    // like the unknown-algorithm / zero-workers cases.
+                    Ok(enabled) => {
+                        self.engine.set_preprocache_enabled(enabled);
+                        Outcome::Output(format!("preprocess cache is {}", on_off(enabled)))
+                    }
+                    Err(e) => Outcome::Output(e.to_string()),
+                },
+                (Some("preprocache"), None) => Outcome::Output(format!(
+                    "preprocache: {} (preprocess artifact cache; mined rules are \
+                     identical either way)",
+                    on_off(self.engine.preprocache_enabled())
                 )),
-                (Some(other), _) => Outcome::Output(format!(
-                    "unknown setting '{other}' — try \\set workers N, \\set telemetry on|off, \
-                     \\set gidset list|bitset|auto or \\set sqlexec compiled|interpreted|auto"
+                (Some("indexes"), Some(name)) => match minerule::parse_index_policy(name) {
+                    // Bad names get the engine's own typed error, shaped
+                    // like the unknown-algorithm / zero-workers cases.
+                    Ok(policy) => {
+                        self.db.set_index_policy(policy);
+                        Outcome::Output(format!("index policy set to {policy}"))
+                    }
+                    Err(e) => Outcome::Output(e.to_string()),
+                },
+                (Some("indexes"), None) => Outcome::Output(format!(
+                    "indexes: {} (relational hash-index policy: auto | off; \
+                     results are identical either way)",
+                    self.db.index_policy()
                 )),
+                (None, _) => {
+                    let mut out = format!("settings:\n  algorithm: {}", self.engine.core.algorithm);
+                    for knob in KNOBS {
+                        let _ = write!(out, "\n  {}: {}", knob.name, self.knob_value(knob.name));
+                    }
+                    Outcome::Output(out)
+                }
+                (Some(other), _) => {
+                    let names: Vec<&str> = KNOBS.iter().map(|k| k.name).collect();
+                    Outcome::Output(format!(
+                        "unknown setting '{other}' — valid settings: {}",
+                        names.join(", ")
+                    ))
+                }
             },
             "stats" => match words.next() {
                 None => {
@@ -399,7 +492,17 @@ impl Session {
     }
 }
 
-const HELP: &str = "\
+/// The `\help` text; the `\set` lines are generated from [`KNOBS`] so
+/// help can never miss a knob.
+fn help_text() -> String {
+    let mut set_lines = String::new();
+    for knob in KNOBS {
+        let usage = format!("\\set {} {}", knob.name, knob.domain);
+        let _ = writeln!(set_lines, "  {usage:<21} {}", knob.blurb);
+    }
+    let set_lines = set_lines.trim_end();
+    format!(
+        "\
 tcdm — tightly-coupled data mining shell
 
 Type a SQL statement (CREATE TABLE / INSERT / SELECT / ...) or a
@@ -413,10 +516,7 @@ Commands:
   \\demo quest [n]       load n synthetic baskets (default 1000)
   \\demo retail [n]      load a synthetic retail table (default 200 customers)
   \\algorithm [name]     show or set the simple-class mining algorithm
-  \\set workers <n>      mining executor threads (same rules, faster core)
-  \\set telemetry on|off toggle metric recording (rules identical either way)
-  \\set gidset <repr>    pin the gid-set representation: list | bitset | auto
-  \\set sqlexec <mode>   pin SQL expression execution: compiled | interpreted | auto
+{set_lines}
   \\stats                show recorded pipeline metrics
   \\stats reset          clear recorded metrics
   \\stats json           dump the metrics snapshot as JSON
@@ -426,7 +526,9 @@ Commands:
   \\timing               toggle per-statement timing
   \\quit                 leave
 
-EXPLAIN <statement> shows the engine's plan for any SQL query.";
+EXPLAIN <statement> shows the engine's plan for any SQL query."
+    )
+}
 
 #[cfg(test)]
 mod tests {
@@ -584,6 +686,100 @@ mod tests {
             let select = out(&mut s, "SELECT COUNT(*) FROM Purchase WHERE price >= 100");
             let result = out(&mut s, stmt);
             assert!(result.contains("mined"), "{mode}: {result}");
+            out(&mut s, "DROP TABLE R");
+            outputs.push((select, result));
+        }
+        assert!(outputs.windows(2).all(|w| w[0] == w[1]), "same results");
+    }
+
+    #[test]
+    fn every_knob_appears_in_listing_and_help() {
+        let mut s = Session::new();
+        let listing = out(&mut s, "\\set");
+        let help = out(&mut s, "\\help");
+        let hint = out(&mut s, "\\set gizmo on");
+        for knob in KNOBS {
+            assert!(
+                listing.contains(&format!("{}: ", knob.name)),
+                "\\set listing misses '{}': {listing}",
+                knob.name
+            );
+            assert!(
+                help.contains(&format!("\\set {} {}", knob.name, knob.domain)),
+                "\\help misses '{}': {help}",
+                knob.name
+            );
+            assert!(
+                hint.contains(knob.name),
+                "unknown-setting hint misses '{}': {hint}",
+                knob.name
+            );
+        }
+    }
+
+    #[test]
+    fn preprocache_setting() {
+        let mut s = Session::new();
+        assert!(out(&mut s, "\\set preprocache").contains("preprocache: on"));
+        assert!(out(&mut s, "\\set preprocache off").contains("preprocess cache is off"));
+        assert!(out(&mut s, "\\set").contains("preprocache: off"));
+        // Bad names get the engine's typed error, stating the domain.
+        let bad = out(&mut s, "\\set preprocache maybe");
+        assert!(
+            bad.contains("unknown preprocess cache mode 'maybe'"),
+            "{bad}"
+        );
+        assert!(bad.contains("on, off"), "{bad}");
+        assert!(
+            out(&mut s, "\\set preprocache").contains("preprocache: off"),
+            "unchanged"
+        );
+        // Mining yields identical output with the cache on and off, and a
+        // threshold-only rerun with the cache on is a warm hit.
+        out(&mut s, "\\demo paper");
+        let stmt =
+            "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD, SUPPORT, CONFIDENCE \
+             FROM Purchase GROUP BY customer \
+             EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.1";
+        let mut outputs = Vec::new();
+        for state in ["off", "on", "on"] {
+            out(&mut s, &format!("\\set preprocache {state}"));
+            let result = out(&mut s, stmt);
+            assert!(result.contains("mined"), "{state}: {result}");
+            out(&mut s, "DROP TABLE R");
+            outputs.push(result);
+        }
+        assert!(outputs.windows(2).all(|w| w[0] == w[1]), "same rules");
+        let stats = out(&mut s, "\\stats");
+        assert!(stats.contains("preprocess.cache.hit"), "{stats}");
+    }
+
+    #[test]
+    fn indexes_setting() {
+        let mut s = Session::new();
+        assert!(out(&mut s, "\\set indexes").contains("indexes: auto"));
+        assert!(out(&mut s, "\\set indexes off").contains("index policy set to off"));
+        assert!(out(&mut s, "\\set").contains("indexes: off"));
+        // Bad names get the engine's typed error, stating the domain.
+        let bad = out(&mut s, "\\set indexes fast");
+        assert!(bad.contains("unknown index policy 'fast'"), "{bad}");
+        assert!(bad.contains("auto, off"), "{bad}");
+        assert!(
+            out(&mut s, "\\set indexes").contains("indexes: off"),
+            "unchanged"
+        );
+        // SQL and mining return identical results under both policies.
+        out(&mut s, "\\demo paper");
+        let stmt =
+            "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD, SUPPORT, CONFIDENCE \
+             FROM Purchase GROUP BY customer \
+             EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.1";
+        let mut outputs = Vec::new();
+        for policy in ["off", "auto"] {
+            out(&mut s, &format!("\\set indexes {policy}"));
+            let select = out(&mut s, "SELECT item, COUNT(*) FROM Purchase GROUP BY item");
+            let result = out(&mut s, stmt);
+            assert!(result.contains("mined"), "{policy}: {result}");
             out(&mut s, "DROP TABLE R");
             outputs.push((select, result));
         }

@@ -26,6 +26,12 @@ pub enum MineError {
     /// An unrecognised SQL execution mode name was configured — a user
     /// configuration error, reported with the valid domain.
     UnknownSqlExec { name: String },
+    /// An unrecognised preprocess cache mode was configured — a user
+    /// configuration error, reported with the valid domain.
+    UnknownCacheMode { name: String },
+    /// An unrecognised relational index policy was configured — a user
+    /// configuration error, reported with the valid domain.
+    UnknownIndexPolicy { name: String },
     /// Internal invariant broken (a bug).
     Internal { message: String },
 }
@@ -138,6 +144,13 @@ impl fmt::Display for MineError {
                 f,
                 "unknown sql execution mode '{name}'; valid choices: compiled, interpreted, auto"
             ),
+            MineError::UnknownCacheMode { name } => write!(
+                f,
+                "unknown preprocess cache mode '{name}'; valid choices: on, off"
+            ),
+            MineError::UnknownIndexPolicy { name } => {
+                write!(f, "unknown index policy '{name}'; valid choices: auto, off")
+            }
             MineError::Internal { message } => write!(f, "internal error: {message}"),
         }
     }

@@ -47,6 +47,7 @@
 
 pub mod algo;
 pub mod ast;
+pub mod cache;
 pub mod core_op;
 pub mod decoupled;
 pub mod directives;
@@ -63,10 +64,14 @@ pub mod telemetry;
 pub mod translator;
 
 pub use ast::{CardMax, CardSpec, ElementSpec, MineRuleStatement, SourceTable};
+pub use cache::PreprocessCache;
 pub use directives::{Directives, StatementClass};
 pub use error::{MineError, Result, SemanticViolation};
 pub use parser::{is_mine_rule, parse_mine_rule};
-pub use pipeline::{parse_sqlexec, MineRuleEngine, MiningOutcome, PhaseTimings};
+pub use pipeline::{
+    parse_index_policy, parse_preprocache, parse_sqlexec, MineRuleEngine, MiningOutcome,
+    PhaseTimings,
+};
 pub use postprocess::DecodedRule;
 pub use telemetry::{MetricsSnapshot, Telemetry};
 pub use translator::{translate, translate_with_prefix, Translation};

@@ -14,8 +14,9 @@
 
 use std::time::Duration;
 
-use relational::{Database, ExecStats, SqlExec};
+use relational::{Database, ExecStats, IndexPolicy, SqlExec};
 
+use crate::cache::PreprocessCache;
 use crate::core_op::{run_core_with_telemetry, CoreOptions, CoreOutput};
 use crate::encoded::read_encoded;
 use crate::error::{MineError, Result};
@@ -84,6 +85,10 @@ pub struct MineRuleEngine {
     /// clones of the engine share the same registry. Disabling it
     /// changes no mined output (enforced by `tests/telemetry.rs`).
     telemetry: Telemetry,
+    /// The preprocess artifact cache. Enabled by default; clones of the
+    /// engine share the same store. Disabling it changes no mined output
+    /// (enforced by `tests/cache_agreement.rs`).
+    preprocache: PreprocessCache,
 }
 
 impl Default for MineRuleEngine {
@@ -93,6 +98,7 @@ impl Default for MineRuleEngine {
             table_prefix: String::new(),
             sqlexec: SqlExec::default(),
             telemetry: Telemetry::new(),
+            preprocache: PreprocessCache::new(),
         }
     }
 }
@@ -139,6 +145,31 @@ impl MineRuleEngine {
     pub fn with_sqlexec(mut self, mode: SqlExec) -> MineRuleEngine {
         self.sqlexec = mode;
         self
+    }
+
+    /// Turn the preprocess artifact cache on (a fresh store) or off. The
+    /// cache skips `Q0`..`Q8` when a statement reruns with only changed
+    /// EXTRACTING thresholds over unmodified source tables; on/off mines
+    /// bit-identical rules (enforced by `tests/cache_agreement.rs`).
+    pub fn with_preprocache(mut self, enabled: bool) -> MineRuleEngine {
+        self.set_preprocache_enabled(enabled);
+        self
+    }
+
+    /// Turn the preprocess artifact cache on (a fresh store) or off.
+    pub fn set_preprocache_enabled(&mut self, enabled: bool) {
+        if enabled != self.preprocache.is_enabled() {
+            self.preprocache = if enabled {
+                PreprocessCache::new()
+            } else {
+                PreprocessCache::disabled()
+            };
+        }
+    }
+
+    /// Whether runs currently consult the preprocess artifact cache.
+    pub fn preprocache_enabled(&self) -> bool {
+        self.preprocache.is_enabled()
     }
 
     /// Report runs into the given telemetry registry (replaces the
@@ -192,7 +223,7 @@ impl MineRuleEngine {
         self.record_translation(&translation);
 
         let span = self.telemetry.span("phase.preprocess");
-        let preprocess_report = preprocess(db, &translation)?;
+        let preprocess_report = self.run_preprocess(db, &translation)?;
         let preprocess_time = span.stop();
         self.record_preprocess(&preprocess_report);
 
@@ -204,6 +235,39 @@ impl MineRuleEngine {
             preprocess_time,
             sql_before,
         )
+    }
+
+    /// Run preprocessing through the artifact cache: a hit reinstates the
+    /// cached encoded tables (no `Qi` step executes); a miss runs the
+    /// full program and captures the artifacts for the next run. With the
+    /// cache disabled this is exactly [`preprocess`].
+    fn run_preprocess(
+        &self,
+        db: &mut Database,
+        translation: &Translation,
+    ) -> Result<PreprocessReport> {
+        if !self.preprocache.is_enabled() {
+            return preprocess(db, translation);
+        }
+        if let Some(report) = self
+            .preprocache
+            .try_restore(db, translation, &self.table_prefix)?
+        {
+            self.telemetry.counter_inc("preprocess.cache.hit");
+            return Ok(report);
+        }
+        self.telemetry.counter_inc("preprocess.cache.miss");
+        let report = preprocess(db, translation)?;
+        let stored = self
+            .preprocache
+            .store(db, translation, &self.table_prefix, &report);
+        if stored.evicted > 0 {
+            self.telemetry
+                .counter_add("preprocess.cache.evict", stored.evicted);
+        }
+        self.telemetry
+            .gauge_set("preprocess.cache.bytes", stored.bytes as i64);
+        Ok(report)
     }
 
     /// Count the translation's directive classification
@@ -332,6 +396,17 @@ impl MineRuleEngine {
                 before.rows_joined,
                 after.rows_joined,
             ),
+            (
+                "relational.index.built",
+                before.indexes_built,
+                after.indexes_built,
+            ),
+            ("relational.index.hits", before.index_hits, after.index_hits),
+            (
+                "relational.index.invalidations",
+                before.index_invalidations,
+                after.index_invalidations,
+            ),
         ] {
             let delta = after.saturating_sub(before);
             if delta > 0 {
@@ -391,6 +466,28 @@ impl MineRuleEngine {
 /// valid domain like [`crate::MineError::UnknownAlgorithm`] does.
 pub fn parse_sqlexec(name: &str) -> Result<SqlExec> {
     SqlExec::from_name(name).ok_or_else(|| MineError::UnknownSqlExec {
+        name: name.to_string(),
+    })
+}
+
+/// Resolve a preprocess cache mode by name (`"on"`, `"off"`;
+/// ASCII-case-insensitive), reporting unknown names with the valid domain
+/// like [`crate::MineError::UnknownAlgorithm`] does.
+pub fn parse_preprocache(name: &str) -> Result<bool> {
+    match name.to_ascii_lowercase().as_str() {
+        "on" => Ok(true),
+        "off" => Ok(false),
+        _ => Err(MineError::UnknownCacheMode {
+            name: name.to_string(),
+        }),
+    }
+}
+
+/// Resolve a relational index policy by name (`"auto"`, `"off"`;
+/// ASCII-case-insensitive), reporting unknown names with the valid domain
+/// like [`crate::MineError::UnknownAlgorithm`] does.
+pub fn parse_index_policy(name: &str) -> Result<IndexPolicy> {
+    IndexPolicy::from_name(name).ok_or_else(|| MineError::UnknownIndexPolicy {
         name: name.to_string(),
     })
 }

@@ -1,6 +1,7 @@
 //! The database engine: a catalog plus a SQL entry point.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::catalog::{Catalog, View};
 use crate::error::{Error, Result};
@@ -8,6 +9,7 @@ use crate::exec::run_select;
 use crate::expr::compile::{ExecCounter, SqlExec};
 use crate::expr::eval::{eval_expr, QueryCtx};
 use crate::expr::Expr;
+use crate::index::{HashIndex, IndexLookup, IndexPolicy, IndexRegistry};
 use crate::resultset::ResultSet;
 use crate::row::Row;
 use crate::sequence::Sequence;
@@ -36,6 +38,12 @@ pub struct ExecStats {
     pub rows_filtered: u64,
     /// Rows produced by join operators.
     pub rows_joined: u64,
+    /// Hash indexes built (lazily, on first use of a key column set).
+    pub indexes_built: u64,
+    /// Operators served by a live hash index instead of a rebuild.
+    pub index_hits: u64,
+    /// Index entries discarded because their table version went stale.
+    pub index_invalidations: u64,
 }
 
 /// Result of executing one statement.
@@ -64,6 +72,8 @@ pub struct Database {
     vars: HashMap<String, Value>,
     stats: ExecStats,
     sqlexec: SqlExec,
+    index_policy: IndexPolicy,
+    indexes: IndexRegistry,
 }
 
 impl Database {
@@ -96,6 +106,23 @@ impl Database {
     /// The current expression-execution strategy.
     pub fn sqlexec(&self) -> SqlExec {
         self.sqlexec
+    }
+
+    /// Set the access-path policy: whether the engine may build and reuse
+    /// hash indexes over base tables (results are bit-identical either
+    /// way; see [`IndexPolicy`]).
+    pub fn set_index_policy(&mut self, policy: IndexPolicy) {
+        self.index_policy = policy;
+    }
+
+    /// The current access-path policy.
+    pub fn index_policy(&self) -> IndexPolicy {
+        self.index_policy
+    }
+
+    /// Number of live hash indexes in the registry (observability).
+    pub fn live_indexes(&self) -> usize {
+        self.indexes.len()
     }
 
     /// Bind a host variable (`:name`).
@@ -170,6 +197,7 @@ impl Database {
                 );
                 self.catalog
                     .create_table(Table::new(name.clone(), schema))?;
+                self.indexes.purge_table(name);
                 Ok(ExecOutcome {
                     rows_affected: 0,
                     result: None,
@@ -182,6 +210,7 @@ impl Database {
                 let n = table.insert_all(rs.into_rows())?;
                 self.stats.rows_inserted += n as u64;
                 self.catalog.create_table(table)?;
+                self.indexes.purge_table(name);
                 Ok(ExecOutcome {
                     rows_affected: n,
                     result: None,
@@ -211,6 +240,7 @@ impl Database {
             }
             Statement::DropTable { name, if_exists } => {
                 self.catalog.drop_table(name, *if_exists)?;
+                self.indexes.purge_table(name);
                 Ok(ExecOutcome {
                     rows_affected: 0,
                     result: None,
@@ -413,6 +443,32 @@ impl QueryCtx for Database {
             ExecCounter::RowsJoined => stats.rows_joined += n,
         }
     }
+
+    /// Serve (or lazily build) the hash index on `cols` of a base table.
+    /// Returns `None` under [`IndexPolicy::Off`] or when `version` does
+    /// not match the live table — the caller then falls back to a scan,
+    /// so a stale index can never be consulted.
+    fn table_index(&mut self, table: &str, version: u64, cols: &[usize]) -> Option<Arc<HashIndex>> {
+        if self.index_policy == IndexPolicy::Off {
+            return None;
+        }
+        match self.indexes.get(table, cols, version) {
+            IndexLookup::Hit(ix) => {
+                self.stats.index_hits += 1;
+                return Some(ix);
+            }
+            IndexLookup::Stale => self.stats.index_invalidations += 1,
+            IndexLookup::Miss => {}
+        }
+        let t = self.catalog.table(table).ok()?;
+        if t.version() != version {
+            return None;
+        }
+        let ix = Arc::new(HashIndex::build(t.rows(), cols, version));
+        self.stats.indexes_built += 1;
+        self.indexes.put(table, cols, Arc::clone(&ix));
+        Some(ix)
+    }
 }
 
 #[cfg(test)]
@@ -589,6 +645,46 @@ mod tests {
             .query("SELECT x FROM d WHERE x BETWEEN DATE '1995-01-01' AND DATE '1995-12-31'")
             .unwrap();
         assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn indexes_serve_joins_and_invalidate_on_mutation() {
+        let mut db = db_with_t();
+        db.execute("CREATE TABLE u (a INT, c VARCHAR)").unwrap();
+        db.execute("INSERT INTO u VALUES (1, 'one'), (3, 'three')")
+            .unwrap();
+        let q = "SELECT t.b, u.c FROM t, u WHERE t.a = u.a ORDER BY u.c";
+        let r1 = db.query(q).unwrap();
+        assert_eq!(db.stats().indexes_built, 1, "lazy build on first join");
+        let r2 = db.query(q).unwrap();
+        assert_eq!(db.stats().index_hits, 1, "second join reuses it");
+        assert_eq!(db.stats().indexes_built, 1);
+        assert_eq!(r1.rows(), r2.rows());
+        // Mutating the build-side table stales the entry.
+        db.execute("INSERT INTO u VALUES (2, 'two')").unwrap();
+        let r3 = db.query(q).unwrap();
+        assert_eq!(db.stats().index_invalidations, 1);
+        assert_eq!(db.stats().indexes_built, 2, "rebuilt after invalidation");
+        assert_eq!(r3.len(), 3);
+        // DROP purges the registry outright.
+        db.execute("DROP TABLE u").unwrap();
+        assert_eq!(db.live_indexes(), 0);
+    }
+
+    #[test]
+    fn group_by_index_matches_scan_bit_for_bit() {
+        let mut db = db_with_t();
+        let q = "SELECT b, COUNT(*) FROM t GROUP BY b ORDER BY b";
+        let indexed = db.query(q).unwrap();
+        assert_eq!(db.stats().indexes_built, 1);
+        let hit = db.query(q).unwrap();
+        assert_eq!(db.stats().index_hits, 1);
+        db.set_index_policy(IndexPolicy::Off);
+        let scanned = db.query(q).unwrap();
+        assert_eq!(indexed.rows(), scanned.rows());
+        assert_eq!(hit.rows(), scanned.rows());
+        assert_eq!(db.stats().indexes_built, 1, "off builds nothing");
+        assert_eq!(db.index_policy(), IndexPolicy::Off);
     }
 
     #[test]

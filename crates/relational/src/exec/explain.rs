@@ -10,6 +10,7 @@ use crate::engine::Database;
 use crate::error::Result;
 use crate::exec::join::{conjuncts, resolves_in};
 use crate::expr::{BinOp, Expr};
+use crate::index::IndexPolicy;
 use crate::sql::ast::{JoinKind, SelectStmt, Statement, TableSource};
 use crate::types::Schema;
 
@@ -85,6 +86,91 @@ fn factor_label(db: &Database, source: &TableSource, alias: Option<&str>) -> Str
     }
 }
 
+/// Format `index(<table>.<cols>)` for a factor the executor would serve
+/// from a table index, or `None` when it would scan: the factor must be a
+/// plain named base table (no view, no explicit joins, no pushdown filter
+/// — both clear base-table provenance) and every key a plain column.
+fn index_label(
+    db: &Database,
+    stmt: &SelectStmt,
+    pushed: bool,
+    factor: usize,
+    keys: &[&Expr],
+) -> Option<String> {
+    if pushed {
+        return None;
+    }
+    let tref = stmt.from.get(factor)?;
+    if !tref.joins.is_empty() {
+        return None;
+    }
+    let TableSource::Named(name) = &tref.source else {
+        return None;
+    };
+    let table = db.catalog().table(name).ok()?;
+    let mut cols = Vec::with_capacity(keys.len());
+    for k in keys {
+        match k {
+            Expr::Column { name, .. } => cols.push(name.as_str()),
+            _ => return None,
+        }
+    }
+    let col_part = if cols.len() == 1 {
+        cols[0].to_string()
+    } else {
+        format!("({})", cols.join(","))
+    };
+    Some(format!("index({}.{})", table.name(), col_part))
+}
+
+/// The access path the executor would pick for one equi-join conjunct.
+/// Factors fold left to right, so the side resolving in the later factor
+/// is the hash-build side — the one a table index can replace.
+fn equi_access_path(
+    db: &Database,
+    stmt: &SelectStmt,
+    schemas: &[Option<Schema>],
+    pushed: &[bool],
+    left: &Expr,
+    right: &Expr,
+) -> String {
+    if db.index_policy() == IndexPolicy::Off {
+        return "scan".into();
+    }
+    let factor_of = |e: &Expr| -> Option<usize> {
+        schemas
+            .iter()
+            .position(|s| s.as_ref().is_some_and(|s| resolves_in(e, s)))
+    };
+    let (build_factor, build_key) = match (factor_of(left), factor_of(right)) {
+        (Some(lf), Some(rf)) if lf != rf => {
+            if lf > rf {
+                (lf, left)
+            } else {
+                (rf, right)
+            }
+        }
+        _ => return "scan".into(),
+    };
+    index_label(db, stmt, pushed[build_factor], build_factor, &[build_key])
+        .unwrap_or_else(|| "scan".into())
+}
+
+/// The access path the executor would pick for the GROUP BY bucketing
+/// pass: a table index serves it only when the grouped input is one
+/// unfiltered named base table and every key is a plain column.
+fn group_access_path(db: &Database, stmt: &SelectStmt, schemas: &[Option<Schema>]) -> String {
+    if db.index_policy() == IndexPolicy::Off
+        || stmt.where_clause.is_some()
+        || schemas.len() != 1
+        || schemas[0].is_none()
+    {
+        return "scan".into();
+    }
+    let keys: Vec<&Expr> = stmt.group_by.iter().collect();
+    index_label(db, stmt, false, 0, &keys).unwrap_or_else(|| "scan".into())
+}
+
 fn explain_select(db: &Database, stmt: &SelectStmt, indent: usize, out: &mut String) -> Result<()> {
     out.push_str(&format!("{}Select\n", pad(indent)));
     if let Some((kind, rhs)) = &stmt.set_op {
@@ -131,6 +217,22 @@ fn explain_select(db: &Database, stmt: &SelectStmt, indent: usize, out: &mut Str
     }
 
     // Predicate classification, mirroring the executor's pushdown logic.
+    // A first pass records which factors receive pushdown filters: a
+    // filtered factor loses base-table provenance, so its joins can no
+    // longer be served by a table index.
+    let mut pushed = vec![false; schemas.len()];
+    if let Some(w) = &stmt.where_clause {
+        for c in conjuncts(w) {
+            for (i, schema) in schemas.iter().enumerate() {
+                if let Some(schema) = schema {
+                    if resolves_in(c, schema) {
+                        pushed[i] = true;
+                        break;
+                    }
+                }
+            }
+        }
+    }
     if let Some(w) = &stmt.where_clause {
         for c in conjuncts(w) {
             let mut placed = false;
@@ -150,14 +252,21 @@ fn explain_select(db: &Database, stmt: &SelectStmt, indent: usize, out: &mut Str
             if placed {
                 continue;
             }
-            let is_equi = matches!(
-                c,
-                Expr::Binary { op: BinOp::Eq, left, right }
-                    if matches!(**left, Expr::Column { .. })
-                        && matches!(**right, Expr::Column { .. })
-            );
-            if is_equi {
-                out.push_str(&format!("{}hash join on: {c}\n", pad(indent + 1)));
+            let equi_sides = match c {
+                Expr::Binary {
+                    op: BinOp::Eq,
+                    left,
+                    right,
+                } if matches!(**left, Expr::Column { .. })
+                    && matches!(**right, Expr::Column { .. }) =>
+                {
+                    Some((left.as_ref(), right.as_ref()))
+                }
+                _ => None,
+            };
+            if let Some((l, r)) = equi_sides {
+                let path = equi_access_path(db, stmt, &schemas, &pushed, l, r);
+                out.push_str(&format!("{}hash join on: {c} [{path}]\n", pad(indent + 1)));
             } else {
                 out.push_str(&format!("{}filter: {c}\n", pad(indent + 1)));
             }
@@ -166,8 +275,9 @@ fn explain_select(db: &Database, stmt: &SelectStmt, indent: usize, out: &mut Str
 
     if !stmt.group_by.is_empty() {
         let keys: Vec<String> = stmt.group_by.iter().map(|e| e.to_string()).collect();
+        let path = group_access_path(db, stmt, &schemas);
         out.push_str(&format!(
-            "{}hash aggregate by ({})\n",
+            "{}hash aggregate by ({}) [{path}]\n",
             pad(indent + 1),
             keys.join(", ")
         ));
@@ -233,6 +343,30 @@ mod tests {
         assert!(p.contains("having: COUNT(*) > 1"), "{p}");
         assert!(p.contains("sort by b"), "{p}");
         assert!(p.contains("limit 5"), "{p}");
+    }
+
+    #[test]
+    fn access_paths_reported() {
+        let p = plan("SELECT t.b FROM t, u WHERE t.a = u.a");
+        assert!(p.contains("hash join on: t.a = u.a [index(u.a)]"), "{p}");
+        let p = plan("SELECT b, COUNT(*) FROM t GROUP BY b");
+        assert!(p.contains("hash aggregate by (b) [index(t.b)]"), "{p}");
+        // A pushdown filter on the build factor clears its provenance.
+        let p = plan("SELECT t.b FROM t, u WHERE t.a = u.a AND u.c = 1");
+        assert!(p.contains("hash join on: t.a = u.a [scan]"), "{p}");
+        // A WHERE clause forces the grouped input through a filter.
+        let p = plan("SELECT b, COUNT(*) FROM t WHERE a = 1 GROUP BY b");
+        assert!(p.contains("hash aggregate by (b) [scan]"), "{p}");
+    }
+
+    #[test]
+    fn policy_off_reports_scans_everywhere() {
+        let mut db = db();
+        db.set_index_policy(IndexPolicy::Off);
+        let stmt = parse_statement("SELECT t.b FROM t, u WHERE t.a = u.a GROUP BY t.b").unwrap();
+        let p = explain_statement(&db, &stmt).unwrap();
+        assert!(p.contains("hash join on: t.a = u.a [scan]"), "{p}");
+        assert!(!p.contains("[index("), "no index paths under off: {p}");
     }
 
     #[test]

@@ -18,11 +18,26 @@ use crate::row::Row;
 use crate::types::Schema;
 use crate::value::Value;
 
+/// Provenance of a relation that is a verbatim snapshot of a base table:
+/// same rows, same positions, taken at exactly this version. Operators
+/// holding such a relation may answer from a table index instead of
+/// rebuilding hash structures over the rows.
+#[derive(Debug, Clone)]
+pub struct BaseRef {
+    /// Catalog name of the source table.
+    pub table: String,
+    /// The table version at materialisation time.
+    pub version: u64,
+}
+
 /// A fully materialised intermediate relation.
 #[derive(Debug, Clone)]
 pub struct Relation {
     pub schema: Schema,
     pub rows: Vec<Row>,
+    /// Set only while `rows` is an untouched base-table snapshot; any
+    /// filter or join clears it (row positions stop matching the table).
+    pub base: Option<BaseRef>,
 }
 
 impl Relation {
@@ -32,7 +47,23 @@ impl Relation {
         Relation {
             schema: Schema::default(),
             rows: vec![Vec::new()],
+            base: None,
         }
+    }
+
+    /// Resolve key expressions that are all plain column references to
+    /// their positions in this relation's schema. Any non-column key (or
+    /// unresolvable name) yields `None` — those keys can't be served by a
+    /// positional table index.
+    pub fn key_positions(&self, keys: &[&Expr]) -> Option<Vec<usize>> {
+        keys.iter()
+            .map(|k| match k {
+                Expr::Column { qualifier, name } => {
+                    self.schema.resolve(qualifier.as_deref(), name).ok()
+                }
+                _ => None,
+            })
+            .collect()
     }
 }
 
@@ -99,6 +130,7 @@ fn as_equi<'a>(expr: &'a Expr) -> Option<EquiPred<'a>> {
 /// (compiled under the context's [`SqlExec`](crate::SqlExec) mode) and
 /// run per row with a reused stack.
 pub fn filter_relation(rel: &mut Relation, pred: &Expr, ctx: &mut dyn QueryCtx) -> Result<()> {
+    rel.base = None; // row positions may shift; drop table provenance
     let schema = rel.schema.clone();
     let eval = SiteEval::plan(pred, &schema, ctx);
     let before = rel.rows.len();
@@ -219,7 +251,11 @@ fn cross_join(a: &Relation, b: &Relation, ctx: &mut dyn QueryCtx) -> Relation {
         }
     }
     ctx.bump(ExecCounter::RowsJoined, rows.len() as u64);
-    Relation { schema, rows }
+    Relation {
+        schema,
+        rows,
+        base: None,
+    }
 }
 
 /// Hash join `probe ⋈ build` on the given key expressions. NULL keys never
@@ -245,18 +281,36 @@ fn hash_join(
         .map(|k| SiteEval::plan(k, &probe.schema, ctx))
         .collect();
     let mut stack = Vec::new();
-    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(build.rows.len());
-    'build: for (i, row) in build.rows.iter().enumerate() {
-        let mut key = Vec::with_capacity(build_evals.len());
-        for k in &build_evals {
-            let v = k.eval(&build.schema, row, ctx, &mut stack)?;
-            if v.is_null() {
-                continue 'build;
+    // Access path: when the build side is an untouched base-table
+    // snapshot and every build key is a plain column, the engine's index
+    // registry serves (or lazily builds) a persistent hash index over
+    // those columns — later statements joining on the same key skip the
+    // build scan entirely. The index also stores NULL-containing keys
+    // (its GROUP BY consumer needs them) but the probe below never looks
+    // one up, preserving SQL equality semantics.
+    let index = match (&build.base, build.key_positions(build_keys)) {
+        (Some(base), Some(cols)) => ctx.table_index(&base.table, base.version, &cols),
+        _ => None,
+    };
+    let mut fresh: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    if index.is_none() {
+        fresh.reserve(build.rows.len());
+        'build: for (i, row) in build.rows.iter().enumerate() {
+            let mut key = Vec::with_capacity(build_evals.len());
+            for k in &build_evals {
+                let v = k.eval(&build.schema, row, ctx, &mut stack)?;
+                if v.is_null() {
+                    continue 'build;
+                }
+                key.push(v);
             }
-            key.push(v);
+            fresh.entry(key).or_default().push(i);
         }
-        table.entry(key).or_default().push(i);
     }
+    let table: &HashMap<Vec<Value>, Vec<usize>> = match &index {
+        Some(ix) => &ix.map,
+        None => &fresh,
+    };
     let mut key: Vec<Value> = Vec::with_capacity(probe_evals.len());
     let mut pairs: Vec<(usize, usize)> = Vec::new();
     'probe: for (pi, row) in probe.rows.iter().enumerate() {
@@ -283,7 +337,11 @@ fn hash_join(
         rows.push(r);
     }
     ctx.bump(ExecCounter::RowsJoined, rows.len() as u64);
-    Ok(Relation { schema, rows })
+    Ok(Relation {
+        schema,
+        rows,
+        base: None,
+    })
 }
 
 #[cfg(test)]
@@ -303,6 +361,7 @@ mod tests {
                     .collect(),
             ),
             rows,
+            base: None,
         }
     }
 

@@ -7,7 +7,7 @@ use std::hash::{Hash, Hasher};
 
 use crate::engine::Database;
 use crate::error::{Error, Result};
-use crate::exec::join::{conjuncts, filter_relation, join_factors, Relation};
+use crate::exec::join::{conjuncts, filter_relation, join_factors, BaseRef, Relation};
 use crate::expr::compile::{ExecCounter, SiteEval};
 use crate::expr::eval::{eval_grouped, QueryCtx};
 use crate::expr::{AggFunc, BinOp, Expr};
@@ -278,6 +278,7 @@ fn materialize_factor(
             Relation {
                 schema: rs.schema().clone(),
                 rows: rs.into_rows(),
+                base: None,
             }
         }
     };
@@ -286,12 +287,15 @@ fn materialize_factor(
         (None, TableSource::Named(n)) => Some(n.clone()),
         (None, TableSource::Subquery(_)) => None,
     };
+    // Re-qualifying columns keeps positions intact, so base-table
+    // provenance survives the aliasing step.
     Ok(Relation {
         schema: match &qualifier {
             Some(q) => base.schema.with_qualifier(q),
             None => base.schema,
         },
         rows: base.rows,
+        base: base.base,
     })
 }
 
@@ -336,22 +340,33 @@ fn explicit_join(
         }
     }
     db.bump(ExecCounter::RowsJoined, rows.len() as u64);
-    Ok(Relation { schema, rows })
+    Ok(Relation {
+        schema,
+        rows,
+        base: None,
+    })
 }
 
-/// Materialise a named table or view.
+/// Materialise a named table or view. Base tables carry their provenance
+/// (name + version) so downstream operators can consult table indexes;
+/// views are re-evaluated queries and get none.
 fn materialize_named(db: &mut Database, name: &str) -> Result<Relation> {
     if let Some(view) = db.catalog().view(name).cloned() {
         let rs = run_select(db, &view.query)?;
         return Ok(Relation {
             schema: rs.schema().clone(),
             rows: rs.into_rows(),
+            base: None,
         });
     }
     let table = db.catalog().table(name)?;
     let relation = Relation {
         schema: table.schema().clone(),
         rows: table.rows().to_vec(),
+        base: Some(BaseRef {
+            table: table.name().to_string(),
+            version: table.version(),
+        }),
     };
     db.bump(ExecCounter::RowsScanned, relation.rows.len() as u64);
     Ok(relation)
@@ -419,44 +434,65 @@ fn run_grouped(
     items: &[(Expr, String)],
     out_names: &[String],
 ) -> Result<Vec<(Row, Vec<Value>)>> {
-    // Bucket row indices by key.
-    let mut buckets: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-    let mut order: Vec<Vec<Value>> = Vec::new(); // first-seen group order
-    if stmt.group_by.is_empty() {
-        buckets.insert(Vec::new(), (0..input.rows.len()).collect());
-        order.push(Vec::new());
+    // Access path: a GROUP BY whose keys are plain columns of an
+    // untouched base-table snapshot is served by the engine's table
+    // index on those columns — same buckets, same first-seen key order,
+    // no per-row key evaluation. Any filter, join or view boundary
+    // clears the provenance and falls back to the bucketing loop below.
+    let key_refs: Vec<&Expr> = stmt.group_by.iter().collect();
+    let index = if stmt.group_by.is_empty() {
+        None
     } else {
-        // Key expressions are planned once for the per-row bucketing
-        // loop. HAVING and the projection items stay on the interpreter
-        // (`eval_grouped`): aggregates need whole-group context that the
-        // row-at-a-time programs cannot host.
-        let key_evals: Vec<SiteEval> = stmt
-            .group_by
-            .iter()
-            .map(|g| SiteEval::plan(g, &input.schema, db))
-            .collect();
-        let mut stack = Vec::new();
-        for (i, row) in input.rows.iter().enumerate() {
-            let mut key = Vec::with_capacity(key_evals.len());
-            for g in &key_evals {
-                key.push(g.eval(&input.schema, row, db, &mut stack)?);
-            }
-            match buckets.entry(key.clone()) {
-                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push(i),
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(vec![i]);
-                    order.push(key);
+        match (&input.base, input.key_positions(&key_refs)) {
+            (Some(b), Some(cols)) => db.table_index(&b.table, b.version, &cols),
+            _ => None,
+        }
+    };
+
+    // Bucket row indices by key (unless the index already did).
+    let mut fresh_buckets: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    let mut fresh_order: Vec<Vec<Value>> = Vec::new(); // first-seen group order
+    if index.is_none() {
+        if stmt.group_by.is_empty() {
+            fresh_buckets.insert(Vec::new(), (0..input.rows.len()).collect());
+            fresh_order.push(Vec::new());
+        } else {
+            // Key expressions are planned once for the per-row bucketing
+            // loop. HAVING and the projection items stay on the interpreter
+            // (`eval_grouped`): aggregates need whole-group context that the
+            // row-at-a-time programs cannot host.
+            let key_evals: Vec<SiteEval> = stmt
+                .group_by
+                .iter()
+                .map(|g| SiteEval::plan(g, &input.schema, db))
+                .collect();
+            let mut stack = Vec::new();
+            for (i, row) in input.rows.iter().enumerate() {
+                let mut key = Vec::with_capacity(key_evals.len());
+                for g in &key_evals {
+                    key.push(g.eval(&input.schema, row, db, &mut stack)?);
+                }
+                match fresh_buckets.entry(key.clone()) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push(i),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(vec![i]);
+                        fresh_order.push(key);
+                    }
                 }
             }
         }
     }
+    let (buckets, order) = match &index {
+        Some(ix) => (&ix.map, &ix.order),
+        None => (&fresh_buckets, &fresh_order),
+    };
 
     let mut out = Vec::with_capacity(order.len());
     for key in order {
-        let idxs = &buckets[&key];
+        let idxs = &buckets[key];
         let rows: Vec<&Row> = idxs.iter().map(|&i| &input.rows[i]).collect();
         if let Some(h) = &stmt.having {
-            let keep = eval_grouped(h, &input.schema, &rows, &stmt.group_by, &key, db)?;
+            let keep = eval_grouped(h, &input.schema, &rows, &stmt.group_by, key, db)?;
             if !keep.is_true() {
                 continue;
             }
@@ -468,7 +504,7 @@ fn run_grouped(
                 &input.schema,
                 &rows,
                 &stmt.group_by,
-                &key,
+                key,
                 db,
             )?);
         }
@@ -483,7 +519,7 @@ fn run_grouped(
                     &input.schema,
                     &rows,
                     &stmt.group_by,
-                    &key,
+                    key,
                     db,
                 )?);
             }

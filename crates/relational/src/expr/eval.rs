@@ -7,10 +7,12 @@
 
 use std::cmp::Ordering;
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use crate::error::{Error, Result};
 use crate::expr::compile::{ExecCounter, SqlExec};
 use crate::expr::{AggFunc, BinOp, Expr, UnaryOp};
+use crate::index::HashIndex;
 use crate::resultset::ResultSet;
 use crate::row::Row;
 use crate::sql::ast::SelectStmt;
@@ -35,6 +37,18 @@ pub trait QueryCtx {
     /// Record executor work ([`ExecCounter`]). A no-op outside an
     /// engine, so plan-level helpers can report unconditionally.
     fn bump(&mut self, _counter: ExecCounter, _n: u64) {}
+    /// Fetch (building lazily if allowed) a hash index over `cols` of the
+    /// named base table, valid only at exactly `version`. The default —
+    /// used by contexts without a catalog — offers no access paths, so
+    /// operators fall back to scans.
+    fn table_index(
+        &mut self,
+        _table: &str,
+        _version: u64,
+        _cols: &[usize],
+    ) -> Option<Arc<HashIndex>> {
+        None
+    }
 }
 
 /// A context for expression evaluation outside any engine (literals only);

@@ -36,6 +36,7 @@ pub mod engine;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod index;
 pub mod persist;
 pub mod resultset;
 pub mod row;
@@ -48,6 +49,7 @@ pub mod value;
 pub use engine::{Database, ExecOutcome, ExecStats};
 pub use error::{Error, ObjectKind, Result};
 pub use expr::compile::{CompiledExpr, ExecCounter, SqlExec};
+pub use index::{HashIndex, IndexPolicy};
 pub use resultset::ResultSet;
 pub use row::Row;
 pub use table::Table;

@@ -1,8 +1,21 @@
 //! In-memory base tables.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use crate::error::{Error, Result};
 use crate::row::Row;
 use crate::types::Schema;
+
+/// Process-global version stamp source. Every stamp is unique, so a table
+/// version identifies one exact row snapshot of one exact table instance:
+/// dropping and recreating a table (or reloading a saved database) can
+/// never resurrect a version that an index or cache entry was built
+/// against.
+static NEXT_VERSION: AtomicU64 = AtomicU64::new(1);
+
+fn next_version() -> u64 {
+    NEXT_VERSION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A materialised table: a schema plus row storage.
 ///
@@ -14,6 +27,7 @@ pub struct Table {
     name: String,
     schema: Schema,
     rows: Vec<Row>,
+    version: u64,
 }
 
 impl Table {
@@ -23,7 +37,17 @@ impl Table {
             name: name.into(),
             schema,
             rows: Vec::new(),
+            version: next_version(),
         }
+    }
+
+    /// The table's current version stamp. Monotonically increasing across
+    /// the whole process: bumped by every mutation, and globally unique,
+    /// so consumers (hash indexes, the preprocess artifact cache) detect
+    /// both in-place mutation and drop/recreate by a simple equality
+    /// check.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Table name as stored in the catalog.
@@ -66,6 +90,7 @@ impl Table {
             }
         }
         self.rows.push(row);
+        self.version = next_version();
         Ok(())
     }
 
@@ -83,12 +108,14 @@ impl Table {
     pub fn delete_where(&mut self, mut pred: impl FnMut(&Row) -> bool) -> usize {
         let before = self.rows.len();
         self.rows.retain(|r| !pred(r));
+        self.version = next_version();
         before - self.rows.len()
     }
 
     /// Drop every row.
     pub fn truncate(&mut self) {
         self.rows.clear();
+        self.version = next_version();
     }
 }
 
@@ -133,6 +160,26 @@ mod tests {
     fn insert_accepts_null_anywhere() {
         let mut table = t();
         table.insert(vec![Value::Null, Value::Null]).unwrap();
+    }
+
+    #[test]
+    fn versions_bump_on_every_mutation_and_never_repeat() {
+        let mut table = t();
+        let mut seen = vec![table.version()];
+        table.insert(row![1, "x"]).unwrap();
+        seen.push(table.version());
+        table.insert_all(vec![row![2, "y"]]).unwrap();
+        seen.push(table.version());
+        table.delete_where(|r| r[0] == Value::Int(1));
+        seen.push(table.version());
+        table.truncate();
+        seen.push(table.version());
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), seen.len(), "every mutation restamps");
+        // A freshly created table never reuses an old stamp.
+        assert!(t().version() > seen[0]);
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! The preprocess-cache / index-policy agreement contract: every
+//! combination of worker count × preprocess cache × index policy mines
+//! bit-identical rules — including warm (cache-hit) runs after a
+//! threshold-only refinement, and runs after a source-table mutation
+//! (which must *never* serve stale artifacts).
+
+use minerule::paper_example::{purchase_db, FILTERED_ORDERED_SETS};
+use minerule::{DecodedRule, MineRuleEngine};
+use relational::IndexPolicy;
+
+const WORKERS: [usize; 3] = [1, 2, 4];
+const CACHE: [bool; 2] = [true, false];
+const POLICIES: [IndexPolicy; 2] = [IndexPolicy::Auto, IndexPolicy::Off];
+
+/// Bit-exact signature of a rule set (f64s compared by bit pattern).
+fn signature(rules: &[DecodedRule]) -> Vec<String> {
+    rules
+        .iter()
+        .map(|r| {
+            format!(
+                "{:?}=>{:?} s={:016x} c={:016x}",
+                r.body,
+                r.head,
+                r.support.to_bits(),
+                r.confidence.to_bits()
+            )
+        })
+        .collect()
+}
+
+fn simple(support: f64, confidence: f64) -> String {
+    format!(
+        "MINE RULE SimpleAssoc AS SELECT DISTINCT item AS BODY, item AS HEAD, \
+         SUPPORT, CONFIDENCE FROM Purchase GROUP BY customer \
+         EXTRACTING RULES WITH SUPPORT: {support}, CONFIDENCE: {confidence}"
+    )
+}
+
+#[test]
+fn threshold_refinement_agrees_across_all_knobs() {
+    let mut reference: Option<(Vec<String>, Vec<String>)> = None;
+    for workers in WORKERS {
+        for cache in CACHE {
+            for policy in POLICIES {
+                let label = format!("workers={workers} cache={cache} indexes={policy}");
+                let mut db = purchase_db();
+                db.set_index_policy(policy);
+                let engine = MineRuleEngine::new()
+                    .with_workers(workers)
+                    .with_preprocache(cache);
+
+                // Cold run, then a support-only refinement of the same
+                // statement: with the cache on, the second run must be a
+                // warm hit that skips every Qi step.
+                let cold = engine.execute(&mut db, &simple(0.25, 0.1)).unwrap();
+                assert!(!cold.preprocess_report.executed.is_empty(), "{label}");
+                let warm = engine.execute(&mut db, &simple(0.5, 0.4)).unwrap();
+
+                let snapshot = engine.metrics_snapshot();
+                if cache {
+                    assert!(
+                        warm.preprocess_report.executed.is_empty(),
+                        "{label}: warm run must not execute preprocessing"
+                    );
+                    assert_eq!(snapshot.counter("preprocess.cache.hit"), 1, "{label}");
+                    assert_eq!(snapshot.counter("preprocess.cache.miss"), 1, "{label}");
+                } else {
+                    assert!(
+                        !warm.preprocess_report.executed.is_empty(),
+                        "{label}: cache off must preprocess every run"
+                    );
+                    assert_eq!(snapshot.counter("preprocess.cache.hit"), 0, "{label}");
+                }
+                // The warm report still states the *current* threshold.
+                assert_eq!(
+                    warm.preprocess_report.min_groups,
+                    minerule::preprocess::min_groups_for(warm.preprocess_report.total_groups, 0.5),
+                    "{label}"
+                );
+
+                let sigs = (signature(&cold.rules), signature(&warm.rules));
+                assert!(!sigs.0.is_empty() && !sigs.1.is_empty(), "{label}");
+                match &reference {
+                    None => reference = Some(sigs),
+                    Some(expected) => {
+                        assert_eq!(&sigs.0, &expected.0, "{label}: cold rules diverge");
+                        assert_eq!(&sigs.1, &expected.1, "{label}: warm rules diverge");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn general_class_agrees_across_all_knobs() {
+    let mut reference: Option<Vec<String>> = None;
+    for workers in WORKERS {
+        for cache in CACHE {
+            for policy in POLICIES {
+                let label = format!("workers={workers} cache={cache} indexes={policy}");
+                let mut db = purchase_db();
+                db.set_index_policy(policy);
+                let engine = MineRuleEngine::new()
+                    .with_workers(workers)
+                    .with_preprocache(cache);
+                // Run the paper's §2 statement twice: identical statement,
+                // so with the cache on the second run is a warm hit even
+                // though the thresholds did not move.
+                let first = engine.execute(&mut db, FILTERED_ORDERED_SETS).unwrap();
+                let second = engine.execute(&mut db, FILTERED_ORDERED_SETS).unwrap();
+                assert_eq!(
+                    second.preprocess_report.executed.is_empty(),
+                    cache,
+                    "{label}"
+                );
+                let sig = signature(&second.rules);
+                assert_eq!(signature(&first.rules), sig, "{label}: rerun diverges");
+                match &reference {
+                    None => reference = Some(sig),
+                    Some(expected) => assert_eq!(&sig, expected, "{label}: rules diverge"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn source_mutation_never_serves_stale_artifacts() {
+    for policy in POLICIES {
+        let label = format!("indexes={policy}");
+        // Cached engine: cold run, mutate the source, rerun.
+        let mut db = purchase_db();
+        db.set_index_policy(policy);
+        let engine = MineRuleEngine::new().with_preprocache(true);
+        engine.execute(&mut db, &simple(0.25, 0.1)).unwrap();
+        db.execute(
+            "INSERT INTO Purchase VALUES \
+             (9, 'c9', 'col_shirts', DATE '1997-01-08', 25, 1)",
+        )
+        .unwrap();
+        let after = engine.execute(&mut db, &simple(0.25, 0.1)).unwrap();
+        assert!(
+            !after.preprocess_report.executed.is_empty(),
+            "{label}: a mutated source must force a cold preprocess"
+        );
+        let snapshot = engine.metrics_snapshot();
+        assert_eq!(snapshot.counter("preprocess.cache.hit"), 0, "{label}");
+        assert_eq!(snapshot.counter("preprocess.cache.miss"), 2, "{label}");
+
+        // Reference: an uncached engine over a database that was mutated
+        // the same way sees exactly the same rules.
+        let mut fresh = purchase_db();
+        fresh.set_index_policy(policy);
+        fresh
+            .execute(
+                "INSERT INTO Purchase VALUES \
+                 (9, 'c9', 'col_shirts', DATE '1997-01-08', 25, 1)",
+            )
+            .unwrap();
+        let reference = MineRuleEngine::new()
+            .with_preprocache(false)
+            .execute(&mut fresh, &simple(0.25, 0.1))
+            .unwrap();
+        assert_eq!(
+            signature(&after.rules),
+            signature(&reference.rules),
+            "{label}: post-mutation rules diverge from a cold run"
+        );
+    }
+}
+
+#[test]
+fn looser_threshold_refinement_misses_but_agrees() {
+    // Group by transaction (4 groups) so the two supports actually map to
+    // different :mingroups (2 vs 1) — grouping by customer (2 groups)
+    // would round both to 1 and legitimately hit.
+    fn by_tr(support: f64) -> String {
+        format!(
+            "MINE RULE TrAssoc AS SELECT DISTINCT item AS BODY, item AS HEAD, \
+             SUPPORT, CONFIDENCE FROM Purchase GROUP BY tr \
+             EXTRACTING RULES WITH SUPPORT: {support}, CONFIDENCE: 0.1"
+        )
+    }
+    let mut db = purchase_db();
+    let engine = MineRuleEngine::new().with_preprocache(true);
+    engine.execute(&mut db, &by_tr(0.5)).unwrap();
+    // A *looser* support needs items the cached artifacts pruned, so the
+    // superset rule forces a cold run.
+    let loose = engine.execute(&mut db, &by_tr(0.25)).unwrap();
+    assert!(!loose.preprocess_report.executed.is_empty());
+    let snapshot = engine.metrics_snapshot();
+    assert_eq!(snapshot.counter("preprocess.cache.hit"), 0);
+
+    let reference = MineRuleEngine::new()
+        .with_preprocache(false)
+        .execute(&mut purchase_db(), &by_tr(0.25))
+        .unwrap();
+    assert_eq!(signature(&loose.rules), signature(&reference.rules));
+}
+
+#[test]
+fn confidence_only_refinement_always_hits() {
+    let mut db = purchase_db();
+    let engine = MineRuleEngine::new().with_preprocache(true);
+    engine.execute(&mut db, &simple(0.25, 0.1)).unwrap();
+    let warm = engine.execute(&mut db, &simple(0.25, 0.8)).unwrap();
+    assert!(warm.preprocess_report.executed.is_empty());
+    assert_eq!(engine.metrics_snapshot().counter("preprocess.cache.hit"), 1);
+    let reference = MineRuleEngine::new()
+        .with_preprocache(false)
+        .execute(&mut purchase_db(), &simple(0.25, 0.8))
+        .unwrap();
+    assert_eq!(signature(&warm.rules), signature(&reference.rules));
+}

@@ -187,6 +187,44 @@ fn unknown_sqlexec_is_rejected_like_an_unknown_algorithm() {
 }
 
 #[test]
+fn unknown_cache_mode_is_rejected_like_an_unknown_algorithm() {
+    let err = minerule::parse_preprocache("maybe").unwrap_err();
+    assert!(
+        matches!(err, MineError::UnknownCacheMode { ref name } if name == "maybe"),
+        "{err:?}"
+    );
+    // Same user-facing shape as UnknownAlgorithm: name the offending
+    // value and the valid domain.
+    let message = err.to_string();
+    assert!(message.contains("'maybe'"), "{message}");
+    assert!(message.contains("on, off"), "{message}");
+    // Valid names parse regardless of ASCII case.
+    assert!(minerule::parse_preprocache("ON").unwrap());
+    assert!(!minerule::parse_preprocache("off").unwrap());
+}
+
+#[test]
+fn unknown_index_policy_is_rejected_like_an_unknown_algorithm() {
+    let err = minerule::parse_index_policy("fast").unwrap_err();
+    assert!(
+        matches!(err, MineError::UnknownIndexPolicy { ref name } if name == "fast"),
+        "{err:?}"
+    );
+    // Same user-facing shape as UnknownAlgorithm: name the offending
+    // value and the valid domain.
+    let message = err.to_string();
+    assert!(message.contains("'fast'"), "{message}");
+    assert!(message.contains("auto, off"), "{message}");
+    // Valid names parse regardless of ASCII case.
+    for (name, policy) in [
+        ("auto", relational::IndexPolicy::Auto),
+        ("OFF", relational::IndexPolicy::Off),
+    ] {
+        assert_eq!(minerule::parse_index_policy(name).unwrap(), policy);
+    }
+}
+
+#[test]
 fn unknown_algorithm_fails_after_preprocessing_but_session_recovers() {
     let mut db = purchase_db();
     let mut engine = MineRuleEngine::new();
