@@ -54,6 +54,11 @@ pub const KNOBS: &[Knob] = &[
         domain: "auto|off",
         blurb: "relational hash-index policy (results identical either way)",
     },
+    Knob {
+        name: "storage",
+        domain: "memory|paged [dir]",
+        blurb: "storage backend (paged adds crash-safe durability; same results)",
+    },
 ];
 
 fn on_off(state: bool) -> &'static str {
@@ -165,6 +170,7 @@ impl Session {
             "sqlexec" => self.engine.sqlexec.to_string(),
             "preprocache" => on_off(self.engine.preprocache_enabled()).to_string(),
             "indexes" => self.db.index_policy().to_string(),
+            "storage" => self.db.storage().to_string(),
             other => format!("<unknown knob '{other}'>"),
         }
     }
@@ -376,6 +382,29 @@ impl Session {
                     "indexes: {} (relational hash-index policy: auto | off; \
                      results are identical either way)",
                     self.db.index_policy()
+                )),
+                (Some("storage"), Some(name)) => match minerule::parse_storage_backend(name) {
+                    // Bad names get the engine's own typed error, shaped
+                    // like the unknown-algorithm / zero-workers cases.
+                    Ok(backend) => {
+                        if backend == relational::StorageBackend::Paged {
+                            if let Some(dir) = words.next() {
+                                self.db.set_storage_dir(dir);
+                            }
+                        }
+                        match self.db.set_storage(backend) {
+                            Ok(()) => Outcome::Output(format!("storage backend set to {backend}")),
+                            Err(e) => Outcome::Output(format!(
+                                "error: {e} (usage: \\set storage memory | paged <dir>)"
+                            )),
+                        }
+                    }
+                    Err(e) => Outcome::Output(e.to_string()),
+                },
+                (Some("storage"), None) => Outcome::Output(format!(
+                    "storage: {} (storage backend: memory | paged <dir>; results are \
+                     identical either way, paged adds crash-safe durability)",
+                    self.db.storage()
                 )),
                 (None, _) => {
                     let mut out = format!("settings:\n  algorithm: {}", self.engine.core.algorithm);
@@ -784,6 +813,38 @@ mod tests {
             outputs.push((select, result));
         }
         assert!(outputs.windows(2).all(|w| w[0] == w[1]), "same results");
+    }
+
+    #[test]
+    fn storage_setting() {
+        let dir = std::env::temp_dir().join(format!("tcdm_cli_storage_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut s = Session::new();
+        assert!(out(&mut s, "\\set storage").contains("storage: memory"));
+        // Bad names get the engine's typed error, stating the domain.
+        let bad = out(&mut s, "\\set storage cloud");
+        assert!(bad.contains("unknown storage backend 'cloud'"), "{bad}");
+        assert!(bad.contains("memory, paged"), "{bad}");
+        // Paged without a directory is a usage error, and the session
+        // stays on the memory backend.
+        let nodir = out(&mut s, "\\set storage paged");
+        assert!(nodir.contains("error"), "{nodir}");
+        assert!(nodir.contains("\\set storage"), "{nodir}");
+        assert!(out(&mut s, "\\set storage").contains("storage: memory"));
+        // With a directory the switch works and SQL becomes durable.
+        let attach = format!("\\set storage paged {}", dir.display());
+        assert!(out(&mut s, &attach).contains("storage backend set to paged"));
+        assert!(out(&mut s, "\\set").contains("storage: paged"));
+        out(&mut s, "CREATE TABLE t (a INT)");
+        out(&mut s, "INSERT INTO t VALUES (1), (2)");
+        assert!(out(&mut s, "\\set storage memory").contains("set to memory"));
+        drop(s);
+        // A fresh session re-attaches the directory and sees the data.
+        let mut s2 = Session::new();
+        assert!(out(&mut s2, &attach).contains("storage backend set to paged"));
+        assert!(out(&mut s2, "SELECT COUNT(*) FROM t").contains('2'));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

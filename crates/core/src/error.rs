@@ -32,6 +32,9 @@ pub enum MineError {
     /// An unrecognised relational index policy was configured — a user
     /// configuration error, reported with the valid domain.
     UnknownIndexPolicy { name: String },
+    /// An unrecognised storage backend name was configured — a user
+    /// configuration error, reported with the valid domain.
+    UnknownStorageBackend { name: String },
     /// Internal invariant broken (a bug).
     Internal { message: String },
 }
@@ -151,6 +154,10 @@ impl fmt::Display for MineError {
             MineError::UnknownIndexPolicy { name } => {
                 write!(f, "unknown index policy '{name}'; valid choices: auto, off")
             }
+            MineError::UnknownStorageBackend { name } => write!(
+                f,
+                "unknown storage backend '{name}'; valid choices: memory, paged"
+            ),
             MineError::Internal { message } => write!(f, "internal error: {message}"),
         }
     }

@@ -14,7 +14,7 @@
 
 use std::time::Duration;
 
-use relational::{Database, ExecStats, IndexPolicy, SqlExec};
+use relational::{Database, ExecStats, IndexPolicy, SqlExec, StorageBackend};
 
 use crate::cache::PreprocessCache;
 use crate::core_op::{run_core_with_telemetry, CoreOptions, CoreOutput};
@@ -81,6 +81,14 @@ pub struct MineRuleEngine {
     /// produces bit-identical rules and preprocessing reports; this is a
     /// perf/debugging knob, enforced by `tests/sqlexec_agreement.rs`.
     pub sqlexec: SqlExec,
+    /// The storage backend the database is switched to before each run
+    /// (`None` — the default — leaves the database on whatever backend
+    /// it already uses). Memory and paged mine bit-identical rules; the
+    /// paged backend adds durability (enforced by
+    /// `tests/persist_roundtrip.rs`). Switching to `paged` requires the
+    /// database to have a storage directory configured
+    /// ([`relational::Database::set_storage_dir`]).
+    pub storage: Option<StorageBackend>,
     /// The metrics registry every run reports into. Enabled by default;
     /// clones of the engine share the same registry. Disabling it
     /// changes no mined output (enforced by `tests/telemetry.rs`).
@@ -97,6 +105,7 @@ impl Default for MineRuleEngine {
             core: CoreOptions::default(),
             table_prefix: String::new(),
             sqlexec: SqlExec::default(),
+            storage: None,
             telemetry: Telemetry::new(),
             preprocache: PreprocessCache::new(),
         }
@@ -144,6 +153,15 @@ impl MineRuleEngine {
     /// Every choice mines the same rules; this is a perf/debugging knob.
     pub fn with_sqlexec(mut self, mode: SqlExec) -> MineRuleEngine {
         self.sqlexec = mode;
+        self
+    }
+
+    /// Switch the database to the given storage backend before each run
+    /// of this engine. Both backends mine bit-identical rules; `paged`
+    /// adds crash-safe durability and needs a storage directory on the
+    /// database ([`relational::Database::set_storage_dir`]).
+    pub fn with_storage(mut self, backend: StorageBackend) -> MineRuleEngine {
+        self.storage = Some(backend);
         self
     }
 
@@ -214,6 +232,9 @@ impl MineRuleEngine {
     pub fn execute(&self, db: &mut Database, text: &str) -> Result<MiningOutcome> {
         self.telemetry.counter_inc("translator.statements");
         db.set_sqlexec(self.sqlexec);
+        if let Some(backend) = self.storage {
+            db.set_storage(backend)?;
+        }
         let sql_before = db.stats();
         let stmt = parse_mine_rule(text)?;
 
@@ -326,6 +347,9 @@ impl MineRuleEngine {
         self.telemetry.counter_inc("translator.statements");
         self.telemetry.counter_inc("preprocess.reused");
         db.set_sqlexec(self.sqlexec);
+        if let Some(backend) = self.storage {
+            db.set_storage(backend)?;
+        }
         let sql_before = db.stats();
         let stmt = parse_mine_rule(text)?;
         let span = self.telemetry.span("phase.translate");
@@ -358,7 +382,8 @@ impl MineRuleEngine {
 
     /// Publish the SQL server's execution-counter deltas for one run
     /// (`relational.*` metrics). Zero deltas are skipped so interpreted
-    /// runs don't mint empty `relational.compile.*` counters; every
+    /// runs don't mint empty `relational.compile.*` counters and
+    /// memory-backend runs don't mint `relational.storage.*` ones; every
     /// published value is independent of the core's worker count because
     /// the relational layer runs single-threaded.
     fn record_relational(&self, before: ExecStats, after: ExecStats) {
@@ -406,6 +431,41 @@ impl MineRuleEngine {
                 "relational.index.invalidations",
                 before.index_invalidations,
                 after.index_invalidations,
+            ),
+            (
+                "relational.storage.page_reads",
+                before.storage_page_reads,
+                after.storage_page_reads,
+            ),
+            (
+                "relational.storage.page_writes",
+                before.storage_page_writes,
+                after.storage_page_writes,
+            ),
+            (
+                "relational.storage.cache_hits",
+                before.storage_cache_hits,
+                after.storage_cache_hits,
+            ),
+            (
+                "relational.storage.cache_evictions",
+                before.storage_cache_evictions,
+                after.storage_cache_evictions,
+            ),
+            (
+                "relational.storage.wal_appends",
+                before.storage_wal_appends,
+                after.storage_wal_appends,
+            ),
+            (
+                "relational.storage.wal_fsyncs",
+                before.storage_wal_fsyncs,
+                after.storage_wal_fsyncs,
+            ),
+            (
+                "relational.storage.recoveries",
+                before.storage_recoveries,
+                after.storage_recoveries,
             ),
         ] {
             let delta = after.saturating_sub(before);
@@ -488,6 +548,15 @@ pub fn parse_preprocache(name: &str) -> Result<bool> {
 /// like [`crate::MineError::UnknownAlgorithm`] does.
 pub fn parse_index_policy(name: &str) -> Result<IndexPolicy> {
     IndexPolicy::from_name(name).ok_or_else(|| MineError::UnknownIndexPolicy {
+        name: name.to_string(),
+    })
+}
+
+/// Resolve a storage backend by name (`"memory"`, `"paged"`;
+/// ASCII-case-insensitive), reporting unknown names with the valid domain
+/// like [`crate::MineError::UnknownAlgorithm`] does.
+pub fn parse_storage_backend(name: &str) -> Result<StorageBackend> {
+    StorageBackend::from_name(name).ok_or_else(|| MineError::UnknownStorageBackend {
         name: name.to_string(),
     })
 }

@@ -195,6 +195,12 @@ impl Catalog {
         out
     }
 
+    /// True when the catalog holds no tables, views or sequences
+    /// (drives the attach direction when switching storage backends).
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty() && self.views.is_empty() && self.sequences.is_empty()
+    }
+
     /// Names of all base tables, sorted (deterministic listings).
     pub fn table_names(&self) -> Vec<&str> {
         let mut names: Vec<&str> = self.tables.values().map(|t| t.name()).collect();

@@ -1,6 +1,7 @@
 //! The database engine: a catalog plus a SQL entry point.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use crate::catalog::{Catalog, View};
@@ -15,6 +16,7 @@ use crate::row::Row;
 use crate::sequence::Sequence;
 use crate::sql::ast::{InsertSource, SelectStmt, Statement};
 use crate::sql::parser::{parse_statement, parse_statements};
+use crate::storage::{PagedStore, StorageBackend, StorageConfig, StorageStats, WalFault};
 use crate::table::Table;
 use crate::types::{Column, Schema};
 use crate::value::Value;
@@ -44,6 +46,20 @@ pub struct ExecStats {
     pub index_hits: u64,
     /// Index entries discarded because their table version went stale.
     pub index_invalidations: u64,
+    /// Heap pages read by the paged storage backend (0 under memory).
+    pub storage_page_reads: u64,
+    /// Heap pages written by the paged storage backend (0 under memory).
+    pub storage_page_writes: u64,
+    /// Page-cache hits in the paged storage backend (0 under memory).
+    pub storage_cache_hits: u64,
+    /// Page-cache evictions in the paged storage backend (0 under memory).
+    pub storage_cache_evictions: u64,
+    /// Records appended to the write-ahead log (0 under memory).
+    pub storage_wal_appends: u64,
+    /// WAL fsyncs, one per committed transaction (0 under memory).
+    pub storage_wal_fsyncs: u64,
+    /// WAL recoveries performed at open (0 under memory).
+    pub storage_recoveries: u64,
 }
 
 /// Result of executing one statement.
@@ -74,6 +90,11 @@ pub struct Database {
     sqlexec: SqlExec,
     index_policy: IndexPolicy,
     indexes: IndexRegistry,
+    storage_dir: Option<PathBuf>,
+    storage_cfg: StorageConfig,
+    store: Option<PagedStore>,
+    /// Counters folded in from stores detached by a backend switch.
+    storage_base: StorageStats,
 }
 
 impl Database {
@@ -82,19 +103,145 @@ impl Database {
         Database::default()
     }
 
+    /// Open a database on the durable paged backend rooted at `dir`
+    /// (created if missing, recovered if a previous process crashed).
+    /// Equivalent to [`Database::set_storage_dir`] followed by
+    /// [`Database::set_storage`]`(StorageBackend::Paged)`.
+    pub fn open_paged(dir: impl AsRef<Path>) -> Result<Database> {
+        let mut db = Database::new();
+        db.set_storage_dir(dir);
+        db.set_storage(StorageBackend::Paged)?;
+        Ok(db)
+    }
+
     /// Read-only catalog access.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
     }
 
-    /// Mutable catalog access (programmatic table setup).
+    /// Mutable catalog access (programmatic table setup). Under the
+    /// paged backend, mutations made here reach disk lazily, with the
+    /// next executed statement or explicit [`Database::checkpoint`].
     pub fn catalog_mut(&mut self) -> &mut Catalog {
         &mut self.catalog
     }
 
-    /// Execution statistics so far.
+    /// Execution statistics so far (storage counters included).
     pub fn stats(&self) -> ExecStats {
-        self.stats
+        let mut stats = self.stats;
+        let st = self.storage_stats();
+        stats.storage_page_reads = st.page_reads;
+        stats.storage_page_writes = st.page_writes;
+        stats.storage_cache_hits = st.cache_hits;
+        stats.storage_cache_evictions = st.cache_evictions;
+        stats.storage_wal_appends = st.wal_appends;
+        stats.storage_wal_fsyncs = st.wal_fsyncs;
+        stats.storage_recoveries = st.recoveries;
+        stats
+    }
+
+    /// Storage-layer work counters (all zero under the memory backend).
+    pub fn storage_stats(&self) -> StorageStats {
+        match &self.store {
+            Some(store) => self.storage_base.merged(store.stats()),
+            None => self.storage_base,
+        }
+    }
+
+    /// The storage backend this database currently runs on.
+    pub fn storage(&self) -> StorageBackend {
+        if self.store.is_some() {
+            StorageBackend::Paged
+        } else {
+            StorageBackend::Memory
+        }
+    }
+
+    /// Set the directory the paged backend will use. Takes effect at the
+    /// next switch to [`StorageBackend::Paged`].
+    pub fn set_storage_dir(&mut self, dir: impl AsRef<Path>) {
+        self.storage_dir = Some(dir.as_ref().to_path_buf());
+    }
+
+    /// Tune the paged backend (cache budget, checkpoint threshold).
+    /// Takes effect at the next switch to [`StorageBackend::Paged`].
+    pub fn set_storage_config(&mut self, cfg: StorageConfig) {
+        self.storage_cfg = cfg;
+    }
+
+    /// Switch the storage backend.
+    ///
+    /// Switching to `Paged` opens (or creates) the store under the
+    /// configured directory, recovering from its WAL if needed. When the
+    /// store is empty the current in-memory catalog is written through;
+    /// when the in-memory catalog is empty the stored one is loaded
+    /// (with fresh version stamps). Both being non-empty is rejected —
+    /// there is no merge story. Switching to `Memory` checkpoints and
+    /// detaches the store; the catalog stays resident and the directory
+    /// remains reopenable.
+    pub fn set_storage(&mut self, backend: StorageBackend) -> Result<()> {
+        match backend {
+            StorageBackend::Paged => {
+                if self.store.is_some() {
+                    return Ok(());
+                }
+                let dir = self.storage_dir.clone().ok_or_else(|| {
+                    Error::storage(
+                        "the paged backend needs a directory; call set_storage_dir first",
+                    )
+                })?;
+                let mut store = PagedStore::open(&dir, self.storage_cfg)?;
+                let catalog_empty = self.catalog.is_empty();
+                if store.is_empty() {
+                    if !catalog_empty {
+                        store.sync(&self.catalog)?;
+                    }
+                } else if catalog_empty {
+                    self.catalog = store.load_catalog()?;
+                } else {
+                    return Err(Error::storage(format!(
+                        "{} already contains a database; attach it from an empty \
+                         Database or choose another directory",
+                        dir.display()
+                    )));
+                }
+                self.store = Some(store);
+                Ok(())
+            }
+            StorageBackend::Memory => {
+                let Some(mut store) = self.store.take() else {
+                    return Ok(());
+                };
+                let result = store.sync(&self.catalog).and_then(|()| store.checkpoint());
+                self.storage_base = self.storage_base.merged(store.stats());
+                result
+            }
+        }
+    }
+
+    /// Flush all durable state: sync the catalog, write dirty pages to
+    /// the heap, fsync, truncate the WAL. A no-op on the memory backend.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        if let Some(store) = self.store.as_mut() {
+            store.sync(&self.catalog)?;
+            store.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Arm the WAL crash-injection hook on the attached store (tests).
+    pub fn inject_wal_fault(&mut self, fault: Option<WalFault>) {
+        if let Some(store) = self.store.as_mut() {
+            store.set_fault(fault);
+        }
+    }
+
+    /// Mirror the catalog to the paged store, if one is attached.
+    fn sync_storage(&mut self) -> Result<()> {
+        match self.store.as_mut() {
+            Some(store) => store.sync(&self.catalog),
+            None => Ok(()),
+        }
     }
 
     /// Set the expression-execution strategy for subsequent statements
@@ -156,7 +303,19 @@ impl Database {
     }
 
     /// Execute an already-parsed statement.
+    ///
+    /// Under the paged backend each statement is one storage
+    /// transaction: after the in-memory dispatch succeeds, the catalog
+    /// is mirrored to the store and WAL-committed (fsync included)
+    /// before this returns — the statement boundary is the durability
+    /// boundary.
     pub fn run_statement(&mut self, stmt: &Statement) -> Result<ExecOutcome> {
+        let outcome = self.dispatch_statement(stmt)?;
+        self.sync_storage()?;
+        Ok(outcome)
+    }
+
+    fn dispatch_statement(&mut self, stmt: &Statement) -> Result<ExecOutcome> {
         self.stats.statements += 1;
         match stmt {
             Statement::Explain(inner) => {
@@ -685,6 +844,87 @@ mod tests {
         assert_eq!(hit.rows(), scanned.rows());
         assert_eq!(db.stats().indexes_built, 1, "off builds nothing");
         assert_eq!(db.index_policy(), IndexPolicy::Off);
+    }
+
+    fn temp_store(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("tcdm_engine_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn paged_backend_survives_drop_and_reopen() {
+        let dir = temp_store("reopen");
+        {
+            let mut db = Database::open_paged(&dir).unwrap();
+            assert_eq!(db.storage(), crate::StorageBackend::Paged);
+            db.execute("CREATE TABLE t (a INT, b VARCHAR)").unwrap();
+            db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+                .unwrap();
+            let s = db.stats();
+            assert!(s.storage_wal_fsyncs >= 2, "one fsync per statement");
+            assert!(s.storage_wal_appends > 0);
+        } // dropped mid-flight: no checkpoint, the WAL carries everything
+        let mut db = Database::open_paged(&dir).unwrap();
+        assert_eq!(db.stats().storage_recoveries, 1);
+        let rs = db.query("SELECT b FROM t ORDER BY a").unwrap();
+        assert_eq!(rs.rows()[1][0], Value::Str("y".into()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn paged_requires_a_directory_and_rejects_double_attach() {
+        let mut db = db_with_t();
+        assert!(matches!(
+            db.set_storage(crate::StorageBackend::Paged),
+            Err(Error::Storage { .. })
+        ));
+        let dir = temp_store("attach");
+        {
+            let mut seeded = Database::open_paged(&dir).unwrap();
+            seeded.execute("CREATE TABLE other (x INT)").unwrap();
+        }
+        // A non-empty catalog cannot attach to a non-empty store.
+        db.set_storage_dir(&dir);
+        assert!(matches!(
+            db.set_storage(crate::StorageBackend::Paged),
+            Err(Error::Storage { .. })
+        ));
+        assert_eq!(db.storage(), crate::StorageBackend::Memory);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn backend_switch_memory_paged_memory_keeps_data() {
+        let dir = temp_store("switch");
+        let mut db = db_with_t();
+        db.set_storage_dir(&dir);
+        db.set_storage(crate::StorageBackend::Paged).unwrap();
+        db.execute("INSERT INTO t VALUES (4, 'w')").unwrap();
+        db.set_storage(crate::StorageBackend::Memory).unwrap();
+        assert_eq!(db.storage(), crate::StorageBackend::Memory);
+        // Catalog still resident after detach…
+        assert_eq!(
+            db.query("SELECT COUNT(*) FROM t").unwrap().scalar(),
+            Some(&Value::Int(4))
+        );
+        // …and the checkpointed directory reopens on its own.
+        let mut back = Database::open_paged(&dir).unwrap();
+        assert_eq!(
+            back.query("SELECT COUNT(*) FROM t").unwrap().scalar(),
+            Some(&Value::Int(4))
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn memory_backend_reports_zero_storage_counters() {
+        let mut db = db_with_t();
+        db.query("SELECT * FROM t").unwrap();
+        let s = db.stats();
+        assert_eq!(s.storage_wal_appends, 0);
+        assert_eq!(s.storage_page_writes, 0);
+        assert_eq!(s.storage_recoveries, 0);
     }
 
     #[test]

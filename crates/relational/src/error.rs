@@ -33,6 +33,9 @@ pub enum Error {
     UnboundVariable { name: String },
     /// Division by zero or other arithmetic failure.
     Arithmetic { message: String },
+    /// Failure in the durable storage layer (I/O, checksum, WAL, or a
+    /// misconfigured backend switch).
+    Storage { message: String },
     /// Anything else.
     Unsupported { message: String },
 }
@@ -74,6 +77,7 @@ impl fmt::Display for Error {
             Error::Aggregate { message } => write!(f, "aggregate: {message}"),
             Error::UnboundVariable { name } => write!(f, "unbound host variable ':{name}'"),
             Error::Arithmetic { message } => write!(f, "arithmetic error: {message}"),
+            Error::Storage { message } => write!(f, "storage error: {message}"),
             Error::Unsupported { message } => write!(f, "unsupported: {message}"),
         }
     }
@@ -95,6 +99,13 @@ impl Error {
     /// Build an [`Error::TypeMismatch`] from anything displayable.
     pub fn type_mismatch(message: impl Into<String>) -> Self {
         Error::TypeMismatch {
+            message: message.into(),
+        }
+    }
+
+    /// Build an [`Error::Storage`] from anything displayable.
+    pub fn storage(message: impl Into<String>) -> Self {
+        Error::Storage {
             message: message.into(),
         }
     }

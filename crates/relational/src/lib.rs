@@ -42,6 +42,7 @@ pub mod resultset;
 pub mod row;
 pub mod sequence;
 pub mod sql;
+pub mod storage;
 pub mod table;
 pub mod types;
 pub mod value;
@@ -52,6 +53,7 @@ pub use expr::compile::{CompiledExpr, ExecCounter, SqlExec};
 pub use index::{HashIndex, IndexPolicy};
 pub use resultset::ResultSet;
 pub use row::Row;
+pub use storage::{StorageBackend, StorageConfig, StorageStats, WalFault, WalFaultKind};
 pub use table::Table;
 pub use types::{Column, DataType, Schema};
 pub use value::{Date, Value};

@@ -1,10 +1,16 @@
-//! Catalog persistence: save a database to a directory and load it back.
+//! TSV snapshots: an inspectable interchange format for whole databases.
 //!
-//! The format is deliberately plain — a `_catalog.txt` manifest plus one
-//! tab-separated file per table — so saved databases are inspectable and
-//! diffable. Values are tagged (`I:`, `F:`, `S:`, `B:`, `D:`, `N`) and
-//! floats are stored as hexadecimal bit patterns, making the round-trip
-//! bit-exact.
+//! This is the *export/import* side of persistence — save a database to
+//! a directory, load it back, diff it, check it into a repo. The format
+//! is deliberately plain: a `_catalog.txt` manifest plus one
+//! tab-separated file per table. Values are tagged (`I:`, `F:`, `S:`,
+//! `B:`, `D:`, `N`) and floats are stored as hexadecimal bit patterns,
+//! making the round-trip bit-exact.
+//!
+//! For *transactional durability* — crash-safe commit of every executed
+//! statement, with WAL recovery on reopen — use the paged storage
+//! backend ([`crate::storage`], `docs/STORAGE.md`) instead; this module
+//! stays the human-readable snapshot format.
 
 use std::fs;
 use std::io::{BufRead, BufReader, BufWriter, Write};

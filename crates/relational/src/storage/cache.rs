@@ -1,0 +1,228 @@
+//! The pinning page cache: a bounded pool of in-memory pages with LRU
+//! eviction and a no-steal pin protocol.
+//!
+//! Pages dirtied by the transaction in flight are *pinned* — the cache
+//! will never evict them, so an uncommitted page can never reach the
+//! heap file before its redo image is durable in the WAL (the no-steal
+//! buffer policy). Unpinned dirty pages (committed, not yet
+//! checkpointed) may be evicted; the caller receives them back and must
+//! write them to the heap, which is safe precisely because commit
+//! already logged their images.
+//!
+//! ```
+//! use relational::storage::cache::PageCache;
+//! use relational::storage::page::Page;
+//! let mut cache = PageCache::new(2);
+//! assert!(cache.insert(Page::new(1), false).is_empty());
+//! assert!(cache.insert(Page::new(2), false).is_empty());
+//! assert!(cache.get(1).is_some());       // hit; bumps recency
+//! cache.insert(Page::new(3), false);     // evicts page 2 (LRU)
+//! assert!(cache.get(2).is_none());
+//! assert_eq!(cache.hits(), 1);
+//! assert_eq!(cache.evictions(), 1);
+//! ```
+
+use std::collections::HashMap;
+
+use super::page::Page;
+
+#[derive(Debug)]
+struct Entry {
+    page: Page,
+    dirty: bool,
+    pinned: bool,
+    last_used: u64,
+}
+
+/// A bounded page pool with LRU eviction; see the module docs for the
+/// pin/dirty protocol.
+#[derive(Debug)]
+pub struct PageCache {
+    budget: usize,
+    entries: HashMap<u32, Entry>,
+    clock: u64,
+    hits: u64,
+    evictions: u64,
+}
+
+impl PageCache {
+    /// A cache holding at most `budget` pages (minimum 1).
+    pub fn new(budget: usize) -> PageCache {
+        PageCache {
+            budget: budget.max(1),
+            entries: HashMap::new(),
+            clock: 0,
+            hits: 0,
+            evictions: 0,
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Look up a cached page, bumping its recency and the hit counter.
+    pub fn get(&mut self, id: u32) -> Option<&Page> {
+        let clock = self.tick();
+        let entry = self.entries.get_mut(&id)?;
+        entry.last_used = clock;
+        self.hits += 1;
+        Some(&entry.page)
+    }
+
+    /// Insert (or replace) a page. Returns any *dirty* pages evicted to
+    /// make room — the caller must write them to the heap. Clean
+    /// evictions are dropped silently. Pinned pages are never evicted;
+    /// when everything is pinned the cache grows past its budget rather
+    /// than violate the no-steal policy.
+    pub fn insert(&mut self, page: Page, dirty: bool) -> Vec<Page> {
+        let clock = self.tick();
+        let id = page.id();
+        match self.entries.get_mut(&id) {
+            Some(entry) => {
+                entry.page = page;
+                entry.dirty = entry.dirty || dirty;
+                entry.pinned = entry.pinned || dirty;
+                entry.last_used = clock;
+                return Vec::new();
+            }
+            None => {
+                self.entries.insert(
+                    id,
+                    Entry {
+                        page,
+                        dirty,
+                        pinned: dirty,
+                        last_used: clock,
+                    },
+                );
+            }
+        }
+        let mut spilled = Vec::new();
+        while self.entries.len() > self.budget {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(vid, e)| !e.pinned && **vid != id)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(vid, _)| *vid);
+            let Some(victim) = victim else {
+                break; // everything is pinned: exceed the budget
+            };
+            let entry = self.entries.remove(&victim).expect("victim exists");
+            self.evictions += 1;
+            if entry.dirty {
+                spilled.push(entry.page);
+            }
+        }
+        spilled
+    }
+
+    /// Look at a cached page without counting a hit or touching recency
+    /// (internal bookkeeping reads, e.g. gathering commit images).
+    pub fn peek(&self, id: u32) -> Option<&Page> {
+        self.entries.get(&id).map(|e| &e.page)
+    }
+
+    /// Release every pin (commit finished; the WAL holds the images).
+    pub fn unpin_all(&mut self) {
+        for entry in self.entries.values_mut() {
+            entry.pinned = false;
+        }
+    }
+
+    /// Drain the dirty set for a checkpoint: returns clones of every
+    /// dirty page (sorted by id for deterministic heap writes) and marks
+    /// them clean.
+    pub fn take_dirty(&mut self) -> Vec<Page> {
+        let mut dirty: Vec<Page> = self
+            .entries
+            .values_mut()
+            .filter(|e| e.dirty)
+            .map(|e| {
+                e.dirty = false;
+                e.page.clone()
+            })
+            .collect();
+        dirty.sort_by_key(|p| p.id());
+        dirty
+    }
+
+    /// Forget a page entirely (used when its page id is freed).
+    pub fn remove(&mut self, id: u32) {
+        self.entries.remove(&id);
+    }
+
+    /// Number of cached pages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups served from memory.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Pages pushed out by the LRU policy.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut cache = PageCache::new(2);
+        cache.insert(Page::new(1), false);
+        cache.insert(Page::new(2), false);
+        cache.get(1); // 2 is now least recent
+        cache.insert(Page::new(3), false);
+        assert!(cache.get(2).is_none());
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn dirty_evictions_are_returned_for_spill() {
+        let mut cache = PageCache::new(1);
+        cache.insert(Page::new(1), true);
+        cache.unpin_all(); // committed: evictable now
+        let spilled = cache.insert(Page::new(2), false);
+        assert_eq!(spilled.len(), 1);
+        assert_eq!(spilled[0].id(), 1);
+    }
+
+    #[test]
+    fn pinned_pages_survive_pressure() {
+        let mut cache = PageCache::new(1);
+        cache.insert(Page::new(1), true); // dirty ⇒ pinned
+        let spilled = cache.insert(Page::new(2), true);
+        assert!(spilled.is_empty(), "no-steal: pinned pages never spill");
+        assert_eq!(cache.len(), 2, "budget exceeded rather than steal");
+        assert!(cache.get(1).is_some());
+        cache.unpin_all();
+        cache.insert(Page::new(3), false);
+        assert_eq!(cache.len(), 1, "pressure relieved after unpin");
+    }
+
+    #[test]
+    fn take_dirty_is_sorted_and_clears_flags() {
+        let mut cache = PageCache::new(8);
+        cache.insert(Page::new(5), true);
+        cache.insert(Page::new(2), true);
+        cache.insert(Page::new(9), false);
+        let dirty = cache.take_dirty();
+        assert_eq!(dirty.iter().map(Page::id).collect::<Vec<_>>(), vec![2, 5]);
+        assert!(cache.take_dirty().is_empty(), "flags cleared");
+    }
+}

@@ -1,0 +1,292 @@
+//! The pager: maps page ids onto a single heap file, funnels every
+//! access through the [`PageCache`], and hands
+//! out page ids from a free list rebuilt by mark-and-sweep at open.
+//!
+//! The heap file is a flat array of [`PAGE_SIZE`] slots; page id `n`
+//! lives at byte offset `n * PAGE_SIZE`. Page 0 is the superblock and is
+//! never allocated to a chain. The free list is deliberately *not*
+//! persisted: the store recomputes it at open from the set of reachable
+//! pages, which removes a whole class of free-list corruption bugs.
+//!
+//! Writes inside a transaction stay pinned in the cache (no-steal);
+//! committed pages reach the heap either by LRU spill or by checkpoint
+//! ([`Pager::flush_dirty`]), both of which are safe because commit has
+//! already made their WAL images durable.
+
+use std::collections::BTreeSet;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use super::cache::PageCache;
+use super::page::{Page, PAGE_SIZE};
+use crate::error::{Error, Result};
+
+/// Heap-file manager; see the module docs for the protocol.
+#[derive(Debug)]
+pub struct Pager {
+    file: File,
+    /// Pages the store knows about (allocated; the file may be shorter
+    /// until the next spill or checkpoint reaches the tail).
+    page_count: u32,
+    /// Pages physically present in the file at open (fresh-store probe).
+    file_pages: u32,
+    /// Reusable page ids, sorted descending so `pop` yields the smallest
+    /// (deterministic allocation order).
+    free: Vec<u32>,
+    cache: PageCache,
+    tx_dirty: BTreeSet<u32>,
+    reads: u64,
+    writes: u64,
+}
+
+impl Pager {
+    /// Open (or create) the heap file with a cache of `cache_pages`.
+    pub fn open(path: &Path, cache_pages: usize) -> Result<Pager> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| Error::storage(format!("open heap {}: {e}", path.display())))?;
+        let len = file
+            .metadata()
+            .map_err(|e| Error::storage(format!("stat heap: {e}")))?
+            .len();
+        let file_pages = (len / PAGE_SIZE as u64) as u32;
+        Ok(Pager {
+            file,
+            page_count: file_pages.max(1), // page 0 is always reserved
+            file_pages,
+            free: Vec::new(),
+            cache: PageCache::new(cache_pages),
+            tx_dirty: BTreeSet::new(),
+            reads: 0,
+            writes: 0,
+        })
+    }
+
+    /// Pages physically present in the heap file when it was opened.
+    pub fn file_pages(&self) -> u32 {
+        self.file_pages
+    }
+
+    /// Pages the store has ever allocated (including freed ones).
+    pub fn page_count(&self) -> u32 {
+        self.page_count
+    }
+
+    /// Raise the allocation horizon (recovery saw a higher page id).
+    pub fn ensure_page_count(&mut self, n: u32) {
+        self.page_count = self.page_count.max(n);
+    }
+
+    /// Install the free list computed by mark-and-sweep.
+    pub fn set_free(&mut self, mut free: Vec<u32>) {
+        free.sort_unstable_by(|a, b| b.cmp(a));
+        self.free = free;
+    }
+
+    /// Hand out a page id: the smallest free one, else a fresh one.
+    pub fn allocate(&mut self) -> u32 {
+        match self.free.pop() {
+            Some(id) => id,
+            None => {
+                let id = self.page_count;
+                self.page_count += 1;
+                id
+            }
+        }
+    }
+
+    /// Return a page id to the free list and drop any cached copy.
+    pub fn free_page(&mut self, id: u32) {
+        self.cache.remove(id);
+        self.tx_dirty.remove(&id);
+        match self.free.binary_search_by(|x| id.cmp(x)) {
+            Ok(_) => {} // double-free is a no-op
+            Err(at) => self.free.insert(at, id),
+        }
+    }
+
+    fn heap_write(&mut self, page: &mut Page) -> Result<()> {
+        let offset = page.id() as u64 * PAGE_SIZE as u64;
+        self.file
+            .seek(SeekFrom::Start(offset))
+            .and_then(|_| self.file.write_all(page.sealed_bytes()))
+            .map_err(|e| Error::storage(format!("heap write page {}: {e}", page.id())))?;
+        self.writes += 1;
+        Ok(())
+    }
+
+    fn spill(&mut self, evicted: Vec<Page>) -> Result<()> {
+        for mut page in evicted {
+            self.heap_write(&mut page)?;
+        }
+        Ok(())
+    }
+
+    /// Read a page, from cache when possible, from the heap otherwise
+    /// (verifying its checksum and identity on the way in).
+    pub fn read(&mut self, id: u32) -> Result<Page> {
+        if let Some(page) = self.cache.get(id) {
+            return Ok(page.clone());
+        }
+        let mut buf = [0u8; PAGE_SIZE];
+        self.file
+            .seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))
+            .and_then(|_| self.file.read_exact(&mut buf))
+            .map_err(|e| Error::storage(format!("heap read page {id}: {e}")))?;
+        self.reads += 1;
+        let page = Page::from_bytes(&buf)?;
+        if page.id() != id {
+            return Err(Error::storage(format!(
+                "heap page {id} carries id {} — misdirected write",
+                page.id()
+            )));
+        }
+        let evicted = self.cache.insert(page.clone(), false);
+        self.spill(evicted)?;
+        Ok(page)
+    }
+
+    /// Write a page inside the current transaction: cached dirty and
+    /// pinned until [`Pager::end_tx`], and recorded for the commit's WAL
+    /// records.
+    pub fn write(&mut self, page: Page) -> Result<()> {
+        self.tx_dirty.insert(page.id());
+        let evicted = self.cache.insert(page, true);
+        self.spill(evicted)
+    }
+
+    /// Install a committed page image during recovery: dirty (so the
+    /// recovery checkpoint flushes it) but outside any transaction.
+    pub fn install(&mut self, page: Page) -> Result<()> {
+        self.ensure_page_count(page.id() + 1);
+        let evicted = self.cache.insert(page, true);
+        self.spill(evicted)
+    }
+
+    /// Final images of every page written by the current transaction,
+    /// sorted by id (pages freed again within the transaction are
+    /// unreachable and skipped).
+    pub fn tx_dirty_pages(&self) -> Vec<Page> {
+        self.tx_dirty
+            .iter()
+            .filter_map(|id| self.cache.peek(*id).cloned())
+            .collect()
+    }
+
+    /// The transaction committed: clear its dirty set and release pins.
+    pub fn end_tx(&mut self) {
+        self.tx_dirty.clear();
+        self.cache.unpin_all();
+    }
+
+    /// Checkpoint step: write every dirty page to the heap and fsync it.
+    pub fn flush_dirty(&mut self) -> Result<()> {
+        for mut page in self.cache.take_dirty() {
+            self.heap_write(&mut page)?;
+        }
+        self.file
+            .sync_data()
+            .map_err(|e| Error::storage(format!("heap fsync: {e}")))
+    }
+
+    /// Heap pages read from disk.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Heap pages written to disk (spills + checkpoints).
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Reads served by the cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache.hits()
+    }
+
+    /// Pages pushed out of the cache by the LRU policy.
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache.evictions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_heap(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("tcdm_pager_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("heap")
+    }
+
+    #[test]
+    fn write_flush_reopen_read() {
+        let path = temp_heap("roundtrip");
+        {
+            let mut pager = Pager::open(&path, 8).unwrap();
+            assert_eq!(pager.file_pages(), 0, "fresh heap");
+            let id = pager.allocate();
+            assert_eq!(id, 1, "page 0 stays reserved");
+            let mut page = Page::new(id);
+            page.push_cell(b"cell").unwrap();
+            pager.write(page).unwrap();
+            pager.end_tx();
+            pager.flush_dirty().unwrap();
+        }
+        let mut pager = Pager::open(&path, 8).unwrap();
+        assert_eq!(pager.file_pages(), 2);
+        let page = pager.read(1).unwrap();
+        assert_eq!(page.cell(0), b"cell");
+        assert_eq!(pager.reads(), 1);
+        // Second read is a cache hit, not a heap read.
+        pager.read(1).unwrap();
+        assert_eq!(pager.reads(), 1);
+        assert_eq!(pager.cache_hits(), 1);
+    }
+
+    #[test]
+    fn allocation_prefers_smallest_free_id() {
+        let path = temp_heap("alloc");
+        let mut pager = Pager::open(&path, 8).unwrap();
+        let a = pager.allocate();
+        let b = pager.allocate();
+        let c = pager.allocate();
+        assert_eq!((a, b, c), (1, 2, 3));
+        pager.free_page(c);
+        pager.free_page(a);
+        pager.free_page(a); // double-free is harmless
+        assert_eq!(pager.allocate(), 1);
+        assert_eq!(pager.allocate(), 3);
+        assert_eq!(pager.allocate(), 4);
+    }
+
+    #[test]
+    fn eviction_spills_committed_pages_to_heap() {
+        let path = temp_heap("spill");
+        let mut pager = Pager::open(&path, 2).unwrap();
+        for _ in 0..4 {
+            let id = pager.allocate();
+            let mut p = Page::new(id);
+            p.push_cell(&id.to_le_bytes()).unwrap();
+            pager.write(p).unwrap();
+        }
+        // All four are pinned: the cache overshoots instead of stealing.
+        assert_eq!(pager.writes(), 0);
+        pager.end_tx();
+        // Post-commit pressure evicts down to budget, spilling to heap.
+        let id = pager.allocate();
+        pager.write(Page::new(id)).unwrap();
+        assert!(pager.writes() >= 2, "dirty evictions reached the heap");
+        assert!(pager.cache_evictions() >= 2);
+        // Spilled pages read back intact from the heap.
+        let p = pager.read(1).unwrap();
+        assert_eq!(p.cell(0), &1u32.to_le_bytes());
+    }
+}

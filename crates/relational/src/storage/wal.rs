@@ -1,0 +1,390 @@
+//! The write-ahead log: physical redo records with commit boundaries,
+//! fsync-on-commit, and a fault-injection hook for crash testing.
+//!
+//! Every frame on disk is self-describing and self-checking:
+//!
+//! ```text
+//! frame   := [payload len u32 LE] [crc32(payload) u32 LE] [payload]
+//! payload := kind u8 ++ fields
+//!   kind 1  Begin   tx u64
+//!   kind 2  Page    tx u64, page id u32, full page image (PAGE_SIZE)
+//!   kind 3  Commit  tx u64
+//! ```
+//!
+//! Recovery scans frames from the start and stops at the first torn or
+//! corrupt one (short frame, bad length, bad CRC): everything before is
+//! the durable prefix, everything after is a crash artifact and is
+//! discarded. Only transactions whose `Commit` record made it into the
+//! durable prefix are replayed — see `docs/STORAGE.md` for the protocol.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use super::page::{crc32, PAGE_SIZE};
+use crate::error::{Error, Result};
+
+/// One logical WAL record.
+#[derive(Debug, Clone)]
+pub enum WalRecord {
+    /// A transaction starts.
+    Begin { tx: u64 },
+    /// Full after-image of one page, written by transaction `tx`.
+    Page {
+        tx: u64,
+        page_id: u32,
+        image: Box<[u8; PAGE_SIZE]>,
+    },
+    /// Transaction `tx` is durable once this record is on disk.
+    Commit { tx: u64 },
+}
+
+/// Where an injected fault fires inside the WAL writer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalFaultKind {
+    /// Fail before any bytes of the frame are written.
+    Append,
+    /// Write only half the frame, then fail — a torn append.
+    TornAppend,
+    /// Fail the fsync and drop every byte written since the last
+    /// successful fsync, as a crashed OS page cache would.
+    Fsync,
+}
+
+/// A simulated crash point: fire on the `at`-th operation (0-based) of
+/// the matching kind. After a fault fires the log is poisoned and every
+/// further operation errors, so the only way forward is a fresh
+/// [`Wal::open`] — exactly like a process restart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalFault {
+    pub kind: WalFaultKind,
+    pub at: u64,
+}
+
+/// An append-only log file plus replay/truncate machinery.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    /// End of the valid, written prefix (next append goes here).
+    len: u64,
+    /// End of the prefix known durable (last successful fsync).
+    synced_len: u64,
+    appends: u64,
+    fsyncs: u64,
+    fault: Option<WalFault>,
+    poisoned: bool,
+}
+
+fn encode(record: &WalRecord) -> Vec<u8> {
+    let mut payload = Vec::new();
+    match record {
+        WalRecord::Begin { tx } => {
+            payload.push(1);
+            payload.extend_from_slice(&tx.to_le_bytes());
+        }
+        WalRecord::Page { tx, page_id, image } => {
+            payload.push(2);
+            payload.extend_from_slice(&tx.to_le_bytes());
+            payload.extend_from_slice(&page_id.to_le_bytes());
+            payload.extend_from_slice(&image[..]);
+        }
+        WalRecord::Commit { tx } => {
+            payload.push(3);
+            payload.extend_from_slice(&tx.to_le_bytes());
+        }
+    }
+    let mut frame = Vec::with_capacity(8 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+fn decode(payload: &[u8]) -> Option<WalRecord> {
+    let read_u64 = |at: usize| -> Option<u64> {
+        payload
+            .get(at..at + 8)
+            .map(|b| u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    };
+    match payload.first()? {
+        1 if payload.len() == 9 => Some(WalRecord::Begin { tx: read_u64(1)? }),
+        2 if payload.len() == 13 + PAGE_SIZE => {
+            let tx = read_u64(1)?;
+            let b = &payload[9..13];
+            let page_id = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+            let mut image = Box::new([0u8; PAGE_SIZE]);
+            image.copy_from_slice(&payload[13..]);
+            Some(WalRecord::Page { tx, page_id, image })
+        }
+        3 if payload.len() == 9 => Some(WalRecord::Commit { tx: read_u64(1)? }),
+        _ => None,
+    }
+}
+
+impl Wal {
+    /// Open (or create) the log at `path`, replay its durable prefix and
+    /// truncate away any torn tail. Returns the log positioned for
+    /// appending plus every valid record in file order.
+    pub fn open(path: &Path) -> Result<(Wal, Vec<WalRecord>)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| Error::storage(format!("open wal {}: {e}", path.display())))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)
+            .map_err(|e| Error::storage(format!("read wal: {e}")))?;
+
+        let mut records = Vec::new();
+        let mut at = 0usize;
+        while bytes.len() - at >= 8 {
+            let len = u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]])
+                as usize;
+            let sum =
+                u32::from_le_bytes([bytes[at + 4], bytes[at + 5], bytes[at + 6], bytes[at + 7]]);
+            let Some(payload) = bytes.get(at + 8..at + 8 + len) else {
+                break; // torn tail: frame extends past EOF
+            };
+            if crc32(payload) != sum {
+                break; // torn or corrupt frame
+            }
+            let Some(record) = decode(payload) else {
+                break; // unknown kind or malformed payload
+            };
+            records.push(record);
+            at += 8 + len;
+        }
+        let valid = at as u64;
+        file.set_len(valid)
+            .map_err(|e| Error::storage(format!("truncate wal tail: {e}")))?;
+        file.seek(SeekFrom::Start(valid))
+            .map_err(|e| Error::storage(format!("seek wal: {e}")))?;
+        Ok((
+            Wal {
+                file,
+                len: valid,
+                synced_len: valid,
+                appends: 0,
+                fsyncs: 0,
+                fault: None,
+                poisoned: false,
+            },
+            records,
+        ))
+    }
+
+    /// Arm (or disarm) the crash-injection hook.
+    pub fn set_fault(&mut self, fault: Option<WalFault>) {
+        self.fault = fault;
+    }
+
+    fn check_poisoned(&self) -> Result<()> {
+        if self.poisoned {
+            return Err(Error::storage(
+                "write-ahead log hit an injected fault; reopen the database to recover",
+            ));
+        }
+        Ok(())
+    }
+
+    fn fires(&self, kind: WalFaultKind, count: u64) -> bool {
+        matches!(self.fault, Some(f) if f.kind == kind && f.at == count)
+    }
+
+    /// Append one record at the end of the valid prefix. Not durable
+    /// until [`Wal::sync`] returns.
+    pub fn append(&mut self, record: &WalRecord) -> Result<()> {
+        self.check_poisoned()?;
+        if self.fires(WalFaultKind::Append, self.appends) {
+            self.poisoned = true;
+            return Err(Error::storage("injected fault: wal append failed"));
+        }
+        let frame = encode(record);
+        let torn = self.fires(WalFaultKind::TornAppend, self.appends);
+        let write = if torn {
+            &frame[..frame.len() / 2]
+        } else {
+            &frame[..]
+        };
+        self.file
+            .seek(SeekFrom::Start(self.len))
+            .and_then(|_| self.file.write_all(write))
+            .map_err(|e| {
+                self.poisoned = true;
+                Error::storage(format!("wal append: {e}"))
+            })?;
+        if torn {
+            self.poisoned = true;
+            return Err(Error::storage("injected fault: torn wal append"));
+        }
+        self.len += frame.len() as u64;
+        self.appends += 1;
+        Ok(())
+    }
+
+    /// Make every appended record durable. On an injected fsync fault
+    /// the unsynced tail is physically dropped from the file, modelling
+    /// dirty OS buffers lost in a crash.
+    pub fn sync(&mut self) -> Result<()> {
+        self.check_poisoned()?;
+        if self.fires(WalFaultKind::Fsync, self.fsyncs) {
+            self.poisoned = true;
+            let _ = self.file.set_len(self.synced_len);
+            self.len = self.synced_len;
+            return Err(Error::storage("injected fault: wal fsync failed"));
+        }
+        self.file.sync_data().map_err(|e| {
+            self.poisoned = true;
+            Error::storage(format!("wal fsync: {e}"))
+        })?;
+        self.synced_len = self.len;
+        self.fsyncs += 1;
+        Ok(())
+    }
+
+    /// Checkpoint step: the heap now holds everything, so empty the log.
+    pub fn reset(&mut self) -> Result<()> {
+        self.check_poisoned()?;
+        self.file
+            .set_len(0)
+            .and_then(|_| self.file.sync_data())
+            .map_err(|e| {
+                self.poisoned = true;
+                Error::storage(format!("wal reset: {e}"))
+            })?;
+        self.len = 0;
+        self.synced_len = 0;
+        Ok(())
+    }
+
+    /// Bytes currently in the valid prefix (drives auto-checkpointing).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the valid prefix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Records appended since open.
+    pub fn appends(&self) -> u64 {
+        self.appends
+    }
+
+    /// Successful fsyncs since open.
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::page::Page;
+
+    fn temp_wal(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("tcdm_wal_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal")
+    }
+
+    fn image(fill: u8) -> Box<[u8; PAGE_SIZE]> {
+        let mut p = Page::new(fill as u32);
+        p.push_cell(&[fill; 16]).unwrap();
+        let mut img = Box::new([0u8; PAGE_SIZE]);
+        img.copy_from_slice(p.sealed_bytes());
+        img
+    }
+
+    #[test]
+    fn append_sync_replay_roundtrip() {
+        let path = temp_wal("roundtrip");
+        {
+            let (mut wal, records) = Wal::open(&path).unwrap();
+            assert!(records.is_empty());
+            wal.append(&WalRecord::Begin { tx: 1 }).unwrap();
+            wal.append(&WalRecord::Page {
+                tx: 1,
+                page_id: 5,
+                image: image(7),
+            })
+            .unwrap();
+            wal.append(&WalRecord::Commit { tx: 1 }).unwrap();
+            wal.sync().unwrap();
+            assert_eq!(wal.appends(), 3);
+            assert_eq!(wal.fsyncs(), 1);
+        }
+        let (wal, records) = Wal::open(&path).unwrap();
+        assert_eq!(records.len(), 3);
+        assert!(matches!(records[0], WalRecord::Begin { tx: 1 }));
+        assert!(matches!(
+            records[1],
+            WalRecord::Page {
+                tx: 1,
+                page_id: 5,
+                ..
+            }
+        ));
+        assert!(matches!(records[2], WalRecord::Commit { tx: 1 }));
+        assert!(!wal.is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_on_open() {
+        let path = temp_wal("torn");
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            wal.append(&WalRecord::Begin { tx: 1 }).unwrap();
+            wal.append(&WalRecord::Commit { tx: 1 }).unwrap();
+            wal.sync().unwrap();
+        }
+        // Simulate a torn append: half a frame of garbage at the tail.
+        let full = std::fs::read(&path).unwrap();
+        let mut torn = full.clone();
+        torn.extend_from_slice(&[0xAB; 11]);
+        std::fs::write(&path, &torn).unwrap();
+        let (wal, records) = Wal::open(&path).unwrap();
+        assert_eq!(records.len(), 2, "durable prefix survives");
+        assert_eq!(wal.len(), full.len() as u64, "torn tail truncated away");
+    }
+
+    #[test]
+    fn injected_faults_poison_the_log() {
+        for kind in [WalFaultKind::Append, WalFaultKind::TornAppend] {
+            let path = temp_wal("fault_append");
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            wal.set_fault(Some(WalFault { kind, at: 1 }));
+            wal.append(&WalRecord::Begin { tx: 1 }).unwrap();
+            assert!(wal.append(&WalRecord::Commit { tx: 1 }).is_err());
+            // Poisoned: everything fails until reopen.
+            assert!(wal.append(&WalRecord::Begin { tx: 2 }).is_err());
+            assert!(wal.sync().is_err());
+            let (_, records) = Wal::open(&path).unwrap();
+            assert_eq!(records.len(), 1, "only the clean append survives");
+        }
+    }
+
+    #[test]
+    fn fsync_fault_drops_unsynced_tail() {
+        let path = temp_wal("fault_fsync");
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        wal.append(&WalRecord::Begin { tx: 1 }).unwrap();
+        wal.append(&WalRecord::Commit { tx: 1 }).unwrap();
+        wal.sync().unwrap();
+        wal.set_fault(Some(WalFault {
+            kind: WalFaultKind::Fsync,
+            at: 1,
+        }));
+        wal.append(&WalRecord::Begin { tx: 2 }).unwrap();
+        wal.append(&WalRecord::Commit { tx: 2 }).unwrap();
+        assert!(wal.sync().is_err(), "second fsync faults");
+        let (_, records) = Wal::open(&path).unwrap();
+        // Transaction 2 was never durable; its records are gone.
+        assert_eq!(records.len(), 2);
+        assert!(matches!(records[1], WalRecord::Commit { tx: 1 }));
+    }
+}

@@ -1,0 +1,90 @@
+//! Cross-reference integrity for the documentation set: every relative
+//! markdown link in `README.md` and `docs/*.md` must point at a file
+//! that exists in the repository, so a renamed or deleted document
+//! breaks CI instead of silently leaving dead links.
+
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    // The integration crate lives at crates/integration.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+/// Every `](target)` occurrence in `text`.
+fn link_targets(text: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let mut i = 0;
+    while let Some(pos) = text[i..].find("](") {
+        let start = i + pos + 2;
+        let Some(len) = text[start..].find(')') else {
+            break;
+        };
+        targets.push(text[start..start + len].to_string());
+        i = start + len;
+    }
+    targets
+}
+
+#[test]
+fn every_relative_doc_link_resolves() {
+    let root = repo_root();
+    let mut docs = vec![root.join("README.md")];
+    for entry in std::fs::read_dir(root.join("docs")).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "md") {
+            docs.push(path);
+        }
+    }
+    assert!(docs.len() >= 3, "doc set unexpectedly small: {docs:?}");
+
+    let mut checked = 0;
+    let mut broken = Vec::new();
+    for doc in &docs {
+        let text = std::fs::read_to_string(doc).unwrap();
+        let dir = doc.parent().unwrap();
+        for target in link_targets(&text) {
+            // External links and pure intra-page anchors are out of scope.
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+                || target.starts_with('#')
+            {
+                continue;
+            }
+            // Strip an anchor suffix: `ARCHITECTURE.md#kernel` checks the file.
+            let file = target.split('#').next().unwrap();
+            if file.is_empty() {
+                continue;
+            }
+            checked += 1;
+            if !dir.join(file).exists() {
+                broken.push(format!("{}: {target}", doc.display()));
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "broken doc links:\n{}",
+        broken.join("\n")
+    );
+    assert!(checked > 0, "the scanner found no relative links at all");
+}
+
+#[test]
+fn storage_doc_is_linked_from_readme_and_architecture() {
+    let root = repo_root();
+    assert!(root.join("docs/STORAGE.md").exists());
+    let readme = std::fs::read_to_string(root.join("README.md")).unwrap();
+    let arch = std::fs::read_to_string(root.join("docs/ARCHITECTURE.md")).unwrap();
+    assert!(
+        readme.contains("docs/STORAGE.md"),
+        "README must link the storage tour"
+    );
+    assert!(
+        arch.contains("STORAGE.md"),
+        "ARCHITECTURE.md must link the storage tour"
+    );
+}

@@ -2,11 +2,16 @@
 //! reloads bit-exact (tables, views, sequences), supports MINE RULE
 //! immediately, and every reloaded table carries a *fresh* version stamp
 //! so no pre-save index or preprocess-cache entry can ever hit it.
+//!
+//! The second half covers the paged storage backend: kill-and-recover
+//! sweeps that inject a crash at *every* WAL append/fsync boundary and
+//! check that recovery keeps exactly the committed prefix, plus
+//! paged-vs-memory mining agreement across worker counts.
 
 use minerule::paper_example::purchase_db;
 use minerule::MineRuleEngine;
 use relational::sequence::Sequence;
-use relational::{persist, Database, Value};
+use relational::{persist, Database, StorageBackend, StorageConfig, Value, WalFault, WalFaultKind};
 
 fn temp_dir(tag: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("tcdm_persist_{tag}_{}", std::process::id()));
@@ -60,6 +65,203 @@ fn reloaded_tables_get_fresh_version_stamps() {
         reloaded_version > saved_version,
         "version stamps are monotone across generations"
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A workload touching every catalog object kind: tables (create,
+/// insert, update, delete), a view and a sequence. One statement = one
+/// WAL transaction, so every statement is a recovery boundary.
+const CRASH_STMTS: &[&str] = &[
+    "CREATE TABLE t (a INT, b VARCHAR)",
+    "INSERT INTO t VALUES (1, 'one'), (2, 'two')",
+    "CREATE VIEW big AS SELECT a FROM t WHERE a > 1",
+    "CREATE SEQUENCE ids",
+    "INSERT INTO t VALUES (3, 'three')",
+    "UPDATE t SET b = 'big' WHERE a >= 2",
+    "DELETE FROM t WHERE a = 1",
+];
+
+/// Assert both databases hold the same catalog and the same rows in
+/// every table (bit-exact `Value` comparison).
+fn assert_same_state(a: &mut Database, b: &mut Database, context: &str) {
+    assert_eq!(
+        a.catalog().table_names(),
+        b.catalog().table_names(),
+        "{context}: table set"
+    );
+    assert_eq!(
+        a.catalog().view_definitions(),
+        b.catalog().view_definitions(),
+        "{context}: views"
+    );
+    assert_eq!(
+        a.catalog().sequence_states(),
+        b.catalog().sequence_states(),
+        "{context}: sequences"
+    );
+    let names: Vec<String> = a
+        .catalog()
+        .table_names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    for name in names {
+        let qa = a.query(&format!("SELECT * FROM {name}")).unwrap();
+        let qb = b.query(&format!("SELECT * FROM {name}")).unwrap();
+        assert_eq!(qa.rows(), qb.rows(), "{context}: rows of {name}");
+    }
+}
+
+/// Inject a crash at every WAL append and fsync boundary of the
+/// workload. After each simulated crash the store is poisoned (every
+/// further statement errors, like a dead process); reopening must
+/// recover exactly the statements that reported success and nothing
+/// else — the committed prefix.
+#[test]
+fn recovery_keeps_the_committed_prefix_at_every_crash_point() {
+    // Clean run: establish the deterministic operation counts. The
+    // boundaries below init (store creation) are skipped — faults are
+    // armed only after open.
+    let dir = temp_dir("crash_clean");
+    let mut db = Database::open_paged(&dir).unwrap();
+    let base_appends = db.stats().storage_wal_appends;
+    let base_fsyncs = db.stats().storage_wal_fsyncs;
+    for stmt in CRASH_STMTS {
+        db.execute(stmt).unwrap();
+    }
+    let total_appends = db.stats().storage_wal_appends;
+    let total_fsyncs = db.stats().storage_wal_fsyncs;
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(total_appends > base_appends && total_fsyncs > base_fsyncs);
+
+    let mut crash_points = Vec::new();
+    for at in base_appends..total_appends {
+        crash_points.push(WalFault {
+            kind: WalFaultKind::Append,
+            at,
+        });
+        crash_points.push(WalFault {
+            kind: WalFaultKind::TornAppend,
+            at,
+        });
+    }
+    for at in base_fsyncs..total_fsyncs {
+        crash_points.push(WalFault {
+            kind: WalFaultKind::Fsync,
+            at,
+        });
+    }
+
+    for fault in crash_points {
+        let dir = temp_dir("crash_sweep");
+        let mut db = Database::open_paged(&dir).unwrap();
+        db.inject_wal_fault(Some(fault));
+        let mut committed = Vec::new();
+        let mut failed = 0;
+        for stmt in CRASH_STMTS {
+            match db.execute(stmt) {
+                Ok(_) => committed.push(*stmt),
+                Err(_) => failed += 1,
+            }
+        }
+        assert!(failed > 0, "{fault:?}: the injected crash must fire");
+        drop(db); // the "kill"
+
+        let mut recovered = Database::open_paged(&dir).unwrap();
+        let mut expected = Database::new();
+        for stmt in &committed {
+            expected.execute(stmt).unwrap();
+        }
+        assert_same_state(&mut recovered, &mut expected, &format!("{fault:?}"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The paged backend mines bit-identical rules to the memory backend
+/// for every worker count, and the mined output tables survive a
+/// reopen bit-exact.
+#[test]
+fn paged_and_memory_backends_mine_identical_rules() {
+    let sig = |rules: &[minerule::DecodedRule]| -> Vec<String> {
+        rules.iter().map(|r| r.display()).collect()
+    };
+    for workers in [1usize, 2, 4] {
+        let mut mem_db = purchase_db();
+        let memory = MineRuleEngine::new()
+            .with_workers(workers)
+            .execute(&mut mem_db, STMT)
+            .unwrap();
+
+        let dir = temp_dir(&format!("agree_{workers}"));
+        let mut db = purchase_db();
+        db.set_storage_dir(&dir);
+        let paged = MineRuleEngine::new()
+            .with_workers(workers)
+            .with_storage(StorageBackend::Paged)
+            .execute(&mut db, STMT)
+            .unwrap();
+        assert_eq!(
+            sig(&memory.rules),
+            sig(&paged.rules),
+            "workers={workers}: paged and memory backends must agree"
+        );
+        db.checkpoint().unwrap();
+        drop(db);
+
+        let mut reopened = Database::open_paged(&dir).unwrap();
+        assert_same_state(&mut reopened, &mut mem_db, &format!("workers={workers}"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A one-page cache with an aggressive checkpoint threshold forces
+/// evictions and mid-run checkpoints; the mined rules and the durable
+/// state are still identical to the memory backend's.
+#[test]
+fn tiny_cache_and_frequent_checkpoints_preserve_agreement() {
+    let mut mem_db = purchase_db();
+    let memory = MineRuleEngine::new().execute(&mut mem_db, STMT).unwrap();
+
+    let dir = temp_dir("tiny_cache");
+    let mut db = purchase_db();
+    db.set_storage_dir(&dir);
+    db.set_storage_config(StorageConfig {
+        cache_pages: 1,
+        checkpoint_bytes: 4096,
+    });
+    db.set_storage(StorageBackend::Paged).unwrap();
+    let paged = MineRuleEngine::new().execute(&mut db, STMT).unwrap();
+    assert_eq!(memory.rules, paged.rules, "bit-identical under pressure");
+    assert!(
+        db.stats().storage_cache_evictions > 0,
+        "the one-page budget must actually evict"
+    );
+    db.checkpoint().unwrap();
+    drop(db);
+
+    let mut reopened = Database::open_paged(&dir).unwrap();
+    assert_same_state(&mut reopened, &mut mem_db, "tiny cache");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Reopening a paged store mints fresh table version stamps, exactly
+/// like a TSV reload: stale index or preprocess-cache entries keyed on
+/// pre-crash versions can never hit recovered data.
+#[test]
+fn paged_reopen_mints_fresh_version_stamps() {
+    let dir = temp_dir("paged_versions");
+    let mut db = Database::open_paged(&dir).unwrap();
+    db.execute("CREATE TABLE t (a INT)").unwrap();
+    db.execute("INSERT INTO t VALUES (1)").unwrap();
+    let saved = db.catalog().table("t").unwrap().version();
+    db.checkpoint().unwrap();
+    drop(db);
+
+    let reopened = Database::open_paged(&dir).unwrap();
+    let recovered = reopened.catalog().table("t").unwrap().version();
+    assert_ne!(saved, recovered);
+    assert!(recovered > saved, "versions stay monotone across reopens");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -168,6 +168,59 @@ fn work_counters_are_worker_count_invariant() {
 }
 
 #[test]
+fn storage_counters_absent_on_memory_present_on_paged() {
+    // Memory backend (the default): no relational.storage.* counter is
+    // ever minted — zero deltas are skipped at publication.
+    let mut db = purchase_db();
+    let engine = MineRuleEngine::new();
+    engine.execute(&mut db, SIMPLE).unwrap();
+    let snap = engine.metrics_snapshot();
+    assert!(
+        snap.counters
+            .iter()
+            .all(|(name, _)| !name.starts_with("relational.storage.")),
+        "memory backend must mint no storage counters: {:?}",
+        snap.counters
+    );
+
+    // Paged backend: the run commits through the WAL, so the counters
+    // appear — and they are invariant under the core's worker count
+    // because the relational layer runs single-threaded.
+    let run = |workers: usize| {
+        let dir =
+            std::env::temp_dir().join(format!("tcdm_tel_storage_{workers}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut db = purchase_db();
+        db.set_storage_dir(&dir);
+        let engine = MineRuleEngine::new()
+            .with_workers(workers)
+            .with_storage(relational::StorageBackend::Paged);
+        let outcome = engine.execute(&mut db, SIMPLE).unwrap();
+        let snap = engine.metrics_snapshot();
+        let _ = std::fs::remove_dir_all(&dir);
+        (outcome.rules, snap)
+    };
+    let (rules_1, snap_1) = run(1);
+    let (rules_4, snap_4) = run(4);
+    assert_eq!(rules_1, rules_4, "paged mining is worker-invariant");
+    // Commits always reach the WAL; heap page writes can legitimately
+    // stay at zero until a checkpoint, so presence is asserted on the
+    // WAL counters.
+    for name in [
+        "relational.storage.wal_appends",
+        "relational.storage.wal_fsyncs",
+    ] {
+        assert!(snap_1.counter(name) > 0, "{name} present under paged");
+    }
+    for (name, value) in &snap_1.counters {
+        if !name.starts_with("relational.storage.") {
+            continue;
+        }
+        assert_eq!(snap_4.counter(name), *value, "{name} worker-invariant");
+    }
+}
+
+#[test]
 fn snapshot_json_is_schema_versioned() {
     let mut db = purchase_db();
     let engine = MineRuleEngine::new();
