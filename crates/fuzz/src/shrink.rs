@@ -1,0 +1,283 @@
+//! Case minimisation: greedily delete operations, rows, tables and
+//! MINE RULE clauses while the divergence keeps reproducing.
+//!
+//! The shrinker is oracle-agnostic — it only needs a predicate "does
+//! this smaller case still diverge?". The driver builds that predicate
+//! from a cheap two-configuration run (see
+//! [`crate::matrix::diverges_between`]), so shrinking never pays for the
+//! full matrix.
+
+use minerule::{parse_mine_rule, CardMax, CardSpec, MineRuleStatement};
+
+use crate::{FuzzCase, Op};
+
+/// Minimise `case` under `reproduces` (which must hold for `case`
+/// itself). Runs deletion passes to a fixpoint: drop operations, drop
+/// whole tables, delete rows in halving chunks then singly, and strip
+/// optional clauses / tighten cardinalities of MINE RULE statements.
+/// Greedy and deterministic; every accepted step keeps the predicate
+/// true, so the result still reproduces.
+pub fn shrink(case: &FuzzCase, reproduces: &mut dyn FnMut(&FuzzCase) -> bool) -> FuzzCase {
+    let mut best = case.clone();
+    loop {
+        let before = size_of(&best);
+        drop_ops(&mut best, reproduces);
+        drop_tables(&mut best, reproduces);
+        drop_rows(&mut best, reproduces);
+        simplify_mines(&mut best, reproduces);
+        if size_of(&best) >= before {
+            return best;
+        }
+    }
+}
+
+/// The quantity shrinking minimises: rows + ops + per-mine clause count.
+fn size_of(case: &FuzzCase) -> usize {
+    let clauses: usize = case
+        .ops
+        .iter()
+        .filter_map(|op| match op {
+            Op::Mine(s) => parse_mine_rule(s).ok().map(|m| clause_count(&m)),
+            _ => None,
+        })
+        .sum();
+    case.row_count() + case.ops.len() + case.tables.len() + clauses
+}
+
+fn clause_count(m: &MineRuleStatement) -> usize {
+    [
+        m.mining_cond.is_some(),
+        m.source_cond.is_some(),
+        m.group_cond.is_some(),
+        !m.cluster_by.is_empty(),
+        m.cluster_cond.is_some(),
+    ]
+    .iter()
+    .filter(|b| **b)
+    .count()
+}
+
+/// Try removing each op, last to first (later ops depend on earlier
+/// state, never the reverse, so tail deletions are likeliest to stick).
+fn drop_ops(case: &mut FuzzCase, reproduces: &mut dyn FnMut(&FuzzCase) -> bool) {
+    let mut i = case.ops.len();
+    while i > 0 {
+        i -= 1;
+        let mut candidate = case.clone();
+        candidate.ops.remove(i);
+        if reproduces(&candidate) {
+            *case = candidate;
+        }
+    }
+}
+
+fn drop_tables(case: &mut FuzzCase, reproduces: &mut dyn FnMut(&FuzzCase) -> bool) {
+    let mut i = case.tables.len();
+    while i > 0 {
+        i -= 1;
+        let mut candidate = case.clone();
+        candidate.tables.remove(i);
+        if reproduces(&candidate) {
+            *case = candidate;
+        }
+    }
+}
+
+/// Delta-debugging-style row deletion: per table, try removing chunks of
+/// half the rows, then quarters, ... down to single rows.
+fn drop_rows(case: &mut FuzzCase, reproduces: &mut dyn FnMut(&FuzzCase) -> bool) {
+    for t in 0..case.tables.len() {
+        let mut chunk = (case.tables[t].rows.len() / 2).max(1);
+        loop {
+            let mut start = 0;
+            while start < case.tables[t].rows.len() {
+                let end = (start + chunk).min(case.tables[t].rows.len());
+                let mut candidate = case.clone();
+                candidate.tables[t].rows.drain(start..end);
+                if reproduces(&candidate) {
+                    *case = candidate;
+                    // Same start now holds the next chunk.
+                } else {
+                    start = end;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+    }
+}
+
+/// Strip optional clauses and tighten cardinalities of every MINE RULE
+/// statement, one mutation at a time. Statements are mutated through the
+/// parsed AST and re-rendered via its `Display` (which round-trips), so
+/// the shrunk statement is always well-formed.
+fn simplify_mines(case: &mut FuzzCase, reproduces: &mut dyn FnMut(&FuzzCase) -> bool) {
+    for i in 0..case.ops.len() {
+        // Variants are one step from the *current* statement, so after an
+        // accepted step we re-parse and try again from the smaller form.
+        while let Op::Mine(text) = &case.ops[i] {
+            let Ok(stmt) = parse_mine_rule(text) else {
+                break;
+            };
+            let mut progressed = false;
+            for variant in clause_variants(&stmt) {
+                let rendered = variant.to_string();
+                if rendered == *case.ops[i].text() {
+                    continue;
+                }
+                let mut candidate = case.clone();
+                candidate.ops[i] = Op::Mine(rendered);
+                if reproduces(&candidate) {
+                    *case = candidate;
+                    progressed = true;
+                    break;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+}
+
+/// One-step simplifications of a statement, most aggressive first.
+fn clause_variants(stmt: &MineRuleStatement) -> Vec<MineRuleStatement> {
+    let mut out = Vec::new();
+    if stmt.mining_cond.is_some() {
+        let mut v = stmt.clone();
+        v.mining_cond = None;
+        out.push(v);
+    }
+    if stmt.source_cond.is_some() {
+        let mut v = stmt.clone();
+        v.source_cond = None;
+        out.push(v);
+    }
+    if stmt.group_cond.is_some() {
+        let mut v = stmt.clone();
+        v.group_cond = None;
+        out.push(v);
+    }
+    if !stmt.cluster_by.is_empty() {
+        let mut v = stmt.clone();
+        v.cluster_by.clear();
+        v.cluster_cond = None;
+        out.push(v);
+    }
+    if stmt.cluster_cond.is_some() {
+        let mut v = stmt.clone();
+        v.cluster_cond = None;
+        out.push(v);
+    }
+    let tight = CardSpec {
+        min: 1,
+        max: CardMax::Fixed(1),
+    };
+    if stmt.body.card != tight {
+        let mut v = stmt.clone();
+        v.body.card = tight;
+        out.push(v);
+    }
+    if stmt.head.card != tight {
+        let mut v = stmt.clone();
+        v.head.card = tight;
+        out.push(v);
+    }
+    if stmt.body.schema.len() > 1 {
+        let mut v = stmt.clone();
+        v.body.schema.truncate(1);
+        out.push(v);
+    }
+    if stmt.head.schema.len() > 1 {
+        let mut v = stmt.clone();
+        v.head.schema.truncate(1);
+        out.push(v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TableDef;
+
+    fn case_with_rows(rows: &[i64]) -> FuzzCase {
+        FuzzCase {
+            tables: vec![TableDef {
+                name: "t".into(),
+                create: "CREATE TABLE t (x INT)".into(),
+                rows: rows.iter().map(|x| format!("({x})")).collect(),
+            }],
+            ops: vec![
+                Op::Query("SELECT x FROM t".into()),
+                Op::Query("SELECT x + 1 FROM t".into()),
+                Op::Dml("DELETE FROM t WHERE x = 0".into()),
+            ],
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_guilty_row() {
+        // The "divergence" reproduces whenever row 42 and op 0 survive.
+        let case = case_with_rows(&[1, 2, 3, 42, 5, 6, 7, 8]);
+        let mut oracle = |c: &FuzzCase| {
+            c.tables
+                .first()
+                .is_some_and(|t| t.rows.iter().any(|r| r == "(42)"))
+                && c.ops.iter().any(|o| o.text() == "SELECT x FROM t")
+        };
+        assert!(oracle(&case), "precondition: the full case reproduces");
+        let small = shrink(&case, &mut oracle);
+        assert!(oracle(&small), "shrunk case must still reproduce");
+        assert_eq!(small.row_count(), 1, "exactly the guilty row survives");
+        assert_eq!(small.tables[0].rows, vec!["(42)".to_string()]);
+        assert_eq!(small.ops.len(), 1, "only the guilty op survives");
+    }
+
+    #[test]
+    fn shrinking_never_accepts_a_non_reproducing_case() {
+        let case = case_with_rows(&[1, 2, 3, 4]);
+        // Oracle: reproduces only while at least 3 rows remain.
+        let mut oracle = |c: &FuzzCase| c.row_count() >= 3;
+        let small = shrink(&case, &mut oracle);
+        assert!(small.row_count() >= 3);
+        assert_eq!(small.row_count(), 3, "greedy pass reaches the floor");
+    }
+
+    #[test]
+    fn strips_optional_mine_clauses() {
+        let mine = "MINE RULE R AS SELECT DISTINCT 1..n item AS BODY, 1..2 item AS HEAD, \
+                    SUPPORT, CONFIDENCE WHERE BODY.price > HEAD.price FROM Purchase \
+                    WHERE price < 100 GROUP BY customer HAVING COUNT(item) >= 1 \
+                    CLUSTER BY date HAVING BODY.date < HEAD.date \
+                    EXTRACTING RULES WITH SUPPORT: 0.2, CONFIDENCE: 0.1";
+        let case = FuzzCase {
+            tables: vec![],
+            ops: vec![Op::Mine(mine.into())],
+        };
+        // Oracle: any MINE RULE statement over Purchase reproduces.
+        let mut oracle = |c: &FuzzCase| {
+            c.ops
+                .iter()
+                .any(|o| matches!(o, Op::Mine(s) if s.contains("FROM Purchase")))
+        };
+        let small = shrink(&case, &mut oracle);
+        let Op::Mine(text) = &small.ops[0] else {
+            panic!("mine op must survive")
+        };
+        let stmt = parse_mine_rule(text).expect("shrunk statement still parses");
+        assert!(stmt.mining_cond.is_none());
+        assert!(stmt.source_cond.is_none());
+        assert!(stmt.group_cond.is_none());
+        assert!(stmt.cluster_by.is_empty() && stmt.cluster_cond.is_none());
+        assert_eq!(
+            stmt.body.card,
+            CardSpec {
+                min: 1,
+                max: CardMax::Fixed(1)
+            }
+        );
+    }
+}

@@ -8,54 +8,15 @@ use datagen::rng::Rng;
 
 use minerule::reference::reference_mine;
 use minerule::{parse_mine_rule, DecodedRule, MineRuleEngine};
-use relational::{Database, Value};
+use relational::Database;
 
 const CASES: u64 = 32;
 
-/// Build a random Purchase-like database from a compact description:
-/// for each customer, a list of (date index, item id) purchases. Item
-/// prices are deterministic: items 0..3 cost ≥ 100, the rest < 100.
-fn build_db(purchases: &[Vec<(u8, u8)>]) -> Database {
-    let mut db = Database::new();
-    db.execute(
-        "CREATE TABLE Purchase (tr INT, customer VARCHAR, item VARCHAR, \
-         date DATE, price INT, qty INT)",
-    )
-    .unwrap();
-    let base = relational::Date::from_ymd(1995, 3, 1).unwrap();
-    let table = db.catalog_mut().table_mut("Purchase").unwrap();
-    let mut tr = 0i64;
-    for (c, items) in purchases.iter().enumerate() {
-        for &(d, k) in items {
-            tr += 1;
-            table
-                .insert(vec![
-                    Value::Int(tr),
-                    Value::Str(format!("c{c}")),
-                    Value::Str(format!("it{k}")),
-                    Value::Date(base.plus_days(d as i32)),
-                    Value::Int(if k < 4 { 120 + k as i64 } else { 10 + k as i64 }),
-                    Value::Int(1),
-                ])
-                .unwrap();
-        }
-    }
-    db
-}
-
-/// Up to 5 customers, each with up to 6 purchases over 3 dates and 8
-/// items (mirrors the old proptest strategy).
-fn random_purchases(rng: &mut Rng) -> Vec<Vec<(u8, u8)>> {
-    let customers = rng.gen_range_usize(1, 5);
-    (0..customers)
-        .map(|_| {
-            let n = rng.gen_range_usize(1, 6);
-            (0..n)
-                .map(|_| (rng.gen_range_u32(0, 3) as u8, rng.gen_range_u32(0, 8) as u8))
-                .collect()
-        })
-        .collect()
-}
+// The dataset generators live in the fuzz harness
+// (`tcdm_fuzz::grammar`) so the differential fuzzer and this suite draw
+// from one scenario space: Purchase-like tables with deterministic
+// expensive/cheap item prices.
+use tcdm_fuzz::grammar::{build_purchase_db, random_purchases};
 
 fn compare(db: &mut Database, statement: &str) {
     let stmt = parse_mine_rule(statement).unwrap();
@@ -89,7 +50,7 @@ fn check_class(seed: u64, statement: impl Fn(&mut Rng) -> String) {
     let mut rng = Rng::seed_from_u64(seed);
     for _ in 0..CASES {
         let purchases = random_purchases(&mut rng);
-        let mut db = build_db(&purchases);
+        let mut db = build_purchase_db(&purchases);
         let stmt = statement(&mut rng);
         compare(&mut db, &stmt);
     }
@@ -198,7 +159,7 @@ fn aggregate_cluster_condition_matches_reference() {
 #[test]
 fn cross_schema_matches_reference() {
     // H = true: body on item, head on qty (deterministic dataset).
-    let mut db = build_db(&[
+    let mut db = build_purchase_db(&[
         vec![(0, 1), (0, 5), (1, 5)],
         vec![(0, 1), (1, 5)],
         vec![(0, 2), (1, 1)],

@@ -88,3 +88,19 @@ fn storage_doc_is_linked_from_readme_and_architecture() {
         "ARCHITECTURE.md must link the storage tour"
     );
 }
+
+#[test]
+fn fuzzing_doc_is_linked_from_readme_and_architecture() {
+    let root = repo_root();
+    assert!(root.join("docs/FUZZING.md").exists());
+    let readme = std::fs::read_to_string(root.join("README.md")).unwrap();
+    let arch = std::fs::read_to_string(root.join("docs/ARCHITECTURE.md")).unwrap();
+    assert!(
+        readme.contains("docs/FUZZING.md"),
+        "README must link the fuzzing tour"
+    );
+    assert!(
+        arch.contains("FUZZING.md"),
+        "ARCHITECTURE.md must link the fuzzing tour"
+    );
+}

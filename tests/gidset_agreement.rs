@@ -6,7 +6,6 @@
 //! full core operator must mine identical rule sets for every pinned
 //! representation.
 
-use datagen::rng::Rng;
 use minerule::algo::{
     default_pool, sort_itemsets, GidSetRepr, LargeItemset, ShardExec, SimpleInput,
 };
@@ -18,28 +17,10 @@ use minerule::encoded::{EncodedData, EncodedInput};
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 7];
 const REPRS: [GidSetRepr; 3] = [GidSetRepr::List, GidSetRepr::Auto, GidSetRepr::Bitset];
 
-/// A random workload: `groups` baskets over a `catalog`-item universe,
-/// each item drawn independently with probability `density`. Small
-/// catalogs with high density force the bitset arm of `auto`; large
-/// catalogs with low density keep it on lists.
-fn random_input(groups: usize, catalog: u32, density: f64, seed: u64) -> SimpleInput {
-    let mut rng = Rng::seed_from_u64(seed);
-    let transactions: Vec<Vec<u32>> = (0..groups)
-        .map(|_| {
-            (0..catalog)
-                .filter(|_| rng.gen_f64() < density)
-                .collect::<Vec<u32>>()
-        })
-        .collect();
-    let total = transactions.len() as u32;
-    // Support low enough that several levels survive at every density.
-    let min_groups = ((total as f64 * density * 0.5).ceil() as u32).max(2);
-    SimpleInput {
-        groups: transactions,
-        total_groups: total,
-        min_groups,
-    }
-}
+// The workload generator lives in the fuzz harness
+// (`tcdm_fuzz::grammar::random_simple_input`) so the differential fuzzer
+// and this suite share one scenario space.
+use tcdm_fuzz::grammar::random_simple_input;
 
 /// The density × seed grid. Universes of 12, 60 and 150 groups cross the
 /// `len * 32 > universe` threshold at very different list lengths, so the
@@ -55,7 +36,7 @@ fn grid() -> Vec<(SimpleInput, String)> {
     ] {
         for seed in [1u64, 2] {
             inputs.push((
-                random_input(groups, catalog, density, seed ^ (groups as u64) << 8),
+                random_simple_input(groups, catalog, density, seed ^ (groups as u64) << 8),
                 format!("g={groups} c={catalog} d={density} seed={seed}"),
             ));
         }
@@ -112,7 +93,7 @@ fn inventories_agree_across_representations_and_workers() {
 /// full core operator either.
 #[test]
 fn rule_sets_agree_across_representations_through_run_core() {
-    let simple = random_input(80, 30, 0.3, 77);
+    let simple = random_simple_input(80, 30, 0.3, 77);
     let input = EncodedInput {
         directives: Directives::default(),
         class: StatementClass::Simple,

@@ -19,6 +19,7 @@ use datagen::rng::Rng;
 use minerule::paper_example::{purchase_db, FIGURE_2B, FILTERED_ORDERED_SETS};
 use minerule::MineRuleEngine;
 use relational::{Database, SqlExec};
+use tcdm_fuzz::grammar::{gen_expr, ExprCols};
 
 /// Evaluate `sql` on a fresh fixture database pinned to `mode`, rendering
 /// the result-or-error for comparison. Errors are part of the observable
@@ -60,87 +61,17 @@ fn expr_fixture() -> Database {
 // Layer 1: randomized expression agreement
 // ---------------------------------------------------------------------
 
-/// Generate a random expression string over the fixture's columns. The
-/// grammar deliberately produces ill-typed and erroring expressions
-/// (string arithmetic, division by zero) — both modes must report the
-/// same error for those.
-fn gen_expr(rng: &mut Rng, depth: usize) -> String {
-    if depth == 0 {
-        return gen_leaf(rng);
-    }
-    let sub = |rng: &mut Rng| gen_expr(rng, depth - 1);
-    match rng.gen_below(14) {
-        0 => gen_leaf(rng),
-        1 => {
-            let op = ["+", "-", "*", "/"][rng.gen_below(4) as usize];
-            format!("({} {op} {})", sub(rng), sub(rng))
-        }
-        2 => {
-            let op = ["=", "<>", "<", "<=", ">", ">="][rng.gen_below(6) as usize];
-            format!("({} {op} {})", sub(rng), sub(rng))
-        }
-        3 => format!("({} AND {})", sub(rng), sub(rng)),
-        4 => format!("({} OR {})", sub(rng), sub(rng)),
-        5 => format!("(NOT {})", sub(rng)),
-        6 => format!(
-            "({} BETWEEN {} AND {})",
-            sub(rng),
-            gen_leaf(rng),
-            gen_leaf(rng)
-        ),
-        7 => {
-            let not = if rng.gen_below(2) == 0 { "" } else { " NOT" };
-            format!("({}{not} IS NULL)", sub(rng))
-        }
-        8 => {
-            let not = if rng.gen_below(2) == 0 { "" } else { "NOT " };
-            format!(
-                "({} {not}IN ({}, {}, {}))",
-                sub(rng),
-                gen_leaf(rng),
-                gen_leaf(rng),
-                gen_leaf(rng)
-            )
-        }
-        9 => format!(
-            "(CASE WHEN {} THEN {} ELSE {} END)",
-            sub(rng),
-            sub(rng),
-            sub(rng)
-        ),
-        10 => format!("ABS({})", sub(rng)),
-        11 => format!("LENGTH({})", sub(rng)),
-        12 => {
-            let pat = ["'%a%'", "'_eta'", "'GAMMA__9'", "'%'"][rng.gen_below(4) as usize];
-            format!("(s LIKE {pat})")
-        }
-        _ => {
-            let f = ["UPPER", "LOWER"][rng.gen_below(2) as usize];
-            format!("{f}({})", sub(rng))
-        }
-    }
-}
-
-fn gen_leaf(rng: &mut Rng) -> String {
-    match rng.gen_below(10) {
-        0 => "a".into(),
-        1 => "b".into(),
-        2 => "c".into(),
-        3 => "s".into(),
-        4 => "NULL".into(),
-        5 => "0".into(),
-        6 => format!("{}", rng.gen_below(20) as i64 - 10),
-        7 => "1.5".into(),
-        8 => "'alpha'".into(),
-        _ => "2".into(),
-    }
-}
+// The expression generator lives in the fuzz harness (`tcdm_fuzz::grammar`)
+// so the differential fuzzer and this suite share one grammar; this suite
+// keeps pinning the compiled-vs-interpreted contract on the fixture's
+// column mix, including ill-typed and erroring expressions.
 
 #[test]
 fn randomized_expressions_agree() {
     let mut rng = Rng::seed_from_u64(0x5eed_0401);
+    let cols = ExprCols::abcs_fixture();
     for i in 0..400 {
-        let expr = gen_expr(&mut rng, 3);
+        let expr = gen_expr(&mut rng, 3, &cols);
         let sql = format!("SELECT {expr} AS v FROM t");
         let compiled = run(expr_fixture, SqlExec::Compiled, &sql);
         let interpreted = run(expr_fixture, SqlExec::Interpreted, &sql);
@@ -153,8 +84,9 @@ fn randomized_filters_agree() {
     // The same generator feeding WHERE exercises the scan-filter site
     // (truthiness of NULL/errors in predicate position).
     let mut rng = Rng::seed_from_u64(20260806);
+    let cols = ExprCols::abcs_fixture();
     for i in 0..200 {
-        let pred = gen_expr(&mut rng, 3);
+        let pred = gen_expr(&mut rng, 3, &cols);
         let sql = format!("SELECT a, s FROM t WHERE {pred}");
         let compiled = run(expr_fixture, SqlExec::Compiled, &sql);
         let interpreted = run(expr_fixture, SqlExec::Interpreted, &sql);
