@@ -59,6 +59,12 @@ pub const KNOBS: &[Knob] = &[
         domain: "memory|paged [dir]",
         blurb: "storage backend (paged adds crash-safe durability; same results)",
     },
+    Knob {
+        name: "planner",
+        domain: "cost|naive",
+        blurb:
+            "query planner (cost plans from statistics and fuses preprocess steps; same results)",
+    },
 ];
 
 fn on_off(state: bool) -> &'static str {
@@ -171,6 +177,7 @@ impl Session {
             "preprocache" => on_off(self.engine.preprocache_enabled()).to_string(),
             "indexes" => self.db.index_policy().to_string(),
             "storage" => self.db.storage().to_string(),
+            "planner" => self.engine.planner.to_string(),
             other => format!("<unknown knob '{other}'>"),
         }
     }
@@ -401,6 +408,24 @@ impl Session {
                     }
                     Err(e) => Outcome::Output(e.to_string()),
                 },
+                (Some("planner"), Some(name)) => match minerule::parse_planner(name) {
+                    // Bad names get the engine's own typed error, shaped
+                    // like the unknown-algorithm / zero-workers cases.
+                    Ok(mode) => {
+                        // Mining runs stamp the database from the engine;
+                        // plain SQL goes straight to the database, so set
+                        // both here.
+                        self.engine.planner = mode;
+                        self.db.set_planner(mode);
+                        Outcome::Output(format!("planner set to {mode}"))
+                    }
+                    Err(e) => Outcome::Output(e.to_string()),
+                },
+                (Some("planner"), None) => Outcome::Output(format!(
+                    "planner: {} (query planner: cost | naive; results are \
+                     identical for any choice)",
+                    self.engine.planner
+                )),
                 (Some("storage"), None) => Outcome::Output(format!(
                     "storage: {} (storage backend: memory | paged <dir>; results are \
                      identical either way, paged adds crash-safe durability)",
@@ -713,6 +738,42 @@ mod tests {
         for mode in ["interpreted", "compiled", "auto"] {
             out(&mut s, &format!("\\set sqlexec {mode}"));
             let select = out(&mut s, "SELECT COUNT(*) FROM Purchase WHERE price >= 100");
+            let result = out(&mut s, stmt);
+            assert!(result.contains("mined"), "{mode}: {result}");
+            out(&mut s, "DROP TABLE R");
+            outputs.push((select, result));
+        }
+        assert!(outputs.windows(2).all(|w| w[0] == w[1]), "same results");
+    }
+
+    #[test]
+    fn planner_setting() {
+        let mut s = Session::new();
+        assert!(out(&mut s, "\\set planner").contains("planner: cost"));
+        assert!(out(&mut s, "\\set planner naive").contains("planner set to naive"));
+        assert!(out(&mut s, "\\set").contains("planner: naive"));
+        // Bad names get the engine's typed error, stating the domain.
+        let bad = out(&mut s, "\\set planner genetic");
+        assert!(bad.contains("unknown planner mode 'genetic'"), "{bad}");
+        assert!(bad.contains("cost, naive"), "{bad}");
+        assert!(
+            out(&mut s, "\\set planner").contains("planner: naive"),
+            "unchanged"
+        );
+        // Both plain SQL and mining work under every mode, with identical
+        // results.
+        out(&mut s, "\\demo paper");
+        let stmt =
+            "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD, SUPPORT, CONFIDENCE \
+             FROM Purchase GROUP BY customer \
+             EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.1";
+        let mut outputs = Vec::new();
+        for mode in ["naive", "cost"] {
+            out(&mut s, &format!("\\set planner {mode}"));
+            let select = out(
+                &mut s,
+                "SELECT COUNT(*) FROM Purchase a, Purchase b WHERE a.customer = b.customer",
+            );
             let result = out(&mut s, stmt);
             assert!(result.contains("mined"), "{mode}: {result}");
             out(&mut s, "DROP TABLE R");

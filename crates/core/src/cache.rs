@@ -210,6 +210,7 @@ impl PreprocessCache {
             executed: Vec::new(),
             total_groups: entry.total_groups,
             min_groups,
+            fused_steps: 0,
         }))
     }
 

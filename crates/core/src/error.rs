@@ -35,6 +35,9 @@ pub enum MineError {
     /// An unrecognised storage backend name was configured — a user
     /// configuration error, reported with the valid domain.
     UnknownStorageBackend { name: String },
+    /// An unrecognised planner mode name was configured — a user
+    /// configuration error, reported with the valid domain.
+    UnknownPlanner { name: String },
     /// Internal invariant broken (a bug).
     Internal { message: String },
 }
@@ -158,6 +161,12 @@ impl fmt::Display for MineError {
                 f,
                 "unknown storage backend '{name}'; valid choices: memory, paged"
             ),
+            MineError::UnknownPlanner { name } => {
+                write!(
+                    f,
+                    "unknown planner mode '{name}'; valid choices: cost, naive"
+                )
+            }
             MineError::Internal { message } => write!(f, "internal error: {message}"),
         }
     }

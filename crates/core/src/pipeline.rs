@@ -14,7 +14,7 @@
 
 use std::time::Duration;
 
-use relational::{Database, ExecStats, IndexPolicy, SqlExec, StorageBackend};
+use relational::{Database, ExecStats, IndexPolicy, PlannerMode, SqlExec, StorageBackend};
 
 use crate::cache::PreprocessCache;
 use crate::core_op::{run_core_with_telemetry, CoreOptions, CoreOutput};
@@ -89,6 +89,13 @@ pub struct MineRuleEngine {
     /// database to have a storage directory configured
     /// ([`relational::Database::set_storage_dir`]).
     pub storage: Option<StorageBackend>,
+    /// How the SQL server plans queries for this engine's runs (`cost` —
+    /// the default — chooses join order, build sides and access paths
+    /// from catalog statistics, and lets the preprocessor fuse the
+    /// simple-class `Qi` program into one pipelined pass). `naive` keeps
+    /// written order and materialises every step. Both modes mine
+    /// bit-identical rules (enforced by `tests/planner_agreement.rs`).
+    pub planner: PlannerMode,
     /// The metrics registry every run reports into. Enabled by default;
     /// clones of the engine share the same registry. Disabling it
     /// changes no mined output (enforced by `tests/telemetry.rs`).
@@ -106,6 +113,7 @@ impl Default for MineRuleEngine {
             table_prefix: String::new(),
             sqlexec: SqlExec::default(),
             storage: None,
+            planner: PlannerMode::default(),
             telemetry: Telemetry::new(),
             preprocache: PreprocessCache::new(),
         }
@@ -162,6 +170,15 @@ impl MineRuleEngine {
     /// database ([`relational::Database::set_storage_dir`]).
     pub fn with_storage(mut self, backend: StorageBackend) -> MineRuleEngine {
         self.storage = Some(backend);
+        self
+    }
+
+    /// Pin the SQL server's planner mode for every run of this engine
+    /// (`cost` — the default — plans from catalog statistics and fuses
+    /// the simple-class preprocess program). Every choice mines the same
+    /// rules; this is a perf/debugging knob.
+    pub fn with_planner(mut self, mode: PlannerMode) -> MineRuleEngine {
+        self.planner = mode;
         self
     }
 
@@ -232,6 +249,7 @@ impl MineRuleEngine {
     pub fn execute(&self, db: &mut Database, text: &str) -> Result<MiningOutcome> {
         self.telemetry.counter_inc("translator.statements");
         db.set_sqlexec(self.sqlexec);
+        db.set_planner(self.planner);
         if let Some(backend) = self.storage {
             db.set_storage(backend)?;
         }
@@ -324,6 +342,10 @@ impl MineRuleEngine {
         }
         self.telemetry
             .counter_add("preprocess.steps", report.executed.len() as u64);
+        if report.fused_steps > 0 {
+            self.telemetry
+                .counter_add("preprocess.fused_steps", report.fused_steps as u64);
+        }
         for (id, rows) in &report.executed {
             self.telemetry
                 .counter_add(&format!("preprocess.rows.{id}"), *rows as u64);
@@ -347,6 +369,7 @@ impl MineRuleEngine {
         self.telemetry.counter_inc("translator.statements");
         self.telemetry.counter_inc("preprocess.reused");
         db.set_sqlexec(self.sqlexec);
+        db.set_planner(self.planner);
         if let Some(backend) = self.storage {
             db.set_storage(backend)?;
         }
@@ -467,6 +490,26 @@ impl MineRuleEngine {
                 before.storage_recoveries,
                 after.storage_recoveries,
             ),
+            (
+                "relational.planner.plans",
+                before.planner_plans,
+                after.planner_plans,
+            ),
+            (
+                "relational.planner.reordered_joins",
+                before.planner_reordered_joins,
+                after.planner_reordered_joins,
+            ),
+            (
+                "relational.planner.pushed_filters",
+                before.planner_pushed_filters,
+                after.planner_pushed_filters,
+            ),
+            (
+                "relational.planner.est_rows_err",
+                before.planner_est_rows_err,
+                after.planner_est_rows_err,
+            ),
         ] {
             let delta = after.saturating_sub(before);
             if delta > 0 {
@@ -548,6 +591,15 @@ pub fn parse_preprocache(name: &str) -> Result<bool> {
 /// like [`crate::MineError::UnknownAlgorithm`] does.
 pub fn parse_index_policy(name: &str) -> Result<IndexPolicy> {
     IndexPolicy::from_name(name).ok_or_else(|| MineError::UnknownIndexPolicy {
+        name: name.to_string(),
+    })
+}
+
+/// Resolve a planner mode by name (`"cost"`, `"naive"`;
+/// ASCII-case-insensitive), reporting unknown names with the valid domain
+/// like [`crate::MineError::UnknownAlgorithm`] does.
+pub fn parse_planner(name: &str) -> Result<PlannerMode> {
+    PlannerMode::from_name(name).ok_or_else(|| MineError::UnknownPlanner {
         name: name.to_string(),
     })
 }

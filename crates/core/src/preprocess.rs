@@ -1,8 +1,23 @@
 //! The preprocessor (§4.2): runs the translator's SQL program against the
 //! SQL server, producing the encoded tables the core operator works on.
+//!
+//! Under the cost-based planner ([`relational::PlannerMode::Cost`], the
+//! default) the simple-class program (`Q1`..`Q4` of Figure 4a, without a
+//! group HAVING or a source condition) runs as **one fused pipelined
+//! pass** instead of six SQL statements: a single scan of the source
+//! assigns group and body encodings in first-seen order, and the
+//! intermediate artefacts (`ValidGroupsView`, `DistinctGroupsInBody`)
+//! stream through in-memory maps without ever materialising as catalog
+//! tables. The encoded outputs (`ValidGroups`, `Bset`, `CodedSource`),
+//! the `:totg`/`:mingroups` bindings and the id-sequence states are
+//! bit-identical to the step-by-step SQL program — row contents *and*
+//! row order — which `tests/planner_agreement.rs` enforces.
 
-use relational::{Database, Value};
+use std::collections::HashMap;
 
+use relational::{Column, DataType, Database, PlannerMode, Schema, Table, Value};
+
+use crate::directives::StatementClass;
 use crate::error::{MineError, Result};
 use crate::translator::{Step, Translation};
 
@@ -16,6 +31,9 @@ pub struct PreprocessReport {
     pub total_groups: u64,
     /// The absolute large-element threshold (`:mingroups`).
     pub min_groups: u64,
+    /// How many SQL statements of the translated program were subsumed by
+    /// the fused pipelined pass (0 when preprocessing ran step by step).
+    pub fused_steps: usize,
 }
 
 /// Run a sequence of translation steps on the database.
@@ -56,10 +74,221 @@ pub fn min_groups_for(total_groups: u64, min_support: f64) -> u64 {
 }
 
 /// Run the full preprocessing phase of a translation: cleanup first, then
-/// `Q0`..`Q11`.
+/// `Q0`..`Q11` — fused into one pipelined pass when the cost-based
+/// planner is active and the statement qualifies (see [`fusible`]).
 pub fn preprocess(db: &mut Database, translation: &Translation) -> Result<PreprocessReport> {
     run_steps(db, &translation.cleanup, translation.stmt.min_support)?;
+    if db.planner_mode() == PlannerMode::Cost && fusible(translation) {
+        return run_fused_simple(db, translation);
+    }
     run_steps(db, &translation.preprocess, translation.stmt.min_support)
+}
+
+/// Whether the translated program qualifies for the fused pipelined pass:
+/// the simple class (`Q1`..`Q4` only), reading one base table directly
+/// (no `Q0` source materialisation) and encoding every group (no group
+/// HAVING). Everything else runs the step-by-step SQL program.
+pub fn fusible(translation: &Translation) -> bool {
+    translation.class == StatementClass::Simple
+        && !translation.directives.w
+        && !translation.directives.g
+}
+
+/// The fused simple-class preprocessing pass.
+///
+/// One scan of the source assigns group keys and body keys to first-seen
+/// slots — exactly the bucket order the SQL engine's hash GROUP BY and
+/// DISTINCT produce — then `ValidGroups`, `Bset` and `CodedSource` are
+/// built directly, drawing Gid/Bid from the same catalog sequences the
+/// SQL program uses. The subsumed intermediates (`ValidGroupsView`,
+/// `DistinctGroupsInBody`) never reach the catalog.
+fn run_fused_simple(db: &mut Database, translation: &Translation) -> Result<PreprocessReport> {
+    let stmt = &translation.stmt;
+    let names = &translation.names;
+    let mut report = PreprocessReport::default();
+
+    // The id sequences stay real catalog objects: draws must advance the
+    // same state the SQL program would, so cache captures and later runs
+    // over the same prefix agree bit for bit.
+    for seq in [names.gid_sequence(), names.bid_sequence()] {
+        db.execute(&format!("CREATE SEQUENCE {seq}"))?;
+        report.executed.push(("DDL".to_string(), 1));
+    }
+
+    // --- The fused scan: Q1 + Q2 + Q3's DISTINCT all in one pass. ---
+    // Group and body keys go into first-seen-order slot maps (the same
+    // order a hash GROUP BY emits); each body slot tracks the *distinct*
+    // groups it occurs in (Q3's `SELECT DISTINCT body, group` pipelined
+    // into its `COUNT(*) GROUP BY body`). NULLs participate in grouping
+    // (SQL GROUP BY keeps NULL keys) but never join in Q4, so each row
+    // also records whether its keys are join-eligible.
+    let mut group_order: Vec<Vec<Value>> = Vec::new();
+    let mut body_order: Vec<Vec<Value>> = Vec::new();
+    let mut body_groups: Vec<std::collections::HashSet<usize>> = Vec::new();
+    // Per source row: (group slot, body slot, join-eligible).
+    let mut row_slots: Vec<(usize, usize, bool)> = Vec::new();
+    let (g_cols, b_cols) = {
+        let src = &stmt.from[0].name;
+        let table = db.catalog().table(src)?;
+        let schema = table.schema();
+        let resolve = |attrs: &[String]| -> Result<Vec<(usize, DataType)>> {
+            attrs
+                .iter()
+                .map(|a| {
+                    let i = schema.resolve(None, a).map_err(|e| MineError::Internal {
+                        message: format!("fused preprocess lost attribute '{a}': {e}"),
+                    })?;
+                    Ok((i, schema.column(i).dtype))
+                })
+                .collect()
+        };
+        let g_cols = resolve(&stmt.group_by)?;
+        let b_cols = resolve(&stmt.body.schema)?;
+
+        let key_of = |row: &[Value], cols: &[(usize, DataType)]| -> Vec<Value> {
+            cols.iter().map(|&(i, _)| row[i].clone()).collect()
+        };
+        let mut group_slots: HashMap<Vec<Value>, usize> = HashMap::new();
+        let mut body_slots: HashMap<Vec<Value>, usize> = HashMap::new();
+        row_slots.reserve(table.row_count());
+        for row in table.rows() {
+            let g_key = key_of(row, &g_cols);
+            let b_key = key_of(row, &b_cols);
+            let joinable = !g_key.iter().any(|v| v.is_null()) && !b_key.iter().any(|v| v.is_null());
+            let g_slot = match group_slots.get(&g_key) {
+                Some(&s) => s,
+                None => {
+                    let s = group_order.len();
+                    group_order.push(g_key.clone());
+                    group_slots.insert(g_key, s);
+                    s
+                }
+            };
+            let b_slot = match body_slots.get(&b_key) {
+                Some(&s) => s,
+                None => {
+                    let s = body_order.len();
+                    body_order.push(b_key.clone());
+                    body_slots.insert(b_key, s);
+                    body_groups.push(std::collections::HashSet::new());
+                    s
+                }
+            };
+            body_groups[b_slot].insert(g_slot);
+            row_slots.push((g_slot, b_slot, joinable));
+        }
+        (g_cols, b_cols)
+    };
+
+    // Q1 + ComputeMinGroups: bind :totg and :mingroups.
+    let total_groups = group_order.len() as u64;
+    let min_groups = min_groups_for(total_groups, stmt.min_support);
+    db.set_var("totg", Value::Int(total_groups as i64));
+    db.set_var("mingroups", Value::Int(min_groups as i64));
+    report.total_groups = total_groups;
+    report.min_groups = min_groups;
+    report.executed.push(("Q1".to_string(), 1));
+
+    // Q2: ValidGroups — with no group HAVING every group encodes, in
+    // first-seen order, Gid drawn from the sequence per row.
+    let mut columns = vec![Column::new("Gid", DataType::Int)];
+    for (attr, &(_, dtype)) in stmt.group_by.iter().zip(&g_cols) {
+        columns.push(Column::new(attr.clone(), dtype));
+    }
+    let mut valid_groups = Table::new(names.valid_groups(), Schema::new(columns));
+    let mut gids: Vec<i64> = Vec::with_capacity(group_order.len());
+    for key in &group_order {
+        let gid = db
+            .catalog_mut()
+            .sequence_mut(&names.gid_sequence())?
+            .nextval();
+        gids.push(gid);
+        let mut row = Vec::with_capacity(key.len() + 1);
+        row.push(Value::Int(gid));
+        row.extend(key.iter().cloned());
+        valid_groups
+            .insert(row)
+            .map_err(|e| annotate_fused(e, "Q2"))?;
+    }
+    report
+        .executed
+        .push(("Q2".to_string(), valid_groups.row_count().max(1)));
+    db.catalog_mut()
+        .create_table(valid_groups)
+        .map_err(|e| annotate_fused(e, "Q2"))?;
+
+    // Q3: Bset — bodies in first-seen order, filtered by the
+    // large-element threshold, Bid drawn only for survivors (HAVING
+    // filters before the projection draws NEXTVAL).
+    let mut columns = vec![Column::new("Bid", DataType::Int)];
+    for (attr, &(_, dtype)) in stmt.body.schema.iter().zip(&b_cols) {
+        columns.push(Column::new(attr.clone(), dtype));
+    }
+    columns.push(Column::new("ngroups", DataType::Int));
+    let mut bset = Table::new(names.bset(), Schema::new(columns));
+    let mut bids: Vec<Option<i64>> = vec![None; body_order.len()];
+    for (slot, key) in body_order.iter().enumerate() {
+        let ngroups = body_groups[slot].len() as u64;
+        if ngroups < min_groups {
+            continue;
+        }
+        let bid = db
+            .catalog_mut()
+            .sequence_mut(&names.bid_sequence())?
+            .nextval();
+        bids[slot] = Some(bid);
+        let mut row = Vec::with_capacity(key.len() + 2);
+        row.push(Value::Int(bid));
+        row.extend(key.iter().cloned());
+        row.push(Value::Int(ngroups as i64));
+        bset.insert(row).map_err(|e| annotate_fused(e, "Q3"))?;
+    }
+    report
+        .executed
+        .push(("Q3".to_string(), bset.row_count().max(1)));
+    db.catalog_mut()
+        .create_table(bset)
+        .map_err(|e| annotate_fused(e, "Q3"))?;
+
+    // Q4: CodedSource — the source-scan join replayed from the recorded
+    // slots: source row order, each row matching at most one group and
+    // one large body, DISTINCT keeping the first (Gid, Bid) occurrence.
+    let schema = Schema::new(vec![
+        Column::new("Gid", DataType::Int),
+        Column::new("Bid", DataType::Int),
+    ]);
+    let mut coded = Table::new(names.coded_source(), schema);
+    let mut seen: std::collections::HashSet<(i64, i64)> = std::collections::HashSet::new();
+    for &(g_slot, b_slot, joinable) in &row_slots {
+        if !joinable {
+            continue;
+        }
+        if let Some(bid) = bids[b_slot] {
+            let gid = gids[g_slot];
+            if seen.insert((gid, bid)) {
+                coded
+                    .insert(vec![Value::Int(gid), Value::Int(bid)])
+                    .map_err(|e| annotate_fused(e, "Q4"))?;
+            }
+        }
+    }
+    report
+        .executed
+        .push(("Q4".to_string(), coded.row_count().max(1)));
+    db.catalog_mut()
+        .create_table(coded)
+        .map_err(|e| annotate_fused(e, "Q4"))?;
+
+    // Six SQL statements subsumed: Q1, the Q2 view + table, Q3's two
+    // statements and Q4.
+    report.fused_steps = 6;
+    Ok(report)
+}
+
+fn annotate_fused(e: relational::Error, id: &str) -> MineError {
+    MineError::Internal {
+        message: format!("preprocessing query {id} failed (fused pass): {e}"),
+    }
 }
 
 fn annotate(e: relational::Error, id: &str, sql: &str) -> MineError {

@@ -17,7 +17,7 @@ use std::path::{Path, PathBuf};
 use minerule::algo::GidSetRepr;
 use minerule::reference::reference_mine;
 use minerule::{parse_mine_rule, DecodedRule, MineRuleEngine};
-use relational::{Database, IndexPolicy, SqlExec, StorageBackend};
+use relational::{Database, IndexPolicy, PlannerMode, SqlExec, StorageBackend};
 
 use crate::{FuzzCase, Op};
 
@@ -38,12 +38,13 @@ pub struct Config {
     pub workers: usize,
     pub preprocache: bool,
     pub storage: StorageBackend,
+    pub planner: PlannerMode,
 }
 
 impl Config {
     /// The pinned comparison baseline: the least clever point of the
     /// matrix — interpreted expressions, no indexes, list gid-sets, one
-    /// worker, no cache, memory storage.
+    /// worker, no cache, memory storage, naive planning.
     pub fn baseline() -> Config {
         Config {
             sqlexec: SqlExec::Interpreted,
@@ -52,19 +53,21 @@ impl Config {
             workers: 1,
             preprocache: false,
             storage: StorageBackend::Memory,
+            planner: PlannerMode::Naive,
         }
     }
 
     /// Human-readable knob listing, also used in repro headers.
     pub fn label(&self) -> String {
         format!(
-            "sqlexec={} indexes={} gidset={} workers={} preprocache={} storage={}",
+            "sqlexec={} indexes={} gidset={} workers={} preprocache={} storage={} planner={}",
             sqlexec_name(self.sqlexec),
             indexes_name(self.indexes),
             gidset_name(self.gidset),
             self.workers,
             if self.preprocache { "on" } else { "off" },
             storage_name(self.storage),
+            self.planner.name(),
         )
     }
 
@@ -73,25 +76,27 @@ impl Config {
     /// `core.shards.run`).
     fn worker_group_key(&self) -> String {
         format!(
-            "sqlexec={} indexes={} gidset={} preprocache={} storage={}",
+            "sqlexec={} indexes={} gidset={} preprocache={} storage={} planner={}",
             sqlexec_name(self.sqlexec),
             indexes_name(self.indexes),
             gidset_name(self.gidset),
             if self.preprocache { "on" } else { "off" },
             storage_name(self.storage),
+            self.planner.name(),
         )
     }
 
     /// Short filesystem-safe slug for per-config scratch directories.
     fn slug(&self) -> String {
         format!(
-            "{}_{}_{}_w{}_{}_{}",
+            "{}_{}_{}_w{}_{}_{}_{}",
             sqlexec_name(self.sqlexec),
             indexes_name(self.indexes),
             gidset_name(self.gidset),
             self.workers,
             if self.preprocache { "c1" } else { "c0" },
             storage_name(self.storage),
+            self.planner.name(),
         )
     }
 }
@@ -130,9 +135,9 @@ fn storage_name(s: StorageBackend) -> &'static str {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Matrix {
     /// One configuration per axis value plus two kitchen-sink mixes
-    /// (10 configurations) — the per-`cargo test` corpus budget.
+    /// (11 configurations) — the per-`cargo test` corpus budget.
     Quick,
-    /// The full cross-product: 2 × 2 × 3 × 3 × 2 × 2 = 144
+    /// The full cross-product: 2 × 2 × 3 × 3 × 2 × 2 × 2 = 288
     /// configurations — the fuzzing budget.
     Full,
 }
@@ -179,12 +184,17 @@ impl Matrix {
                     ..base
                 });
                 out.push(Config {
+                    planner: PlannerMode::Cost,
+                    ..base
+                });
+                out.push(Config {
                     sqlexec: SqlExec::Compiled,
                     indexes: IndexPolicy::Auto,
                     gidset: GidSetRepr::Auto,
                     workers: 4,
                     preprocache: true,
                     storage: StorageBackend::Paged,
+                    planner: PlannerMode::Cost,
                 });
                 out.push(Config {
                     sqlexec: SqlExec::Compiled,
@@ -193,6 +203,7 @@ impl Matrix {
                     workers: 2,
                     preprocache: true,
                     storage: StorageBackend::Memory,
+                    planner: PlannerMode::Cost,
                 });
                 out
             }
@@ -204,16 +215,19 @@ impl Matrix {
                             for workers in [1usize, 2, 4] {
                                 for preprocache in [false, true] {
                                     for storage in [StorageBackend::Memory, StorageBackend::Paged] {
-                                        let c = Config {
-                                            sqlexec,
-                                            indexes,
-                                            gidset,
-                                            workers,
-                                            preprocache,
-                                            storage,
-                                        };
-                                        if c != base {
-                                            out.push(c);
+                                        for planner in [PlannerMode::Naive, PlannerMode::Cost] {
+                                            let c = Config {
+                                                sqlexec,
+                                                indexes,
+                                                gidset,
+                                                workers,
+                                                preprocache,
+                                                storage,
+                                                planner,
+                                            };
+                                            if c != base {
+                                                out.push(c);
+                                            }
                                         }
                                     }
                                 }
@@ -410,6 +424,7 @@ fn run_config(
     let mut db = Database::new();
     db.set_sqlexec(config.sqlexec);
     db.set_index_policy(config.indexes);
+    db.set_planner(config.planner);
     let mut scratch: Option<PathBuf> = None;
     if config.storage == StorageBackend::Paged {
         let dir = work_dir.join(format!("{tag}_{}", config.slug()));
@@ -426,7 +441,8 @@ fn run_config(
         .with_workers(config.workers)
         .with_gidset(config.gidset)
         .with_sqlexec(config.sqlexec)
-        .with_preprocache(config.preprocache);
+        .with_preprocache(config.preprocache)
+        .with_planner(config.planner);
 
     // Setup script: outcome slot 0.
     let mut setup = String::from("ok");
@@ -722,7 +738,7 @@ mod tests {
     #[test]
     fn full_matrix_is_the_cross_product() {
         let configs = Matrix::Full.configs();
-        assert_eq!(configs.len(), 2 * 2 * 3 * 3 * 2 * 2);
+        assert_eq!(configs.len(), 2 * 2 * 3 * 3 * 2 * 2 * 2);
         assert_eq!(configs[0], Config::baseline());
         let labels: std::collections::BTreeSet<String> =
             configs.iter().map(|c| c.label()).collect();
@@ -742,6 +758,7 @@ mod tests {
             "workers=4",
             "preprocache=on",
             "storage=paged",
+            "planner=cost",
         ] {
             assert!(
                 joined.iter().any(|l| l.contains(needle)),

@@ -11,6 +11,7 @@ use crate::expr::compile::{ExecCounter, SqlExec};
 use crate::expr::eval::{eval_expr, QueryCtx};
 use crate::expr::Expr;
 use crate::index::{HashIndex, IndexLookup, IndexPolicy, IndexRegistry};
+use crate::planner::PlannerMode;
 use crate::resultset::ResultSet;
 use crate::row::Row;
 use crate::sequence::Sequence;
@@ -40,6 +41,15 @@ pub struct ExecStats {
     pub rows_filtered: u64,
     /// Rows produced by join operators.
     pub rows_joined: u64,
+    /// FROM lists planned by the cost-based planner (0 under naive).
+    pub planner_plans: u64,
+    /// Join steps moved off the naive left-to-right order (0 under naive).
+    pub planner_reordered_joins: u64,
+    /// WHERE conjuncts pushed beneath joins by the cost-based planner
+    /// (0 under naive — the naive fold pushes too but does not account).
+    pub planner_pushed_filters: u64,
+    /// Accumulated |estimated − actual| join output rows (0 under naive).
+    pub planner_est_rows_err: u64,
     /// Hash indexes built (lazily, on first use of a key column set).
     pub indexes_built: u64,
     /// Operators served by a live hash index instead of a rebuild.
@@ -89,6 +99,7 @@ pub struct Database {
     stats: ExecStats,
     sqlexec: SqlExec,
     index_policy: IndexPolicy,
+    planner: PlannerMode,
     indexes: IndexRegistry,
     storage_dir: Option<PathBuf>,
     storage_cfg: StorageConfig,
@@ -265,6 +276,17 @@ impl Database {
     /// The current access-path policy.
     pub fn index_policy(&self) -> IndexPolicy {
         self.index_policy
+    }
+
+    /// Set the planner mode for subsequent statements (results are
+    /// bit-identical for every choice; see [`PlannerMode`]).
+    pub fn set_planner(&mut self, mode: PlannerMode) {
+        self.planner = mode;
+    }
+
+    /// The current planner mode.
+    pub fn planner_mode(&self) -> PlannerMode {
+        self.planner
     }
 
     /// Number of live hash indexes in the registry (observability).
@@ -600,6 +622,10 @@ impl QueryCtx for Database {
             ExecCounter::RowsScanned => stats.rows_scanned += n,
             ExecCounter::RowsFiltered => stats.rows_filtered += n,
             ExecCounter::RowsJoined => stats.rows_joined += n,
+            ExecCounter::PlannerPlans => stats.planner_plans += n,
+            ExecCounter::PlannerReorderedJoins => stats.planner_reordered_joins += n,
+            ExecCounter::PlannerPushedFilters => stats.planner_pushed_filters += n,
+            ExecCounter::PlannerEstRowsErr => stats.planner_est_rows_err += n,
         }
     }
 
@@ -627,6 +653,21 @@ impl QueryCtx for Database {
         self.stats.indexes_built += 1;
         self.indexes.put(table, cols, Arc::clone(&ix));
         Some(ix)
+    }
+
+    fn has_table_index(&self, table: &str, version: u64, cols: &[usize]) -> bool {
+        self.index_policy != IndexPolicy::Off && self.indexes.peek(table, cols, version)
+    }
+
+    fn planner(&self) -> PlannerMode {
+        self.planner
+    }
+
+    fn column_distinct(&self, table: &str, col: usize) -> Option<u64> {
+        self.catalog
+            .table(table)
+            .ok()
+            .and_then(|t| t.stats().distinct(col))
     }
 }
 
@@ -844,6 +885,75 @@ mod tests {
         assert_eq!(hit.rows(), scanned.rows());
         assert_eq!(db.stats().indexes_built, 1, "off builds nothing");
         assert_eq!(db.index_policy(), IndexPolicy::Off);
+    }
+
+    #[test]
+    fn planner_modes_agree_bit_for_bit_and_counters_gate() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE a (x INT, tag VARCHAR)").unwrap();
+        db.execute("CREATE TABLE b (x INT, y INT)").unwrap();
+        db.execute("CREATE TABLE c (y INT, lab VARCHAR)").unwrap();
+        db.execute("INSERT INTO a VALUES (1, 'p'), (2, 'q'), (3, 'r'), (4, 's')")
+            .unwrap();
+        db.execute("INSERT INTO b VALUES (1, 10), (2, 20), (3, 30)")
+            .unwrap();
+        db.execute("INSERT INTO c VALUES (20, 'twenty'), (30, 'thirty')")
+            .unwrap();
+        let q = "SELECT a.tag, c.lab FROM a, b, c WHERE a.x = b.x AND b.y = c.y AND a.x > 1";
+        assert_eq!(db.planner_mode(), PlannerMode::Cost);
+        let cost = db.query(q).unwrap();
+        let s = db.stats();
+        assert!(s.planner_plans > 0, "cost planner accounts its plans");
+        assert!(
+            s.planner_reordered_joins > 0,
+            "smallest-first order deviates from the FROM order"
+        );
+        assert!(s.planner_pushed_filters > 0, "a.x > 1 pushed to the scan");
+        db.set_planner(PlannerMode::Naive);
+        assert_eq!(db.planner_mode(), PlannerMode::Naive);
+        let before = db.stats();
+        let naive = db.query(q).unwrap();
+        let after = db.stats();
+        assert_eq!(cost.rows(), naive.rows(), "row content and order agree");
+        for (c, n) in [
+            (before.planner_plans, after.planner_plans),
+            (
+                before.planner_reordered_joins,
+                after.planner_reordered_joins,
+            ),
+            (before.planner_pushed_filters, after.planner_pushed_filters),
+            (before.planner_est_rows_err, after.planner_est_rows_err),
+        ] {
+            assert_eq!(c, n, "naive mode never moves planner counters");
+        }
+    }
+
+    #[test]
+    fn cost_build_side_follows_statistics() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE big (a INT, v VARCHAR)").unwrap();
+        db.execute("CREATE TABLE small (a INT, w VARCHAR)").unwrap();
+        db.execute("INSERT INTO big VALUES (1,'b1'), (2,'b2'), (3,'b3'), (4,'b4'), (5,'b5')")
+            .unwrap();
+        db.execute("INSERT INTO small VALUES (2,'s2'), (4,'s4')")
+            .unwrap();
+        // `big` comes first in FROM: the naive fold would build over the
+        // *next* factor regardless of size; the cost planner builds over
+        // the smaller `small`, so mutating `big` invalidates nothing.
+        let q = "SELECT big.v, small.w FROM big, small WHERE big.a = small.a";
+        let r1 = db.query(q).unwrap();
+        assert_eq!(r1.len(), 2);
+        assert_eq!(db.stats().indexes_built, 1);
+        db.execute("INSERT INTO big VALUES (6, 'b6')").unwrap();
+        let r2 = db.query(q).unwrap();
+        assert_eq!(r2.len(), 2);
+        assert_eq!(
+            db.stats().index_invalidations,
+            0,
+            "the index lives on the small build side, untouched by the mutation"
+        );
+        assert_eq!(db.stats().index_hits, 1, "second join reuses it");
+        assert_eq!(db.stats().indexes_built, 1);
     }
 
     fn temp_store(tag: &str) -> std::path::PathBuf {

@@ -11,6 +11,7 @@ use crate::error::Result;
 use crate::exec::join::{conjuncts, resolves_in};
 use crate::expr::{BinOp, Expr};
 use crate::index::IndexPolicy;
+use crate::planner::PlannerMode;
 use crate::sql::ast::{JoinKind, SelectStmt, Statement, TableSource};
 use crate::types::Schema;
 
@@ -156,6 +157,80 @@ fn equi_access_path(
         .unwrap_or_else(|| "scan".into())
 }
 
+/// Row count of factor `i` when it is a plain named base table.
+fn factor_rows(db: &Database, stmt: &SelectStmt, i: usize) -> Option<u64> {
+    let tref = stmt.from.get(i)?;
+    if !tref.joins.is_empty() {
+        return None;
+    }
+    let TableSource::Named(name) = &tref.source else {
+        return None;
+    };
+    Some(db.catalog().table(name).ok()?.stats().row_count())
+}
+
+/// Catalog distinct estimate for a plain-column key of factor `i`.
+fn column_ndv(
+    db: &Database,
+    stmt: &SelectStmt,
+    schemas: &[Option<Schema>],
+    i: usize,
+    key: &Expr,
+) -> Option<u64> {
+    let tref = stmt.from.get(i)?;
+    if !tref.joins.is_empty() {
+        return None;
+    }
+    let TableSource::Named(name) = &tref.source else {
+        return None;
+    };
+    let Expr::Column {
+        qualifier,
+        name: col,
+    } = key
+    else {
+        return None;
+    };
+    let pos = schemas
+        .get(i)?
+        .as_ref()?
+        .resolve(qualifier.as_deref(), col)
+        .ok()?;
+    db.catalog().table(name).ok()?.stats().distinct(pos)
+}
+
+/// Cost-based estimate for one equi-join conjunct: `(est rows, cost)`,
+/// with `est = |L|·|R| / ndv(key)` from the catalog statistics and
+/// `cost = |L| + |R| + est` (hash build + probe + emit). `None` when
+/// either side is not a named base table.
+fn join_estimate(
+    db: &Database,
+    stmt: &SelectStmt,
+    schemas: &[Option<Schema>],
+    left: &Expr,
+    right: &Expr,
+) -> Option<(u64, u64)> {
+    let factor_of = |e: &Expr| -> Option<usize> {
+        schemas
+            .iter()
+            .position(|s| s.as_ref().is_some_and(|s| resolves_in(e, s)))
+    };
+    let (lf, rf) = match (factor_of(left), factor_of(right)) {
+        (Some(lf), Some(rf)) if lf != rf => (lf, rf),
+        _ => return None,
+    };
+    let lr = factor_rows(db, stmt, lf)?;
+    let rr = factor_rows(db, stmt, rf)?;
+    let ndv = column_ndv(db, stmt, schemas, lf, left)
+        .into_iter()
+        .chain(column_ndv(db, stmt, schemas, rf, right))
+        .max()
+        .unwrap_or_else(|| lr.max(rr))
+        .max(1);
+    let est = lr.saturating_mul(rr) / ndv;
+    Some((est, lr.saturating_add(rr).saturating_add(est)))
+}
+
 /// The access path the executor would pick for the GROUP BY bucketing
 /// pass: a table index serves it only when the grouped input is one
 /// unfiltered named base table and every key is a plain column.
@@ -266,7 +341,13 @@ fn explain_select(db: &Database, stmt: &SelectStmt, indent: usize, out: &mut Str
             };
             if let Some((l, r)) = equi_sides {
                 let path = equi_access_path(db, stmt, &schemas, &pushed, l, r);
-                out.push_str(&format!("{}hash join on: {c} [{path}]\n", pad(indent + 1)));
+                out.push_str(&format!("{}hash join on: {c} [{path}]", pad(indent + 1)));
+                if db.planner_mode() == PlannerMode::Cost {
+                    if let Some((est, cost)) = join_estimate(db, stmt, &schemas, l, r) {
+                        out.push_str(&format!(" (est {est} rows, cost {cost})"));
+                    }
+                }
+                out.push('\n');
             } else {
                 out.push_str(&format!("{}filter: {c}\n", pad(indent + 1)));
             }
@@ -277,10 +358,26 @@ fn explain_select(db: &Database, stmt: &SelectStmt, indent: usize, out: &mut Str
         let keys: Vec<String> = stmt.group_by.iter().map(|e| e.to_string()).collect();
         let path = group_access_path(db, stmt, &schemas);
         out.push_str(&format!(
-            "{}hash aggregate by ({}) [{path}]\n",
+            "{}hash aggregate by ({}) [{path}]",
             pad(indent + 1),
             keys.join(", ")
         ));
+        if db.planner_mode() == PlannerMode::Cost && schemas.len() == 1 {
+            let rows = factor_rows(db, stmt, 0);
+            let ndvs: Option<Vec<u64>> = stmt
+                .group_by
+                .iter()
+                .map(|k| column_ndv(db, stmt, &schemas, 0, k))
+                .collect();
+            if let (Some(rows), Some(ndvs)) = (rows, ndvs) {
+                let groups = ndvs
+                    .iter()
+                    .fold(1u64, |acc, &d| acc.saturating_mul(d.max(1)))
+                    .min(rows);
+                out.push_str(&format!(" (est {groups} groups of {rows} rows)"));
+            }
+        }
+        out.push('\n');
     } else if stmt
         .items
         .iter()
@@ -357,6 +454,22 @@ mod tests {
         // A WHERE clause forces the grouped input through a filter.
         let p = plan("SELECT b, COUNT(*) FROM t WHERE a = 1 GROUP BY b");
         assert!(p.contains("hash aggregate by (b) [scan]"), "{p}");
+    }
+
+    #[test]
+    fn cost_estimates_annotate_access_paths() {
+        let mut db = db();
+        db.execute("INSERT INTO u VALUES (1, 7), (2, 8)").unwrap();
+        let join = parse_statement("SELECT t.b FROM t, u WHERE t.a = u.a").unwrap();
+        let p = explain_statement(&db, &join).unwrap();
+        assert!(p.contains("[index(u.a)] (est 2 rows, cost 6)"), "{p}");
+        let group = parse_statement("SELECT b, COUNT(*) FROM t GROUP BY b").unwrap();
+        let p = explain_statement(&db, &group).unwrap();
+        assert!(p.contains("[index(t.b)] (est 2 groups of 2 rows)"), "{p}");
+        // The naive planner estimates nothing.
+        db.set_planner(PlannerMode::Naive);
+        let p = explain_statement(&db, &join).unwrap();
+        assert!(!p.contains("(est "), "{p}");
     }
 
     #[test]

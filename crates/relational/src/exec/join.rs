@@ -7,6 +7,17 @@
 //! the preprocessing queries of the paper's Appendix A (multi-way
 //! equi-joins between `Source`, `ValidGroups`, `Bset`, ...) to run in
 //! linear-ish time instead of as nested loops.
+//!
+//! Two planners share this machinery. The naive planner folds the FROM
+//! list left-to-right with the next factor always the hash-join build
+//! side. The cost-based planner ([`PlannerMode::Cost`]) orders joins
+//! greedily by estimated intermediate cardinality — `|L|·|R| / ndv(key)`,
+//! with distinct counts from the catalog statistics — and picks the build
+//! side by index availability and actual input size. Instead of
+//! materialising every intermediate, it carries tuples of factor row
+//! indices and materialises once at the end, in the canonical
+//! lexicographic order the naive fold would produce, so both planners
+//! return bit-identical relations.
 
 use std::collections::HashMap;
 
@@ -14,6 +25,7 @@ use crate::error::Result;
 use crate::expr::compile::{ExecCounter, SiteEval};
 use crate::expr::eval::QueryCtx;
 use crate::expr::{BinOp, Expr};
+use crate::planner::PlannerMode;
 use crate::row::Row;
 use crate::types::Schema;
 use crate::value::Value;
@@ -165,12 +177,19 @@ pub fn join_factors<'a>(
     where_conjuncts: Vec<&'a Expr>,
     ctx: &mut dyn QueryCtx,
 ) -> Result<(Relation, Vec<&'a Expr>)> {
+    let cost = ctx.planner() == PlannerMode::Cost;
+    if cost {
+        ctx.bump(ExecCounter::PlannerPlans, 1);
+    }
     // Push single-factor predicates down to their scans.
     let mut remaining: Vec<&Expr> = Vec::new();
     'conj: for c in where_conjuncts {
         for factor in factors.iter_mut() {
             if resolves_in(c, &factor.schema) {
                 filter_relation(factor, c, ctx)?;
+                if cost {
+                    ctx.bump(ExecCounter::PlannerPushedFilters, 1);
+                }
                 continue 'conj;
             }
         }
@@ -185,6 +204,10 @@ pub fn join_factors<'a>(
             Some(e) => equis.push((c, e)),
             None => residual.push(c),
         }
+    }
+
+    if cost && factors.len() >= 2 {
+        return cost_join(factors, equis, residual, ctx);
     }
 
     let mut factors: std::collections::VecDeque<Relation> = factors.into();
@@ -236,6 +259,334 @@ pub fn join_factors<'a>(
         residual.push(orig);
     }
     Ok((current, residual))
+}
+
+/// The factor `expr` resolves in, when that factor is unique. Ambiguous
+/// and unresolvable expressions yield `None` — exactly the predicates the
+/// naive fold also leaves to residual evaluation.
+fn unique_factor(expr: &Expr, factors: &[Relation]) -> Option<usize> {
+    let mut found = None;
+    for (i, f) in factors.iter().enumerate() {
+        if resolves_in(expr, &f.schema) {
+            if found.is_some() {
+                return None;
+            }
+            found = Some(i);
+        }
+    }
+    found
+}
+
+/// An equi predicate with both sides resolved to two distinct factors.
+struct FactorPred<'a> {
+    lf: usize,
+    rf: usize,
+    left: &'a Expr,
+    right: &'a Expr,
+}
+
+impl<'a> FactorPred<'a> {
+    /// The key expression living in factor `f`.
+    fn side(&self, f: usize) -> &'a Expr {
+        if self.lf == f {
+            self.left
+        } else {
+            self.right
+        }
+    }
+
+    /// The opposite side: `(factor, key expression)`.
+    fn other(&self, f: usize) -> (usize, &'a Expr) {
+        if self.lf == f {
+            (self.rf, self.right)
+        } else {
+            (self.lf, self.left)
+        }
+    }
+}
+
+/// Cost-based join of a multi-factor FROM list.
+///
+/// Joins are ordered greedily: start from the smallest factor, then
+/// repeatedly fold in the factor with the smallest estimated output
+/// (`|acc|·|next| / ndv(next key)`, distinct counts from the catalog
+/// statistics; a disconnected factor estimates as a cross product). The
+/// accumulator is a vector of *row-index tuples*, not materialised rows,
+/// so wide intermediates cost 4 bytes per factor per row. The build side
+/// of each hash step goes to an existing index if one side has one, else
+/// to the smaller input. At the end the tuples are sorted into canonical
+/// factor order — the exact row order the naive left-to-right fold
+/// produces — and materialised once.
+fn cost_join<'a>(
+    factors: Vec<Relation>,
+    equis: Vec<(&'a Expr, EquiPred<'a>)>,
+    mut residual: Vec<&'a Expr>,
+    ctx: &mut dyn QueryCtx,
+) -> Result<(Relation, Vec<&'a Expr>)> {
+    let n = factors.len();
+    let mut preds: Vec<FactorPred> = Vec::new();
+    for (orig, e) in equis {
+        match (
+            unique_factor(e.left, &factors),
+            unique_factor(e.right, &factors),
+        ) {
+            (Some(lf), Some(rf)) if lf != rf => preds.push(FactorPred {
+                lf,
+                rf,
+                left: e.left,
+                right: e.right,
+            }),
+            _ => residual.push(orig),
+        }
+    }
+
+    let mut joined = vec![false; n];
+    let mut pred_used = vec![false; preds.len()];
+    let start = (0..n)
+        .min_by_key(|&i| (factors[i].rows.len(), i))
+        .expect("cost_join requires factors");
+    joined[start] = true;
+    let mut order = vec![start];
+    // Each tuple holds one row index per factor; unjoined slots are 0 and
+    // masked by `joined`.
+    let mut tuples: Vec<Vec<u32>> = (0..factors[start].rows.len() as u32)
+        .map(|i| {
+            let mut t = vec![0u32; n];
+            t[start] = i;
+            t
+        })
+        .collect();
+    // While `tuples` is still the identity over the start factor, its
+    // untouched base snapshot (if any) can serve as an index build side.
+    let mut tuples_base: Option<usize> = Some(start);
+    let mut stack = Vec::new();
+
+    while order.len() < n {
+        // Pick the unjoined factor with the smallest estimated output.
+        let mut best: Option<(u64, usize)> = None;
+        for (f, factor) in factors.iter().enumerate() {
+            if joined[f] {
+                continue;
+            }
+            let fr = factor.rows.len() as u64;
+            let cross = (tuples.len() as u64).saturating_mul(fr);
+            let mut connected = false;
+            let mut ndv = 1u64;
+            for (pi, p) in preds.iter().enumerate() {
+                if pred_used[pi] || !((joined[p.lf] && p.rf == f) || (joined[p.rf] && p.lf == f)) {
+                    continue;
+                }
+                connected = true;
+                let key = p.side(f);
+                let d = match (&factor.base, factor.key_positions(&[key])) {
+                    (Some(b), Some(cols)) => {
+                        ctx.column_distinct(&b.table, cols[0]).unwrap_or(fr.max(1))
+                    }
+                    _ => fr.max(1),
+                };
+                ndv = ndv.max(d.max(1));
+            }
+            let est = if connected { cross / ndv } else { cross };
+            let better = match best {
+                None => true,
+                Some(b) => (est, f) < b,
+            };
+            if better {
+                best = Some((est, f));
+            }
+        }
+        let (est, f) = best.expect("an unjoined factor exists");
+
+        let conn: Vec<usize> = (0..preds.len())
+            .filter(|&pi| {
+                !pred_used[pi]
+                    && ((joined[preds[pi].lf] && preds[pi].rf == f)
+                        || (joined[preds[pi].rf] && preds[pi].lf == f))
+            })
+            .collect();
+        for &pi in &conn {
+            pred_used[pi] = true;
+        }
+
+        let out: Vec<Vec<u32>> = if conn.is_empty() {
+            // No usable predicate: cross product.
+            let fr = factors[f].rows.len();
+            let mut out = Vec::with_capacity(tuples.len().saturating_mul(fr));
+            for t in &tuples {
+                for i in 0..fr {
+                    let mut t2 = t.clone();
+                    t2[f] = i as u32;
+                    out.push(t2);
+                }
+            }
+            out
+        } else {
+            let f_keys: Vec<&Expr> = conn.iter().map(|&pi| preds[pi].side(f)).collect();
+            let other: Vec<(usize, &Expr)> = conn.iter().map(|&pi| preds[pi].other(f)).collect();
+            let f_evals: Vec<SiteEval> = f_keys
+                .iter()
+                .map(|k| SiteEval::plan(k, &factors[f].schema, ctx))
+                .collect();
+            let other_evals: Vec<SiteEval> = other
+                .iter()
+                .map(|(g, e)| SiteEval::plan(e, &factors[*g].schema, ctx))
+                .collect();
+
+            // Access paths: either side whose rows are an untouched base
+            // snapshot with plain-column keys can be served by the
+            // engine's persistent index registry.
+            let f_cols = factors[f].key_positions(&f_keys);
+            let t_cols = match tuples_base {
+                Some(s) if factors[s].base.is_some() => {
+                    let other_exprs: Vec<&Expr> = other.iter().map(|(_, e)| *e).collect();
+                    factors[s].key_positions(&other_exprs)
+                }
+                _ => None,
+            };
+            let f_has_ix = matches!((&factors[f].base, &f_cols),
+                (Some(b), Some(cols)) if ctx.has_table_index(&b.table, b.version, cols));
+            let t_has_ix = matches!((tuples_base.and_then(|s| factors[s].base.as_ref()), &t_cols),
+                (Some(b), Some(cols)) if ctx.has_table_index(&b.table, b.version, cols));
+            // Build side: a live index wins outright; otherwise the
+            // smaller input builds, ties going to the incoming factor.
+            let build_on_f = if f_has_ix != t_has_ix {
+                f_has_ix
+            } else if factors[f].rows.len() != tuples.len() {
+                factors[f].rows.len() < tuples.len()
+            } else {
+                true
+            };
+
+            let mut out: Vec<Vec<u32>> = Vec::new();
+            let mut key: Vec<Value> = Vec::with_capacity(conn.len());
+            if build_on_f {
+                let index = match (&factors[f].base, &f_cols) {
+                    (Some(b), Some(cols)) => ctx.table_index(&b.table, b.version, cols),
+                    _ => None,
+                };
+                let mut fresh: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+                if index.is_none() {
+                    fresh.reserve(factors[f].rows.len());
+                    'build: for (i, row) in factors[f].rows.iter().enumerate() {
+                        let mut k = Vec::with_capacity(f_evals.len());
+                        for e in &f_evals {
+                            let v = e.eval(&factors[f].schema, row, ctx, &mut stack)?;
+                            if v.is_null() {
+                                continue 'build;
+                            }
+                            k.push(v);
+                        }
+                        fresh.entry(k).or_default().push(i);
+                    }
+                }
+                let map: &HashMap<Vec<Value>, Vec<usize>> = match &index {
+                    Some(ix) => &ix.map,
+                    None => &fresh,
+                };
+                'probe: for t in &tuples {
+                    key.clear();
+                    for (e, (g, _)) in other_evals.iter().zip(&other) {
+                        let row = &factors[*g].rows[t[*g] as usize];
+                        let v = e.eval(&factors[*g].schema, row, ctx, &mut stack)?;
+                        if v.is_null() {
+                            continue 'probe;
+                        }
+                        key.push(v);
+                    }
+                    if let Some(matches) = map.get(&key) {
+                        for &bi in matches {
+                            let mut t2 = t.clone();
+                            t2[f] = bi as u32;
+                            out.push(t2);
+                        }
+                    }
+                }
+            } else {
+                // Build over the accumulated tuples, probe the factor.
+                let index = match (tuples_base.and_then(|s| factors[s].base.as_ref()), &t_cols) {
+                    (Some(b), Some(cols)) => ctx.table_index(&b.table, b.version, cols),
+                    _ => None,
+                };
+                let mut fresh: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+                if index.is_none() {
+                    fresh.reserve(tuples.len());
+                    'tbuild: for (ti, t) in tuples.iter().enumerate() {
+                        let mut k = Vec::with_capacity(other_evals.len());
+                        for (e, (g, _)) in other_evals.iter().zip(&other) {
+                            let row = &factors[*g].rows[t[*g] as usize];
+                            let v = e.eval(&factors[*g].schema, row, ctx, &mut stack)?;
+                            if v.is_null() {
+                                continue 'tbuild;
+                            }
+                            k.push(v);
+                        }
+                        fresh.entry(k).or_default().push(ti);
+                    }
+                }
+                let map: &HashMap<Vec<Value>, Vec<usize>> = match &index {
+                    Some(ix) => &ix.map,
+                    None => &fresh,
+                };
+                'fprobe: for (fi, row) in factors[f].rows.iter().enumerate() {
+                    key.clear();
+                    for e in &f_evals {
+                        let v = e.eval(&factors[f].schema, row, ctx, &mut stack)?;
+                        if v.is_null() {
+                            continue 'fprobe;
+                        }
+                        key.push(v);
+                    }
+                    if let Some(matches) = map.get(&key) {
+                        for &ti in matches {
+                            let mut t2 = tuples[ti].clone();
+                            t2[f] = fi as u32;
+                            out.push(t2);
+                        }
+                    }
+                }
+            }
+            out
+        };
+
+        ctx.bump(ExecCounter::RowsJoined, out.len() as u64);
+        ctx.bump(
+            ExecCounter::PlannerEstRowsErr,
+            est.abs_diff(out.len() as u64),
+        );
+        tuples = out;
+        joined[f] = true;
+        order.push(f);
+        tuples_base = None;
+    }
+
+    let reordered = order.iter().enumerate().filter(|&(i, &f)| i != f).count() as u64;
+    ctx.bump(ExecCounter::PlannerReorderedJoins, reordered);
+
+    // Canonical output: the naive fold emits rows lexicographically by
+    // factor row index, so sorting the tuples reproduces its row order
+    // exactly — bit-identical relations under either planner.
+    tuples.sort_unstable();
+    let mut schema = factors[0].schema.clone();
+    for fct in &factors[1..] {
+        schema = schema.join(&fct.schema);
+    }
+    let width = schema.len();
+    let mut rows = Vec::with_capacity(tuples.len());
+    for t in &tuples {
+        let mut r = Vec::with_capacity(width);
+        for (fi, fct) in factors.iter().enumerate() {
+            r.extend_from_slice(&fct.rows[t[fi] as usize]);
+        }
+        rows.push(r);
+    }
+    Ok((
+        Relation {
+            schema,
+            rows,
+            base: None,
+        },
+        residual,
+    ))
 }
 
 fn cross_join(a: &Relation, b: &Relation, ctx: &mut dyn QueryCtx) -> Relation {

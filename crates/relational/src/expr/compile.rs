@@ -91,6 +91,15 @@ pub enum ExecCounter {
     RowsFiltered,
     /// Rows produced by join operators.
     RowsJoined,
+    /// FROM lists planned by the cost-based planner.
+    PlannerPlans,
+    /// Join steps the cost-based planner moved off the naive
+    /// left-to-right order.
+    PlannerReorderedJoins,
+    /// WHERE conjuncts the cost-based planner pushed beneath joins.
+    PlannerPushedFilters,
+    /// Accumulated |estimated − actual| join output rows (cost mode).
+    PlannerEstRowsErr,
 }
 
 /// One instruction of a compiled expression program. Operand order on

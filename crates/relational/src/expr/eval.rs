@@ -13,6 +13,7 @@ use crate::error::{Error, Result};
 use crate::expr::compile::{ExecCounter, SqlExec};
 use crate::expr::{AggFunc, BinOp, Expr, UnaryOp};
 use crate::index::HashIndex;
+use crate::planner::PlannerMode;
 use crate::resultset::ResultSet;
 use crate::row::Row;
 use crate::sql::ast::SelectStmt;
@@ -47,6 +48,23 @@ pub trait QueryCtx {
         _version: u64,
         _cols: &[usize],
     ) -> Option<Arc<HashIndex>> {
+        None
+    }
+    /// True when a live hash index over `cols` of the named base table
+    /// already exists at exactly `version` — a zero-cost access path the
+    /// planner should prefer. Unlike [`QueryCtx::table_index`], peeking
+    /// never builds anything.
+    fn has_table_index(&self, _table: &str, _version: u64, _cols: &[usize]) -> bool {
+        false
+    }
+    /// Which planner the join executor should use. Contexts without a
+    /// catalog have no statistics, so the default is the naive fold.
+    fn planner(&self) -> PlannerMode {
+        PlannerMode::Naive
+    }
+    /// Estimated distinct count of one column of a base table, from the
+    /// catalog statistics. `None` outside an engine (or off-range).
+    fn column_distinct(&self, _table: &str, _col: usize) -> Option<u64> {
         None
     }
 }

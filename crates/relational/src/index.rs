@@ -147,6 +147,13 @@ impl IndexRegistry {
         }
     }
 
+    /// True when a live index exists for `(table, cols)` at exactly
+    /// `version`. Read-only: stale entries are left for [`Self::get`].
+    pub fn peek(&self, table: &str, cols: &[usize], version: u64) -> bool {
+        let key = (table.to_ascii_lowercase(), cols.to_vec());
+        matches!(self.entries.get(&key), Some(ix) if ix.version == version)
+    }
+
     /// Store a freshly built index.
     pub fn put(&mut self, table: &str, cols: &[usize], index: Arc<HashIndex>) {
         self.entries

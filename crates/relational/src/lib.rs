@@ -38,10 +38,12 @@ pub mod exec;
 pub mod expr;
 pub mod index;
 pub mod persist;
+pub mod planner;
 pub mod resultset;
 pub mod row;
 pub mod sequence;
 pub mod sql;
+pub mod stats;
 pub mod storage;
 pub mod table;
 pub mod types;
@@ -51,8 +53,10 @@ pub use engine::{Database, ExecOutcome, ExecStats};
 pub use error::{Error, ObjectKind, Result};
 pub use expr::compile::{CompiledExpr, ExecCounter, SqlExec};
 pub use index::{HashIndex, IndexPolicy};
+pub use planner::PlannerMode;
 pub use resultset::ResultSet;
 pub use row::Row;
+pub use stats::TableStats;
 pub use storage::{StorageBackend, StorageConfig, StorageStats, WalFault, WalFaultKind};
 pub use table::Table;
 pub use types::{Column, DataType, Schema};

@@ -1,0 +1,70 @@
+//! Planner mode: cost-based versus naive statement planning.
+//!
+//! Under [`PlannerMode::Cost`] the executor consults catalog statistics
+//! ([`crate::stats::TableStats`]) to choose a join order (greedy smallest
+//! -estimated-intermediate-first), pick the hash-join build side by actual
+//! input size and index availability, and report estimation error. Under
+//! [`PlannerMode::Naive`] the FROM list is folded left-to-right with the
+//! next factor always the build side — the engine's historical behaviour.
+//!
+//! Both modes produce bit-identical results, including row order: the
+//! cost path tracks, for every joined row, the indices of the factor rows
+//! it combines, and emits the final relation in the canonical
+//! lexicographic order a left-to-right fold would produce.
+
+use std::fmt;
+
+/// How the engine plans FROM lists and access paths.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlannerMode {
+    /// Statistics-driven join ordering, build-side and access-path
+    /// selection (the default).
+    #[default]
+    Cost,
+    /// Historical left-to-right fold; no statistics consulted.
+    Naive,
+}
+
+impl PlannerMode {
+    /// Parse a mode name (`cost` | `naive`), ASCII-case-insensitively.
+    pub fn from_name(name: &str) -> Option<PlannerMode> {
+        match name.to_ascii_lowercase().as_str() {
+            "cost" => Some(PlannerMode::Cost),
+            "naive" => Some(PlannerMode::Naive),
+            _ => None,
+        }
+    }
+
+    /// The canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlannerMode::Cost => "cost",
+            PlannerMode::Naive => "naive",
+        }
+    }
+}
+
+impl fmt::Display for PlannerMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        for m in [PlannerMode::Cost, PlannerMode::Naive] {
+            assert_eq!(PlannerMode::from_name(m.name()), Some(m));
+        }
+        assert_eq!(PlannerMode::from_name("COST"), Some(PlannerMode::Cost));
+        assert_eq!(PlannerMode::from_name("rule"), None);
+    }
+
+    #[test]
+    fn default_is_cost() {
+        assert_eq!(PlannerMode::default(), PlannerMode::Cost);
+    }
+}

@@ -4,6 +4,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::error::{Error, Result};
 use crate::row::Row;
+use crate::stats::TableStats;
 use crate::types::Schema;
 
 /// Process-global version stamp source. Every stamp is unique, so a table
@@ -28,17 +29,22 @@ pub struct Table {
     schema: Schema,
     rows: Vec<Row>,
     version: u64,
+    stats: TableStats,
 }
 
 impl Table {
     /// Create an empty table.
     pub fn new(name: impl Into<String>, schema: Schema) -> Table {
-        Table {
+        let stats = TableStats::new(schema.len());
+        let mut t = Table {
             name: name.into(),
             schema,
             rows: Vec::new(),
             version: next_version(),
-        }
+            stats,
+        };
+        t.stats.stamp(t.version);
+        t
     }
 
     /// The table's current version stamp. Monotonically increasing across
@@ -70,6 +76,13 @@ impl Table {
         self.rows.len()
     }
 
+    /// Planner statistics for this table, current as of [`Table::version`]
+    /// (maintenance happens inside every mutating call, so the stamp never
+    /// lags the table).
+    pub fn stats(&self) -> &TableStats {
+        &self.stats
+    }
+
     /// Append a row after checking arity and column types.
     pub fn insert(&mut self, row: Row) -> Result<()> {
         if row.len() != self.schema.len() {
@@ -89,8 +102,10 @@ impl Table {
                 )));
             }
         }
+        self.stats.observe_row(&row);
         self.rows.push(row);
         self.version = next_version();
+        self.stats.stamp(self.version);
         Ok(())
     }
 
@@ -108,14 +123,19 @@ impl Table {
     pub fn delete_where(&mut self, mut pred: impl FnMut(&Row) -> bool) -> usize {
         let before = self.rows.len();
         self.rows.retain(|r| !pred(r));
+        // Distinct sketches cannot subtract: rebuild over the survivors.
+        self.stats.rebuild(&self.rows);
         self.version = next_version();
+        self.stats.stamp(self.version);
         before - self.rows.len()
     }
 
     /// Drop every row.
     pub fn truncate(&mut self) {
         self.rows.clear();
+        self.stats.reset();
         self.version = next_version();
+        self.stats.stamp(self.version);
     }
 }
 
@@ -180,6 +200,26 @@ mod tests {
         assert_eq!(sorted.len(), seen.len(), "every mutation restamps");
         // A freshly created table never reuses an old stamp.
         assert!(t().version() > seen[0]);
+    }
+
+    #[test]
+    fn stats_track_every_mutation_and_stamp_versions() {
+        let mut table = t();
+        table
+            .insert_all(vec![row![1, "x"], row![2, "y"], row![3, "x"]])
+            .unwrap();
+        assert_eq!(table.stats().row_count(), 3);
+        assert_eq!(table.stats().distinct(0), Some(3));
+        assert_eq!(table.stats().distinct(1), Some(2));
+        assert_eq!(table.stats().as_of_version(), table.version());
+        table.delete_where(|r| r[1] == Value::Str("x".into()));
+        assert_eq!(table.stats().row_count(), 1);
+        assert_eq!(table.stats().distinct(0), Some(1));
+        assert_eq!(table.stats().as_of_version(), table.version());
+        table.truncate();
+        assert_eq!(table.stats().row_count(), 0);
+        assert_eq!(table.stats().distinct(1), Some(0));
+        assert_eq!(table.stats().as_of_version(), table.version());
     }
 
     #[test]

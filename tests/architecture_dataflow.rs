@@ -43,8 +43,11 @@ fn general_statement_materialises_figure4b_tables() {
 
 #[test]
 fn simple_statement_materialises_only_figure4a_tables() {
+    // Under the naive planner the full step-by-step Figure 4a program
+    // runs, materialising every intermediate.
     let mut db = purchase_db();
     MineRuleEngine::new()
+        .with_planner(relational::PlannerMode::Naive)
         .execute(
             &mut db,
             "MINE RULE Simple AS SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD, \
@@ -66,6 +69,35 @@ fn simple_statement_materialises_only_figure4a_tables() {
     ] {
         assert!(!db.catalog().has_table(table), "{table} must not exist");
     }
+}
+
+#[test]
+fn fused_preprocessing_skips_the_subsumed_intermediates() {
+    // Under the cost planner (the default) the simple-class program runs
+    // as one fused pass: the encoded outputs still materialise, but the
+    // subsumed intermediates never reach the catalog.
+    let mut db = purchase_db();
+    let outcome = MineRuleEngine::new()
+        .execute(
+            &mut db,
+            "MINE RULE Simple AS SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD, \
+             SUPPORT, CONFIDENCE FROM Purchase GROUP BY customer \
+             EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.1",
+        )
+        .unwrap();
+    assert_eq!(outcome.preprocess_report.fused_steps, 6);
+    assert!(!db.catalog().has_table("Source"));
+    for table in ["ValidGroups", "Bset", "CodedSource"] {
+        assert!(db.catalog().has_table(table), "{table} missing");
+    }
+    assert!(
+        !db.catalog().has_table("DistinctGroupsInBody"),
+        "the fused pass must not materialise DistinctGroupsInBody"
+    );
+    assert!(
+        !db.catalog().has_view("ValidGroupsView"),
+        "the fused pass must not materialise the Q2 view"
+    );
 }
 
 #[test]

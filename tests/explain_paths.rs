@@ -6,7 +6,7 @@
 
 use minerule::paper_example::{purchase_db, FILTERED_ORDERED_SETS};
 use minerule::MineRuleEngine;
-use relational::{Database, IndexPolicy};
+use relational::{Database, IndexPolicy, PlannerMode};
 
 fn plan(db: &mut Database, sql: &str) -> String {
     let rs = db.query(&format!("EXPLAIN {sql}")).unwrap();
@@ -65,11 +65,54 @@ fn explain_snapshot_is_stable_for_the_figure1_plan() {
     let mut db = purchase_db();
     let p = plan(&mut db, GROUPED);
     // Full snapshot: the plan shape is part of the observable contract.
+    // The cost planner (the default) annotates its cardinality estimates.
+    assert_eq!(
+        p,
+        "Select\n  \
+         scan Purchase [8 rows]\n  \
+         hash aggregate by (customer) [index(Purchase.customer)] (est 2 groups of 8 rows)",
+        "plan drifted"
+    );
+
+    // Under the naive planner the estimates disappear: no statistics are
+    // consulted, so none are printed.
+    db.set_planner(PlannerMode::Naive);
+    let p = plan(&mut db, GROUPED);
     assert_eq!(
         p,
         "Select\n  \
          scan Purchase [8 rows]\n  \
          hash aggregate by (customer) [index(Purchase.customer)]",
-        "plan drifted"
+        "naive plan drifted"
+    );
+}
+
+#[test]
+fn fused_preprocess_plan_snapshot() {
+    // The fused simple-class preprocess pass (cost planner, the default)
+    // subsumes six SQL statements into one pipelined scan; the report is
+    // the observable "plan" of that fusion: DDL for the two sequences,
+    // then one fused step per Q1, Q2, Q3 and Q4 with the rows each
+    // materialised (or 1 for pure bindings).
+    let mut db = purchase_db();
+    let outcome = MineRuleEngine::new()
+        .execute(
+            &mut db,
+            "MINE RULE FusedPlan AS SELECT DISTINCT item AS BODY, item AS HEAD, \
+             SUPPORT, CONFIDENCE FROM Purchase GROUP BY customer \
+             EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.1",
+        )
+        .unwrap();
+    let report = &outcome.preprocess_report;
+    assert_eq!(report.fused_steps, 6, "six SQL statements subsumed");
+    let steps: Vec<String> = report
+        .executed
+        .iter()
+        .map(|(id, rows)| format!("{id}[{rows}]"))
+        .collect();
+    assert_eq!(
+        steps.join(" -> "),
+        "DDL[1] -> DDL[1] -> Q1[1] -> Q2[2] -> Q3[5] -> Q4[6]",
+        "fused preprocess plan drifted"
     );
 }

@@ -31,14 +31,21 @@ fn simple_path_records_exact_counters() {
             "directive {flag}"
         );
     }
-    // Preprocessor: row counts per materialisation step (Figure 1 data).
-    assert_eq!(snap.counter("preprocess.steps"), 8);
+    // Preprocessor: row counts per step (Figure 1 data). The cost
+    // planner (the default) fuses the simple-class program into one
+    // pipelined pass: 6 steps instead of 8, Q2/Q3 counting only the
+    // materialised encoded rows (the subsumed view and
+    // DistinctGroupsInBody intermediates never materialise).
+    assert_eq!(snap.counter("preprocess.steps"), 6);
+    assert_eq!(snap.counter("preprocess.fused_steps"), 6);
     assert_eq!(snap.counter("preprocess.rows.Q1"), 1);
-    assert_eq!(snap.counter("preprocess.rows.Q2"), 3);
-    assert_eq!(snap.counter("preprocess.rows.Q3"), 11);
+    assert_eq!(snap.counter("preprocess.rows.Q2"), 2);
+    assert_eq!(snap.counter("preprocess.rows.Q3"), 5);
     assert_eq!(snap.counter("preprocess.rows.Q4"), 6);
     assert_eq!(snap.gauge("preprocess.total_groups"), Some(2));
     assert_eq!(snap.gauge("preprocess.min_groups"), Some(1));
+    // The cost planner accounts its planning work.
+    assert!(snap.counter("relational.planner.plans") > 0);
     // Core operator: gid-list Apriori over the two encoded groups.
     assert_eq!(snap.counter("core.path.simple"), 1);
     assert_eq!(snap.counter("core.path.general"), 0);
@@ -165,6 +172,49 @@ fn work_counters_are_worker_count_invariant() {
         assert_eq!(snap_4.counter(name), *value, "{name}");
     }
     assert!(snap_4.counter("core.shards.run") >= snap_1.counter("core.shards.run"));
+}
+
+#[test]
+fn planner_counters_absent_under_naive_present_under_cost() {
+    // Naive planner: no statistics consulted, nothing fused — neither
+    // the relational.planner.* counters nor preprocess.fused_steps are
+    // ever minted (zero deltas are skipped at publication), and the full
+    // 8-step SQL program runs.
+    let mut db = purchase_db();
+    let engine = MineRuleEngine::new().with_planner(relational::PlannerMode::Naive);
+    let naive = engine.execute(&mut db, SIMPLE).unwrap();
+    let snap = engine.metrics_snapshot();
+    assert!(
+        snap.counters
+            .iter()
+            .all(|(name, _)| !name.starts_with("relational.planner.")),
+        "naive planner must mint no planner counters: {:?}",
+        snap.counters
+    );
+    assert_eq!(snap.counter("preprocess.fused_steps"), 0);
+    assert_eq!(snap.counter("preprocess.steps"), 8);
+
+    // Cost planner: planner counters appear, the preprocess program
+    // fuses, and both stay invariant under the core's worker count
+    // because the relational layer runs single-threaded.
+    let run = |workers: usize| {
+        let mut db = purchase_db();
+        let engine = MineRuleEngine::new().with_workers(workers);
+        let outcome = engine.execute(&mut db, SIMPLE).unwrap();
+        (outcome.rules, engine.metrics_snapshot())
+    };
+    let (rules_1, snap_1) = run(1);
+    let (rules_4, snap_4) = run(4);
+    assert_eq!(rules_1, naive.rules, "planner modes mine identical rules");
+    assert_eq!(rules_1, rules_4);
+    assert!(snap_1.counter("relational.planner.plans") > 0);
+    assert_eq!(snap_1.counter("preprocess.fused_steps"), 6);
+    for (name, value) in &snap_1.counters {
+        if !name.starts_with("relational.planner.") && name != "preprocess.fused_steps" {
+            continue;
+        }
+        assert_eq!(snap_4.counter(name), *value, "{name} worker-invariant");
+    }
 }
 
 #[test]
