@@ -50,6 +50,11 @@ pub const KNOBS: &[Knob] = &[
         blurb: "preprocess artifact cache (rules identical either way)",
     },
     Knob {
+        name: "minecache",
+        domain: "on|off",
+        blurb: "mined-result cache for refined reruns (rules identical either way)",
+    },
+    Knob {
         name: "indexes",
         domain: "auto|off",
         blurb: "relational hash-index policy (results identical either way)",
@@ -175,6 +180,7 @@ impl Session {
             "gidset" => self.engine.core.gidset.to_string(),
             "sqlexec" => self.engine.sqlexec.to_string(),
             "preprocache" => on_off(self.engine.preprocache_enabled()).to_string(),
+            "minecache" => on_off(self.engine.minecache_enabled()).to_string(),
             "indexes" => self.db.index_policy().to_string(),
             "storage" => self.db.storage().to_string(),
             "planner" => self.engine.planner.to_string(),
@@ -375,6 +381,20 @@ impl Session {
                     "preprocache: {} (preprocess artifact cache; mined rules are \
                      identical either way)",
                     on_off(self.engine.preprocache_enabled())
+                )),
+                (Some("minecache"), Some(name)) => match minerule::parse_minecache(name) {
+                    // Bad names get the engine's own typed error, shaped
+                    // like the unknown-algorithm / zero-workers cases.
+                    Ok(enabled) => {
+                        self.engine.set_minecache_enabled(enabled);
+                        Outcome::Output(format!("mined-result cache is {}", on_off(enabled)))
+                    }
+                    Err(e) => Outcome::Output(e.to_string()),
+                },
+                (Some("minecache"), None) => Outcome::Output(format!(
+                    "minecache: {} (mined-result cache for refined reruns; mined \
+                     rules are identical either way)",
+                    on_off(self.engine.minecache_enabled())
                 )),
                 (Some("indexes"), Some(name)) => match minerule::parse_index_policy(name) {
                     // Bad names get the engine's own typed error, shaped
@@ -842,6 +862,84 @@ mod tests {
         assert!(outputs.windows(2).all(|w| w[0] == w[1]), "same rules");
         let stats = out(&mut s, "\\stats");
         assert!(stats.contains("preprocess.cache.hit"), "{stats}");
+    }
+
+    #[test]
+    fn minecache_setting() {
+        let mut s = Session::new();
+        assert!(out(&mut s, "\\set minecache").contains("minecache: on"));
+        assert!(out(&mut s, "\\set minecache off").contains("mined-result cache is off"));
+        assert!(out(&mut s, "\\set").contains("minecache: off"));
+        // Bad names get the engine's typed error, stating the domain.
+        let bad = out(&mut s, "\\set minecache maybe");
+        assert!(
+            bad.contains("unknown mined-result cache mode 'maybe'"),
+            "{bad}"
+        );
+        assert!(bad.contains("on, off"), "{bad}");
+        assert!(
+            out(&mut s, "\\set minecache").contains("minecache: off"),
+            "unchanged"
+        );
+        // Mining yields identical output with the cache on and off, and a
+        // tightened-threshold rerun with the cache on serves warm.
+        out(&mut s, "\\demo paper");
+        let stmt = |support: f64| {
+            format!(
+                "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD, SUPPORT, CONFIDENCE \
+                 FROM Purchase GROUP BY customer \
+                 EXTRACTING RULES WITH SUPPORT: {support}, CONFIDENCE: 0.1"
+            )
+        };
+        let mut outputs = Vec::new();
+        for state in ["off", "on"] {
+            out(&mut s, &format!("\\set minecache {state}"));
+            out(&mut s, &stmt(0.25));
+            out(&mut s, "DROP TABLE R");
+            let result = out(&mut s, &stmt(0.5));
+            assert!(result.contains("mined"), "{state}: {result}");
+            out(&mut s, "DROP TABLE R");
+            outputs.push(result);
+        }
+        assert!(outputs.windows(2).all(|w| w[0] == w[1]), "same rules");
+        let stats = out(&mut s, "\\stats");
+        assert!(stats.contains("core.minecache.hit"), "{stats}");
+        assert!(stats.contains("core.minecache.refine"), "{stats}");
+    }
+
+    #[test]
+    fn every_knob_roundtrips_and_rejects_bad_values() {
+        // Companion to `every_knob_appears_in_listing_and_help`: each
+        // KNOBS entry must answer a no-arg query with its current value,
+        // reject a bogus value with an error naming it, and keep its
+        // previous value afterwards — so no knob can ship without the
+        // full \set round-trip.
+        let mut s = Session::new();
+        for knob in KNOBS {
+            let show = out(&mut s, &format!("\\set {}", knob.name));
+            assert!(
+                show.contains(&format!("{}: ", knob.name)),
+                "\\set {} shows no value: {show}",
+                knob.name
+            );
+            let bad = out(&mut s, &format!("\\set {} zzz_bogus", knob.name));
+            assert!(
+                bad.contains("zzz_bogus"),
+                "'\\set {} zzz_bogus' does not name the bad value: {bad}",
+                knob.name
+            );
+            assert!(
+                bad.contains("unknown") || bad.contains("not a valid"),
+                "'\\set {} zzz_bogus' is not a typed rejection: {bad}",
+                knob.name
+            );
+            assert_eq!(
+                out(&mut s, &format!("\\set {}", knob.name)),
+                show,
+                "rejected value changed knob '{}'",
+                knob.name
+            );
+        }
     }
 
     #[test]

@@ -45,7 +45,7 @@
 
 use std::time::Duration;
 
-use crate::algo::{self, EncodedRule, GidSetRepr, ShardExec, SimpleInput};
+use crate::algo::{self, EncodedRule, GidSetRepr, LargeItemset, ShardExec, SimpleInput};
 use crate::encoded::{EncodedData, EncodedInput, GeneralTuple};
 use crate::error::{MineError, Result};
 use crate::lattice::elementary::{build_contexts, BuildOptions};
@@ -97,6 +97,11 @@ pub struct CoreOutput {
     /// Wall-clock per shard of the mining executor (simple path only;
     /// one entry per shard of each sharded pass, in pass order).
     pub shard_timings: Vec<Duration>,
+    /// The large-itemset inventory the rules were derived from (simple
+    /// path only; `None` on the general lattice). The mined-result cache
+    /// captures this so tightened-threshold reruns can filter it instead
+    /// of re-mining.
+    pub large_itemsets: Option<Vec<LargeItemset>>,
 }
 
 /// Run the core operator on encoded input (no telemetry).
@@ -149,6 +154,7 @@ pub fn run_core_with_telemetry(
                 used_general: false,
                 lattice_stats: None,
                 shard_timings,
+                large_itemsets: Some(large),
             })
         }
         EncodedData::Simple { groups } => {
@@ -247,6 +253,7 @@ fn run_general(
         used_general: true,
         lattice_stats: Some(stats),
         shard_timings: Vec::new(),
+        large_itemsets: None,
     })
 }
 

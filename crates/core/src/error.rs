@@ -29,6 +29,9 @@ pub enum MineError {
     /// An unrecognised preprocess cache mode was configured — a user
     /// configuration error, reported with the valid domain.
     UnknownCacheMode { name: String },
+    /// An unrecognised mined-result cache mode was configured — a user
+    /// configuration error, reported with the valid domain.
+    UnknownMineCacheMode { name: String },
     /// An unrecognised relational index policy was configured — a user
     /// configuration error, reported with the valid domain.
     UnknownIndexPolicy { name: String },
@@ -153,6 +156,10 @@ impl fmt::Display for MineError {
             MineError::UnknownCacheMode { name } => write!(
                 f,
                 "unknown preprocess cache mode '{name}'; valid choices: on, off"
+            ),
+            MineError::UnknownMineCacheMode { name } => write!(
+                f,
+                "unknown mined-result cache mode '{name}'; valid choices: on, off"
             ),
             MineError::UnknownIndexPolicy { name } => {
                 write!(f, "unknown index policy '{name}'; valid choices: auto, off")

@@ -54,6 +54,7 @@ pub mod directives;
 pub mod encoded;
 pub mod error;
 pub mod lattice;
+pub mod minecache;
 pub mod paper_example;
 pub mod parser;
 pub mod pipeline;
@@ -67,10 +68,11 @@ pub use ast::{CardMax, CardSpec, ElementSpec, MineRuleStatement, SourceTable};
 pub use cache::PreprocessCache;
 pub use directives::{Directives, StatementClass};
 pub use error::{MineError, Result, SemanticViolation};
+pub use minecache::{MineResultCache, ServeKind};
 pub use parser::{is_mine_rule, parse_mine_rule};
 pub use pipeline::{
-    parse_index_policy, parse_planner, parse_preprocache, parse_sqlexec, parse_storage_backend,
-    MineRuleEngine, MiningOutcome, PhaseTimings,
+    parse_index_policy, parse_minecache, parse_planner, parse_preprocache, parse_sqlexec,
+    parse_storage_backend, MineRuleEngine, MiningOutcome, PhaseTimings,
 };
 pub use postprocess::DecodedRule;
 pub use telemetry::{MetricsSnapshot, Telemetry};

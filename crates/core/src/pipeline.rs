@@ -20,6 +20,7 @@ use crate::cache::PreprocessCache;
 use crate::core_op::{run_core_with_telemetry, CoreOptions, CoreOutput};
 use crate::encoded::read_encoded;
 use crate::error::{MineError, Result};
+use crate::minecache::{MineResultCache, ServeKind};
 use crate::parser::parse_mine_rule;
 use crate::postprocess::{postprocess, read_rules, store_encoded_rules, DecodedRule};
 use crate::preprocess::{preprocess, PreprocessReport};
@@ -104,6 +105,12 @@ pub struct MineRuleEngine {
     /// engine share the same store. Disabling it changes no mined output
     /// (enforced by `tests/cache_agreement.rs`).
     preprocache: PreprocessCache,
+    /// The mined-result cache: frequent-itemset inventories keyed like
+    /// the preprocess cache, serving tightened-threshold reruns and
+    /// small source deltas without running the core operator. Enabled by
+    /// default; clones share the same store. On/off mines bit-identical
+    /// rules (enforced by `tests/cache_agreement.rs`).
+    minecache: MineResultCache,
 }
 
 impl Default for MineRuleEngine {
@@ -116,6 +123,7 @@ impl Default for MineRuleEngine {
             planner: PlannerMode::default(),
             telemetry: Telemetry::new(),
             preprocache: PreprocessCache::new(),
+            minecache: MineResultCache::new(),
         }
     }
 }
@@ -205,6 +213,32 @@ impl MineRuleEngine {
     /// Whether runs currently consult the preprocess artifact cache.
     pub fn preprocache_enabled(&self) -> bool {
         self.preprocache.is_enabled()
+    }
+
+    /// Turn the mined-result cache on (a fresh store) or off. The cache
+    /// answers reruns of a statement with tightened thresholds — and
+    /// reruns after small INSERT/DELETE deltas on the source table —
+    /// without running the core operator; on/off mines bit-identical
+    /// rules (enforced by `tests/cache_agreement.rs`).
+    pub fn with_minecache(mut self, enabled: bool) -> MineRuleEngine {
+        self.set_minecache_enabled(enabled);
+        self
+    }
+
+    /// Turn the mined-result cache on (a fresh store) or off.
+    pub fn set_minecache_enabled(&mut self, enabled: bool) {
+        if enabled != self.minecache.is_enabled() {
+            self.minecache = if enabled {
+                MineResultCache::new()
+            } else {
+                MineResultCache::disabled()
+            };
+        }
+    }
+
+    /// Whether runs currently consult the mined-result cache.
+    pub fn minecache_enabled(&self) -> bool {
+        self.minecache.is_enabled()
     }
 
     /// Report runs into the given telemetry registry (replaces the
@@ -528,13 +562,55 @@ impl MineRuleEngine {
         sql_before: ExecStats,
     ) -> Result<MiningOutcome> {
         let span = self.telemetry.span("phase.core");
-        let encoded = read_encoded(db, &translation)?;
-        let CoreOutput {
-            rules,
-            used_general,
-            shard_timings,
-            ..
-        } = run_core_with_telemetry(&encoded, &self.core, &self.telemetry)?;
+        // A mined-result cache serve replaces the whole core phase: no
+        // encoded read, no itemset mining, no `core.level.*` activity —
+        // the cached inventory filtered at the current thresholds yields
+        // rules bit-identical to a cold mine.
+        let serve =
+            self.minecache
+                .try_serve(db, &translation, &self.table_prefix, &preprocess_report)?;
+        let (rules, used_general, shard_timings) = match serve {
+            Some(serve) => {
+                self.telemetry.counter_inc("core.minecache.hit");
+                match serve.kind {
+                    ServeKind::Hit => {}
+                    ServeKind::Refine => self.telemetry.counter_inc("core.minecache.refine"),
+                    ServeKind::Delta => self.telemetry.counter_inc("core.minecache.delta"),
+                }
+                (serve.rules, false, Vec::new())
+            }
+            None => {
+                if self.minecache.is_enabled() {
+                    self.telemetry.counter_inc("core.minecache.miss");
+                }
+                let encoded = read_encoded(db, &translation)?;
+                let CoreOutput {
+                    rules,
+                    used_general,
+                    shard_timings,
+                    large_itemsets,
+                    ..
+                } = run_core_with_telemetry(&encoded, &self.core, &self.telemetry)?;
+                if let Some(large) = &large_itemsets {
+                    let stored = self.minecache.store(
+                        db,
+                        &translation,
+                        &self.table_prefix,
+                        &preprocess_report,
+                        large,
+                    );
+                    if stored.evicted > 0 {
+                        self.telemetry
+                            .counter_add("core.minecache.evict", stored.evicted);
+                    }
+                    if self.minecache.is_enabled() {
+                        self.telemetry
+                            .gauge_set("core.minecache.bytes", stored.bytes as i64);
+                    }
+                }
+                (rules, used_general, shard_timings)
+            }
+        };
         let core_time = span.stop();
 
         let span = self.telemetry.span("phase.postprocess");
@@ -581,6 +657,19 @@ pub fn parse_preprocache(name: &str) -> Result<bool> {
         "on" => Ok(true),
         "off" => Ok(false),
         _ => Err(MineError::UnknownCacheMode {
+            name: name.to_string(),
+        }),
+    }
+}
+
+/// Resolve a mined-result cache mode by name (`"on"`, `"off"`;
+/// ASCII-case-insensitive), reporting unknown names with the valid domain
+/// like [`crate::MineError::UnknownAlgorithm`] does.
+pub fn parse_minecache(name: &str) -> Result<bool> {
+    match name.to_ascii_lowercase().as_str() {
+        "on" => Ok(true),
+        "off" => Ok(false),
+        _ => Err(MineError::UnknownMineCacheMode {
             name: name.to_string(),
         }),
     }

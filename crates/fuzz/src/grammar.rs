@@ -640,18 +640,22 @@ impl Gen<'_> {
 
     // ---- MINE RULE statements ------------------------------------------
 
-    /// Emit a mine statement, plus (sometimes) a refinement rerun of the
-    /// same statement — identical or with tightened thresholds — which
-    /// exercises the preprocess-cache hit path under every knob mix.
+    /// Emit a mine statement, plus (sometimes) an interactive-session
+    /// continuation of it: an identical rerun, a tightened- or
+    /// loosened-threshold rerun, or a source-table delta (INSERT/DELETE)
+    /// followed by the same statement again. Together these exercise the
+    /// preprocess-cache hit path and every mined-result cache path —
+    /// plain hit, refine, clean loosened miss and incremental delta
+    /// re-mining — under every knob mix.
     fn gen_mine_ops(&mut self, case: &mut FuzzCase) {
         let out = format!("R{}", self.next_mine);
         self.next_mine += 1;
         let (stmt, support, confidence) = self.gen_mine(&out);
         case.ops.push(Op::Mine(stmt.clone()));
-        match self.rng.gen_below(5) {
+        match self.rng.gen_below(6) {
             0 => case.ops.push(Op::Mine(stmt)), // identical rerun
             1 | 2 => {
-                // Tightened thresholds: the cache's superset rule admits
+                // Tightened thresholds: the caches' superset rules admit
                 // these as warm hits.
                 let s2 = (support * 2.0).min(1.0);
                 let c2 = (confidence + 0.2).min(1.0);
@@ -660,7 +664,61 @@ impl Gen<'_> {
                     &format!("SUPPORT: {s2}, CONFIDENCE: {c2}"),
                 )));
             }
+            3 => {
+                // Loosened support: the mined-result cache must miss
+                // cleanly and re-mine at the lower threshold.
+                let s2 = support / 2.0;
+                case.ops.push(Op::Mine(stmt.replace(
+                    &format!("SUPPORT: {support}, CONFIDENCE: {confidence}"),
+                    &format!("SUPPORT: {s2}, CONFIDENCE: {confidence}"),
+                )));
+            }
+            4 => {
+                // Source delta, then the same statement again: exercises
+                // incremental delta re-mining (and its full-mine
+                // fallbacks) against the cold baseline.
+                let dml = self.gen_delta_dml();
+                case.ops.push(Op::Dml(dml));
+                case.ops.push(Op::Mine(stmt));
+            }
             _ => {}
+        }
+    }
+
+    /// A tracked source mutation for the delta-rerun pattern: an INSERT
+    /// into an existing or fresh group, or a row-level DELETE. (UPDATEs
+    /// are generated elsewhere; they break the table's change window and
+    /// exercise the full-mine fallback via the ordinary DML pool.)
+    fn gen_delta_dml(&mut self) -> String {
+        let item = self.rng.gen_range_u32(0, self.items);
+        match self.rng.gen_below(3) {
+            0 => {
+                // Grow an existing transaction's range.
+                let c = self.rng.gen_range_u32(0, self.customers);
+                let d = self.rng.gen_below(3);
+                format!(
+                    "INSERT INTO Purchase VALUES ({}, 'c{c}', 'it{item}', \
+                     DATE '1995-03-{:02}', {}, {})",
+                    (c * 10 + d as u32) as i64,
+                    d + 1,
+                    price_of(item),
+                    1 + self.rng.gen_below(3)
+                )
+            }
+            1 => {
+                // A whole new group.
+                let c = self.rng.gen_range_u32(0, self.customers);
+                format!(
+                    "INSERT INTO Purchase VALUES ({}, 'c{c}', 'it{item}', \
+                     DATE '1995-03-03', {}, 1)",
+                    500 + self.rng.gen_below(40) as i64,
+                    price_of(item),
+                )
+            }
+            _ => format!(
+                "DELETE FROM Purchase WHERE item = 'it{item}' AND tr = {}",
+                self.rng.gen_below(40)
+            ),
         }
     }
 
@@ -795,33 +853,58 @@ mod tests {
     #[test]
     fn generated_cases_cover_statement_classes() {
         // Over many cases the grammar must hit clustering, mining
-        // conditions, group HAVING, cross-schema heads, and reruns.
+        // conditions, group HAVING, cross-schema heads, and all rerun
+        // flavours: plain/tightened, loosened support, and a source
+        // delta followed by the same statement.
         let cfg = GenConfig::default();
         let (mut cluster, mut mining, mut having, mut cross, mut rerun) = (0, 0, 0, 0, 0);
+        let (mut loosened, mut delta) = (0, 0);
+        let support_of = |s: &str| {
+            s.split("SUPPORT: ")
+                .nth(1)
+                .unwrap()
+                .split(',')
+                .next()
+                .unwrap()
+                .parse::<f64>()
+                .unwrap()
+        };
         for i in 0..200 {
             let case = gen_case(1, i, &cfg);
             let mut prev: Option<&str> = None;
+            let mut dml_between = false;
             for op in &case.ops {
-                if let Op::Mine(text) = op {
-                    if text.contains("CLUSTER BY") {
-                        cluster += 1;
-                    }
-                    if text.contains("AS HEAD, SUPPORT") && text.contains("WHERE BODY.") {
-                        mining += 1;
-                    }
-                    if text.contains("HAVING COUNT") {
-                        having += 1;
-                    }
-                    if text.contains("qty AS HEAD") || text.contains("qty AS BODY") {
-                        cross += 1;
-                    }
-                    if let Some(p) = prev {
-                        let stem = |s: &str| s.split(" EXTRACTING").next().unwrap().to_string();
-                        if stem(p) == stem(text) {
-                            rerun += 1;
+                match op {
+                    Op::Mine(text) => {
+                        if text.contains("CLUSTER BY") {
+                            cluster += 1;
                         }
+                        if text.contains("AS HEAD, SUPPORT") && text.contains("WHERE BODY.") {
+                            mining += 1;
+                        }
+                        if text.contains("HAVING COUNT") {
+                            having += 1;
+                        }
+                        if text.contains("qty AS HEAD") || text.contains("qty AS BODY") {
+                            cross += 1;
+                        }
+                        if let Some(p) = prev {
+                            let stem = |s: &str| s.split(" EXTRACTING").next().unwrap().to_string();
+                            if stem(p) == stem(text) {
+                                rerun += 1;
+                                if dml_between {
+                                    delta += 1;
+                                }
+                                if support_of(text) < support_of(p) {
+                                    loosened += 1;
+                                }
+                            }
+                        }
+                        prev = Some(text);
+                        dml_between = false;
                     }
-                    prev = Some(text);
+                    Op::Dml(_) => dml_between = true,
+                    _ => {}
                 }
             }
         }
@@ -830,6 +913,8 @@ mod tests {
         assert!(having > 10, "group HAVING: {having}");
         assert!(cross > 10, "cross-schema heads: {cross}");
         assert!(rerun > 10, "refinement reruns: {rerun}");
+        assert!(loosened > 10, "loosened-threshold reruns: {loosened}");
+        assert!(delta > 10, "delta-then-repeat mines: {delta}");
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub struct Config {
     pub gidset: GidSetRepr,
     pub workers: usize,
     pub preprocache: bool,
+    pub minecache: bool,
     pub storage: StorageBackend,
     pub planner: PlannerMode,
 }
@@ -44,7 +45,7 @@ pub struct Config {
 impl Config {
     /// The pinned comparison baseline: the least clever point of the
     /// matrix — interpreted expressions, no indexes, list gid-sets, one
-    /// worker, no cache, memory storage, naive planning.
+    /// worker, no caches, memory storage, naive planning.
     pub fn baseline() -> Config {
         Config {
             sqlexec: SqlExec::Interpreted,
@@ -52,6 +53,7 @@ impl Config {
             gidset: GidSetRepr::List,
             workers: 1,
             preprocache: false,
+            minecache: false,
             storage: StorageBackend::Memory,
             planner: PlannerMode::Naive,
         }
@@ -60,12 +62,13 @@ impl Config {
     /// Human-readable knob listing, also used in repro headers.
     pub fn label(&self) -> String {
         format!(
-            "sqlexec={} indexes={} gidset={} workers={} preprocache={} storage={} planner={}",
+            "sqlexec={} indexes={} gidset={} workers={} preprocache={} minecache={} storage={} planner={}",
             sqlexec_name(self.sqlexec),
             indexes_name(self.indexes),
             gidset_name(self.gidset),
             self.workers,
             if self.preprocache { "on" } else { "off" },
+            if self.minecache { "on" } else { "off" },
             storage_name(self.storage),
             self.planner.name(),
         )
@@ -76,11 +79,12 @@ impl Config {
     /// `core.shards.run`).
     fn worker_group_key(&self) -> String {
         format!(
-            "sqlexec={} indexes={} gidset={} preprocache={} storage={} planner={}",
+            "sqlexec={} indexes={} gidset={} preprocache={} minecache={} storage={} planner={}",
             sqlexec_name(self.sqlexec),
             indexes_name(self.indexes),
             gidset_name(self.gidset),
             if self.preprocache { "on" } else { "off" },
+            if self.minecache { "on" } else { "off" },
             storage_name(self.storage),
             self.planner.name(),
         )
@@ -89,12 +93,13 @@ impl Config {
     /// Short filesystem-safe slug for per-config scratch directories.
     fn slug(&self) -> String {
         format!(
-            "{}_{}_{}_w{}_{}_{}_{}",
+            "{}_{}_{}_w{}_{}_{}_{}_{}",
             sqlexec_name(self.sqlexec),
             indexes_name(self.indexes),
             gidset_name(self.gidset),
             self.workers,
             if self.preprocache { "c1" } else { "c0" },
+            if self.minecache { "m1" } else { "m0" },
             storage_name(self.storage),
             self.planner.name(),
         )
@@ -135,9 +140,9 @@ fn storage_name(s: StorageBackend) -> &'static str {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Matrix {
     /// One configuration per axis value plus two kitchen-sink mixes
-    /// (11 configurations) — the per-`cargo test` corpus budget.
+    /// (12 configurations) — the per-`cargo test` corpus budget.
     Quick,
-    /// The full cross-product: 2 × 2 × 3 × 3 × 2 × 2 × 2 = 288
+    /// The full cross-product: 2 × 2 × 3 × 3 × 2 × 2 × 2 × 2 = 576
     /// configurations — the fuzzing budget.
     Full,
 }
@@ -180,6 +185,10 @@ impl Matrix {
                     ..base
                 });
                 out.push(Config {
+                    minecache: true,
+                    ..base
+                });
+                out.push(Config {
                     storage: StorageBackend::Paged,
                     ..base
                 });
@@ -193,6 +202,7 @@ impl Matrix {
                     gidset: GidSetRepr::Auto,
                     workers: 4,
                     preprocache: true,
+                    minecache: true,
                     storage: StorageBackend::Paged,
                     planner: PlannerMode::Cost,
                 });
@@ -202,6 +212,7 @@ impl Matrix {
                     gidset: GidSetRepr::Bitset,
                     workers: 2,
                     preprocache: true,
+                    minecache: true,
                     storage: StorageBackend::Memory,
                     planner: PlannerMode::Cost,
                 });
@@ -214,19 +225,24 @@ impl Matrix {
                         for gidset in [GidSetRepr::List, GidSetRepr::Bitset, GidSetRepr::Auto] {
                             for workers in [1usize, 2, 4] {
                                 for preprocache in [false, true] {
-                                    for storage in [StorageBackend::Memory, StorageBackend::Paged] {
-                                        for planner in [PlannerMode::Naive, PlannerMode::Cost] {
-                                            let c = Config {
-                                                sqlexec,
-                                                indexes,
-                                                gidset,
-                                                workers,
-                                                preprocache,
-                                                storage,
-                                                planner,
-                                            };
-                                            if c != base {
-                                                out.push(c);
+                                    for minecache in [false, true] {
+                                        for storage in
+                                            [StorageBackend::Memory, StorageBackend::Paged]
+                                        {
+                                            for planner in [PlannerMode::Naive, PlannerMode::Cost] {
+                                                let c = Config {
+                                                    sqlexec,
+                                                    indexes,
+                                                    gidset,
+                                                    workers,
+                                                    preprocache,
+                                                    minecache,
+                                                    storage,
+                                                    planner,
+                                                };
+                                                if c != base {
+                                                    out.push(c);
+                                                }
                                             }
                                         }
                                     }
@@ -442,6 +458,7 @@ fn run_config(
         .with_gidset(config.gidset)
         .with_sqlexec(config.sqlexec)
         .with_preprocache(config.preprocache)
+        .with_minecache(config.minecache)
         .with_planner(config.planner);
 
     // Setup script: outcome slot 0.
@@ -738,7 +755,7 @@ mod tests {
     #[test]
     fn full_matrix_is_the_cross_product() {
         let configs = Matrix::Full.configs();
-        assert_eq!(configs.len(), 2 * 2 * 3 * 3 * 2 * 2 * 2);
+        assert_eq!(configs.len(), 2 * 2 * 3 * 3 * 2 * 2 * 2 * 2);
         assert_eq!(configs[0], Config::baseline());
         let labels: std::collections::BTreeSet<String> =
             configs.iter().map(|c| c.label()).collect();
@@ -757,6 +774,7 @@ mod tests {
             "gidset=auto",
             "workers=4",
             "preprocache=on",
+            "minecache=on",
             "storage=paged",
             "planner=cost",
         ] {

@@ -521,27 +521,18 @@ impl Database {
 
     fn run_delete(&mut self, table: &str, pred: Option<&Expr>) -> Result<ExecOutcome> {
         let schema = self.catalog.table(table)?.schema().clone();
-        // Take all rows out so we can evaluate the predicate with &mut self.
-        let rows: Vec<Row> = {
-            let t = self.catalog.table_mut(table)?;
-            let all = t.rows().to_vec();
-            t.truncate();
-            all
-        };
-        let mut kept = Vec::with_capacity(rows.len());
-        let mut removed = 0;
-        for row in rows {
-            let matches = match pred {
+        // Evaluate the predicate over a snapshot (needs &mut self for
+        // subqueries), then remove in one masked mutation so the table's
+        // change log records exactly the deleted rows.
+        let rows: Vec<Row> = self.catalog.table(table)?.rows().to_vec();
+        let mut mask = Vec::with_capacity(rows.len());
+        for row in &rows {
+            mask.push(match pred {
                 None => true,
-                Some(p) => eval_expr(p, &schema, &row, self)?.is_true(),
-            };
-            if matches {
-                removed += 1;
-            } else {
-                kept.push(row);
-            }
+                Some(p) => eval_expr(p, &schema, row, self)?.is_true(),
+            });
         }
-        self.catalog.table_mut(table)?.insert_all(kept)?;
+        let removed = self.catalog.table_mut(table)?.delete_mask(&mask);
         Ok(ExecOutcome {
             rows_affected: removed,
             result: None,

@@ -58,6 +58,6 @@ pub use resultset::ResultSet;
 pub use row::Row;
 pub use stats::TableStats;
 pub use storage::{StorageBackend, StorageConfig, StorageStats, WalFault, WalFaultKind};
-pub use table::Table;
+pub use table::{Table, TableDelta};
 pub use types::{Column, DataType, Schema};
 pub use value::{Date, Value};

@@ -18,6 +18,45 @@ fn next_version() -> u64 {
     NEXT_VERSION.fetch_add(1, Ordering::Relaxed)
 }
 
+/// Maximum rows the per-table change log retains across all records.
+/// Beyond this the log rebases to the current version: bulk loads stay
+/// cheap, while the small INSERT/DELETE deltas of an interactive mining
+/// session (the mined-result cache's re-mining path) remain replayable.
+const CHANGE_LOG_ROWS: usize = 4096;
+
+/// The row-level difference between two version stamps of one table, as
+/// reported by [`Table::changes_since`]: every row inserted and every row
+/// deleted, in mutation order. Rows are physical — a row inserted and
+/// later deleted inside the window appears in both lists.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TableDelta {
+    pub inserted: Vec<Row>,
+    pub deleted: Vec<Row>,
+}
+
+impl TableDelta {
+    /// Total rows in the delta (inserted + deleted).
+    pub fn row_count(&self) -> usize {
+        self.inserted.len() + self.deleted.len()
+    }
+
+    /// True when the window saw no row changes.
+    pub fn is_empty(&self) -> bool {
+        self.inserted.is_empty() && self.deleted.is_empty()
+    }
+}
+
+/// One logged mutation: the version it produced plus the rows it moved.
+/// `tracked` is false for mutations whose row-level effect is not logged
+/// (UPDATE's rewrite, TRUNCATE); a window crossing one yields no delta.
+#[derive(Debug, Clone)]
+struct ChangeRecord {
+    version: u64,
+    inserted: Vec<Row>,
+    deleted: Vec<Row>,
+    tracked: bool,
+}
+
 /// A materialised table: a schema plus row storage.
 ///
 /// Storage is a plain `Vec<Row>`; the engine targets the working-set sizes
@@ -30,6 +69,11 @@ pub struct Table {
     rows: Vec<Row>,
     version: u64,
     stats: TableStats,
+    /// Row-level mutation log, oldest first. Applies on top of
+    /// `change_base`; bounded by `CHANGE_LOG_ROWS` total rows.
+    changes: Vec<ChangeRecord>,
+    /// The version the oldest retained change record applies on top of.
+    change_base: u64,
 }
 
 impl Table {
@@ -42,8 +86,11 @@ impl Table {
             rows: Vec::new(),
             version: next_version(),
             stats,
+            changes: Vec::new(),
+            change_base: 0,
         };
         t.stats.stamp(t.version);
+        t.change_base = t.version;
         t
     }
 
@@ -103,9 +150,15 @@ impl Table {
             }
         }
         self.stats.observe_row(&row);
-        self.rows.push(row);
+        self.rows.push(row.clone());
         self.version = next_version();
         self.stats.stamp(self.version);
+        self.log_change(ChangeRecord {
+            version: self.version,
+            inserted: vec![row],
+            deleted: Vec::new(),
+            tracked: true,
+        });
         Ok(())
     }
 
@@ -120,14 +173,38 @@ impl Table {
     }
 
     /// Remove all rows matching the predicate; returns how many were removed.
-    pub fn delete_where(&mut self, mut pred: impl FnMut(&Row) -> bool) -> usize {
-        let before = self.rows.len();
-        self.rows.retain(|r| !pred(r));
+    pub fn delete_where(&mut self, pred: impl FnMut(&Row) -> bool) -> usize {
+        let mask: Vec<bool> = self.rows.iter().map(pred).collect();
+        self.delete_mask(&mask)
+    }
+
+    /// Remove every row whose mask position is true; returns how many were
+    /// removed. Positions beyond the mask are kept. This is the DELETE
+    /// primitive: removed rows enter the change log, so a consumer holding
+    /// an older version stamp can replay the delta.
+    pub fn delete_mask(&mut self, mask: &[bool]) -> usize {
+        let mut deleted = Vec::new();
+        let mut kept = Vec::with_capacity(self.rows.len());
+        for (i, row) in self.rows.drain(..).enumerate() {
+            if mask.get(i).copied().unwrap_or(false) {
+                deleted.push(row);
+            } else {
+                kept.push(row);
+            }
+        }
+        self.rows = kept;
         // Distinct sketches cannot subtract: rebuild over the survivors.
         self.stats.rebuild(&self.rows);
         self.version = next_version();
         self.stats.stamp(self.version);
-        before - self.rows.len()
+        let removed = deleted.len();
+        self.log_change(ChangeRecord {
+            version: self.version,
+            inserted: Vec::new(),
+            deleted,
+            tracked: true,
+        });
+        removed
     }
 
     /// Drop every row.
@@ -136,6 +213,53 @@ impl Table {
         self.stats.reset();
         self.version = next_version();
         self.stats.stamp(self.version);
+        self.log_change(ChangeRecord {
+            version: self.version,
+            inserted: Vec::new(),
+            deleted: Vec::new(),
+            tracked: false,
+        });
+    }
+
+    /// Append a mutation record, rebasing the log when its retained row
+    /// total exceeds [`CHANGE_LOG_ROWS`] (old windows become unanswerable;
+    /// new ones start from the current version).
+    fn log_change(&mut self, record: ChangeRecord) {
+        self.changes.push(record);
+        let rows: usize = self
+            .changes
+            .iter()
+            .map(|c| c.inserted.len() + c.deleted.len())
+            .sum();
+        if rows > CHANGE_LOG_ROWS {
+            self.changes.clear();
+            self.change_base = self.version;
+        }
+    }
+
+    /// The row-level delta between `version` and the table's current
+    /// state, or `None` when it cannot be reconstructed: the stamp is not
+    /// one this table's retained log starts from, the window fell off the
+    /// bounded log, or it crosses an untracked mutation (UPDATE/TRUNCATE).
+    /// `Some(delta)` is exact: applying it to the `version` snapshot
+    /// yields the current rows.
+    pub fn changes_since(&self, version: u64) -> Option<TableDelta> {
+        if version == self.version {
+            return Some(TableDelta::default());
+        }
+        // The stamp must be a state the retained log applies on top of.
+        if version != self.change_base && !self.changes.iter().any(|c| c.version == version) {
+            return None;
+        }
+        let mut delta = TableDelta::default();
+        for record in self.changes.iter().filter(|c| c.version > version) {
+            if !record.tracked {
+                return None;
+            }
+            delta.inserted.extend(record.inserted.iter().cloned());
+            delta.deleted.extend(record.deleted.iter().cloned());
+        }
+        Some(delta)
     }
 }
 
@@ -220,6 +344,67 @@ mod tests {
         assert_eq!(table.stats().row_count(), 0);
         assert_eq!(table.stats().distinct(1), Some(0));
         assert_eq!(table.stats().as_of_version(), table.version());
+    }
+
+    #[test]
+    fn changes_since_replays_inserts_and_deletes() {
+        let mut table = t();
+        table.insert(row![1, "x"]).unwrap();
+        let v0 = table.version();
+        table.insert(row![2, "y"]).unwrap();
+        table.insert(row![3, "z"]).unwrap();
+        table.delete_where(|r| r[0] == Value::Int(1));
+        let delta = table.changes_since(v0).expect("window is tracked");
+        assert_eq!(delta.inserted, vec![row![2, "y"], row![3, "z"]]);
+        assert_eq!(delta.deleted, vec![row![1, "x"]]);
+        assert_eq!(delta.row_count(), 3);
+        // The current stamp always yields an empty delta.
+        assert_eq!(
+            table.changes_since(table.version()),
+            Some(TableDelta::default())
+        );
+    }
+
+    #[test]
+    fn changes_since_rejects_alien_and_pre_log_versions() {
+        let mut table = t();
+        table.insert(row![1, "x"]).unwrap();
+        assert!(
+            table.changes_since(0).is_none(),
+            "never a stamp of this table"
+        );
+        assert!(
+            table.changes_since(table.version() + 1_000_000).is_none(),
+            "future stamps are alien"
+        );
+    }
+
+    #[test]
+    fn truncate_breaks_the_change_window() {
+        let mut table = t();
+        let v0 = table.version();
+        table.insert(row![1, "x"]).unwrap();
+        table.truncate();
+        table.insert(row![2, "y"]).unwrap();
+        assert!(
+            table.changes_since(v0).is_none(),
+            "windows crossing an untracked mutation yield no delta"
+        );
+    }
+
+    #[test]
+    fn change_log_rebases_beyond_capacity() {
+        let mut table = t();
+        let v0 = table.version();
+        for i in 0..(CHANGE_LOG_ROWS as i64 + 10) {
+            table.insert(row![i, "x"]).unwrap();
+        }
+        assert!(table.changes_since(v0).is_none(), "window fell off the log");
+        // Small deltas on top of the rebased log are replayable again.
+        let v1 = table.version();
+        table.insert(row![-1, "y"]).unwrap();
+        let delta = table.changes_since(v1).expect("fresh window after rebase");
+        assert_eq!(delta.inserted, vec![row![-1, "y"]]);
     }
 
     #[test]

@@ -1,8 +1,9 @@
-//! The preprocess-cache / index-policy agreement contract: every
-//! combination of worker count × preprocess cache × index policy mines
+//! The cache agreement contract: every combination of worker count ×
+//! preprocess cache × mined-result cache × index policy mines
 //! bit-identical rules — including warm (cache-hit) runs after a
-//! threshold-only refinement, and runs after a source-table mutation
-//! (which must *never* serve stale artifacts).
+//! threshold-only refinement, incremental re-mines after a source-table
+//! delta, and runs after a source-table mutation (which must *never*
+//! serve stale artifacts).
 
 use minerule::paper_example::{purchase_db, FILTERED_ORDERED_SETS};
 use minerule::{DecodedRule, MineRuleEngine};
@@ -197,6 +198,183 @@ fn looser_threshold_refinement_misses_but_agrees() {
         .execute(&mut purchase_db(), &by_tr(0.25))
         .unwrap();
     assert_eq!(signature(&loose.rules), signature(&reference.rules));
+}
+
+// ---- mined-result cache ------------------------------------------------
+
+/// A simple-class statement over `tr` (4 groups), so support thresholds
+/// 0.25 / 0.5 map to distinct `:mingroups` (1 vs 2) and loosening is a
+/// genuine mined-result cache miss.
+fn tr_mine(support: f64, confidence: f64) -> String {
+    format!(
+        "MINE RULE TrCached AS SELECT DISTINCT item AS BODY, item AS HEAD, \
+         SUPPORT, CONFIDENCE FROM Purchase GROUP BY tr \
+         EXTRACTING RULES WITH SUPPORT: {support}, CONFIDENCE: {confidence}"
+    )
+}
+
+const DELTA_INSERT: &str =
+    "INSERT INTO Purchase VALUES (9, 'c9', 'col_shirts', DATE '1997-01-08', 25, 1)";
+
+/// Counters that prove the core operator ran (or did not).
+fn core_work(snapshot: &minerule::telemetry::MetricsSnapshot) -> Vec<(String, u64)> {
+    snapshot
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("core.level.") || name.starts_with("core.path."))
+        .map(|(name, value)| (name.clone(), *value))
+        .collect()
+}
+
+/// The tentpole sequence — cold mine, loosen (clean miss + recapture),
+/// tighten support (refine), tighten confidence (refine), source delta
+/// (incremental re-mine) — must stay bit-identical to a cold mine at
+/// every stage, for every worker count, with the cache on or off. Warm
+/// stages must do zero core-operator work.
+#[test]
+fn mined_result_refinement_sequence_agrees_across_workers() {
+    // (mutation applied before the mine, support, confidence, warm?)
+    let stages: [(Option<&str>, f64, f64, bool); 5] = [
+        (None, 0.5, 0.4, false),               // cold capture
+        (None, 0.25, 0.1, false),              // loosened support: clean miss
+        (None, 0.5, 0.1, true),                // tightened support: refine
+        (None, 0.5, 0.7, true),                // tightened confidence: refine
+        (Some(DELTA_INSERT), 0.25, 0.1, true), // delta: incremental re-mine
+    ];
+    for workers in WORKERS {
+        for minecache in CACHE {
+            let label = format!("workers={workers} minecache={minecache}");
+            let mut db = purchase_db();
+            let engine = MineRuleEngine::new()
+                .with_workers(workers)
+                .with_minecache(minecache);
+            let mut mutations: Vec<&str> = Vec::new();
+            for (stage, (mutation, support, confidence, warm)) in stages.iter().enumerate() {
+                if let Some(dml) = mutation {
+                    db.execute(dml).unwrap();
+                    mutations.push(dml);
+                }
+                let before = core_work(&engine.metrics_snapshot());
+                let run = engine
+                    .execute(&mut db, &tr_mine(*support, *confidence))
+                    .unwrap();
+                let after = core_work(&engine.metrics_snapshot());
+                if minecache && *warm {
+                    assert_eq!(
+                        before, after,
+                        "{label} stage {stage}: warm serve must skip the core operator"
+                    );
+                } else {
+                    assert_ne!(
+                        before, after,
+                        "{label} stage {stage}: cold stage must run the core operator"
+                    );
+                }
+
+                // Reference: a cold engine over a fresh, equally-mutated db.
+                let mut fresh = purchase_db();
+                for dml in &mutations {
+                    fresh.execute(dml).unwrap();
+                }
+                let reference = MineRuleEngine::new()
+                    .with_preprocache(false)
+                    .with_minecache(false)
+                    .execute(&mut fresh, &tr_mine(*support, *confidence))
+                    .unwrap();
+                assert!(!reference.rules.is_empty(), "{label} stage {stage}");
+                assert_eq!(
+                    signature(&run.rules),
+                    signature(&reference.rules),
+                    "{label} stage {stage}: rules diverge from a cold mine"
+                );
+            }
+            let snapshot = engine.metrics_snapshot();
+            if minecache {
+                assert_eq!(snapshot.counter("core.minecache.miss"), 2, "{label}");
+                assert_eq!(snapshot.counter("core.minecache.hit"), 3, "{label}");
+                assert_eq!(snapshot.counter("core.minecache.refine"), 2, "{label}");
+                assert_eq!(snapshot.counter("core.minecache.delta"), 1, "{label}");
+            } else {
+                for name in [
+                    "core.minecache.miss",
+                    "core.minecache.hit",
+                    "core.minecache.refine",
+                    "core.minecache.delta",
+                ] {
+                    assert_eq!(snapshot.counter(name), 0, "{label}: {name}");
+                }
+            }
+        }
+    }
+}
+
+/// Overflowing the bounded store evicts the oldest entry; a rerun of the
+/// evicted statement is a clean miss that still agrees with a cold mine.
+#[test]
+fn mined_result_eviction_recaptures_and_agrees() {
+    // The cache fingerprint ignores thresholds and the output name, so
+    // distinct entries need distinct source fragments: vary GROUP BY.
+    const GROUPINGS: [&str; 9] = [
+        "tr",
+        "customer",
+        "date",
+        "price",
+        "qty",
+        "tr, customer",
+        "tr, date",
+        "customer, date",
+        "tr, price",
+    ];
+    fn named(group_by: &str) -> String {
+        format!(
+            "MINE RULE Evict AS SELECT DISTINCT item AS BODY, item AS HEAD, \
+             SUPPORT, CONFIDENCE FROM Purchase GROUP BY {group_by} \
+             EXTRACTING RULES WITH SUPPORT: 0.25, CONFIDENCE: 0.1"
+        )
+    }
+    let mut db = purchase_db();
+    let engine = MineRuleEngine::new().with_minecache(true);
+    // Nine distinct statements against an 8-entry store: the first one
+    // is evicted by the time the ninth lands.
+    for group_by in GROUPINGS {
+        engine.execute(&mut db, &named(group_by)).unwrap();
+    }
+    let snapshot = engine.metrics_snapshot();
+    assert!(snapshot.counter("core.minecache.evict") >= 1);
+    assert_eq!(snapshot.counter("core.minecache.hit"), 0);
+
+    let rerun = engine.execute(&mut db, &named("tr")).unwrap();
+    let snapshot = engine.metrics_snapshot();
+    assert_eq!(
+        snapshot.counter("core.minecache.miss"),
+        10,
+        "the evicted statement must miss, not serve stale results"
+    );
+    let reference = MineRuleEngine::new()
+        .with_preprocache(false)
+        .with_minecache(false)
+        .execute(&mut purchase_db(), &named("tr"))
+        .unwrap();
+    assert_eq!(signature(&rerun.rules), signature(&reference.rules));
+}
+
+/// The two caches are independent: a general-class rerun is a preprocess
+/// cache *hit* that still feeds a mined-result cache *miss* (the result
+/// cache only captures the simple fused-pass shape).
+#[test]
+fn preprocess_hit_feeds_mined_result_miss() {
+    let mut db = purchase_db();
+    let engine = MineRuleEngine::new()
+        .with_preprocache(true)
+        .with_minecache(true);
+    let first = engine.execute(&mut db, FILTERED_ORDERED_SETS).unwrap();
+    let second = engine.execute(&mut db, FILTERED_ORDERED_SETS).unwrap();
+    assert!(second.preprocess_report.executed.is_empty());
+    let snapshot = engine.metrics_snapshot();
+    assert_eq!(snapshot.counter("preprocess.cache.hit"), 1);
+    assert_eq!(snapshot.counter("core.minecache.hit"), 0);
+    assert_eq!(snapshot.counter("core.minecache.miss"), 2);
+    assert_eq!(signature(&first.rules), signature(&second.rules));
 }
 
 #[test]
