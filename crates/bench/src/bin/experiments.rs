@@ -1,6 +1,6 @@
 //! The experiments harness: regenerates every table of EXPERIMENTS.md
 //! (the paper's figures F1–F4 as correctness checks, plus the measurement
-//! experiments E1–E15 its architectural claims imply).
+//! experiments E1–E16 its architectural claims imply).
 //!
 //! Run with: `cargo run --release -p tcdm-bench --bin experiments`
 //!
@@ -132,6 +132,7 @@ fn main() {
     e13_preprocess_cache(&mut report, mode);
     e14_fused_preprocess(&mut report, mode);
     e15_mined_result_cache(&mut report, mode);
+    e16_vectorized_execution(&mut report, mode);
 
     println!("\nall experiments completed.");
 
@@ -563,6 +564,135 @@ fn e15_mined_result_cache(report: &mut Report, mode: Mode) {
          cold mine (gated >=10x); the one-row delta is re-mined \
          incrementally, bit-identical to a cold mine over the mutated \
          snapshot ✓\n"
+    );
+}
+
+/// E16 — vectorized columnar batch execution (`\set exec vector`) vs the
+/// row-at-a-time path. The scan leg runs selective scan+filter shapes
+/// over the quest `Baskets` table — a needle filter, a filtered
+/// DISTINCT, and a filtered wide GROUP BY — where the vector path's
+/// fused scan+filter evaluates the predicate over the base table's rows
+/// *before* cloning them, so dropped rows are never materialised. Rows
+/// must be bit-identical (content and order) and the combined scan-leg
+/// speedup is gated at >=2x at full size. The mining leg re-runs the
+/// E14-style simple-class workload under both exec modes: bit-identical
+/// rules, with `relational.vector.*` counters minted only by the vector
+/// run.
+fn e16_vectorized_execution(report: &mut Report, mode: Mode) {
+    use relational::ExecMode;
+
+    println!("## E16 — vectorized batch execution vs row-at-a-time\n");
+    let n = mode.size(1000, 20000);
+
+    let queries = [
+        (
+            "needle",
+            "SELECT COUNT(*) FROM Baskets WHERE tr % 1000 = 500",
+        ),
+        (
+            "distinct",
+            "SELECT DISTINCT item FROM Baskets WHERE tr % 10 = 0",
+        ),
+        (
+            "group",
+            "SELECT tr, COUNT(*) FROM Baskets WHERE tr % 7 = 0 GROUP BY tr",
+        ),
+    ];
+    println!("| query | rows | row (ms) | vector (ms) | speedup |");
+    println!("|---|---|---|---|---|");
+    let mut row_total = Duration::ZERO;
+    let mut vector_total = Duration::ZERO;
+    let mut result_rows = 0u64;
+    for (name, sql) in queries {
+        let mut legs = Vec::new();
+        for exec in [ExecMode::Row, ExecMode::Vector] {
+            let mut db = quest_db(n, 55);
+            db.set_exec(exec);
+            // The timing gate below needs more than quick mode's single
+            // shot: always take the best of three.
+            let (t, rs) = best_of(3, || db.query(sql).unwrap());
+            legs.push((t, rs.rows().len(), format!("{:?}", rs.rows())));
+        }
+        let ((row, rows, row_rows), (vector, _, vector_rows)) = (&legs[0], &legs[1]);
+        assert_eq!(
+            vector_rows, row_rows,
+            "{name}: vector rows or order drifted from the row path"
+        );
+        result_rows += *rows as u64;
+        println!(
+            "| {name} | {rows} | {} | {} | {:.2}x |",
+            ms(*row),
+            ms(*vector),
+            row.as_secs_f64() / vector.as_secs_f64()
+        );
+        row_total += *row;
+        vector_total += *vector;
+    }
+    let speedup = row_total.as_secs_f64() / vector_total.as_secs_f64();
+    println!(
+        "| total | {result_rows} | {} | {} | {speedup:.2}x |",
+        ms(row_total),
+        ms(vector_total)
+    );
+    if !mode.quick {
+        assert!(
+            speedup >= 2.0,
+            "the vector path must be >=2x faster on the scan suite at full \
+             size ({row_total:?} row vs {vector_total:?} vector)"
+        );
+    }
+    report.case("E16", "scan exec=row", Some(result_rows), row_total);
+    report.case("E16", "scan exec=vector", Some(result_rows), vector_total);
+
+    // Mining leg: the simple-class workload under both exec modes.
+    let statement = simple_statement(0.03, 0.4);
+    let mine_n = mode.size(250, 3000);
+    let mut outs = Vec::new();
+    for exec in [ExecMode::Row, ExecMode::Vector] {
+        let engine = MineRuleEngine::new().with_exec(exec);
+        let (t, out) = best_of(3, || {
+            let mut db = quest_db(mine_n, 23);
+            engine.execute(&mut db, &statement).unwrap()
+        });
+        let minted = engine
+            .metrics_snapshot()
+            .counters
+            .keys()
+            .any(|k| k.starts_with("relational.vector."));
+        assert_eq!(
+            minted,
+            exec == ExecMode::Vector,
+            "vector counters must be minted by the vector run only"
+        );
+        report.case(
+            "E16",
+            format!("mine baskets={mine_n} exec={exec}"),
+            Some(out.rules.len() as u64),
+            t,
+        );
+        println!(
+            "\nmine baskets={mine_n} exec={exec}: total {} ms, {} rules",
+            ms(t),
+            out.rules.len()
+        );
+        outs.push(out);
+    }
+    assert_eq!(
+        outs[0].rules, outs[1].rules,
+        "mining rules drifted between exec modes"
+    );
+    assert_eq!(
+        outs[0].preprocess_report.executed, outs[1].preprocess_report.executed,
+        "per-step preprocess row counts drifted between exec modes"
+    );
+    println!(
+        "\n(bit-identical scan rows and mined rules across exec modes; \
+         scan-leg speedup {speedup:.2}x{})\n",
+        if mode.quick {
+            ""
+        } else {
+            ", gated >=2x at full size"
+        }
     );
 }
 

@@ -45,6 +45,11 @@ pub const KNOBS: &[Knob] = &[
         blurb: "pin SQL expression execution",
     },
     Knob {
+        name: "exec",
+        domain: "vector|row|auto",
+        blurb: "pin batch (vectorized) SQL execution",
+    },
+    Knob {
         name: "preprocache",
         domain: "on|off",
         blurb: "preprocess artifact cache (rules identical either way)",
@@ -179,6 +184,7 @@ impl Session {
             "telemetry" => on_off(self.engine.telemetry_enabled()).to_string(),
             "gidset" => self.engine.core.gidset.to_string(),
             "sqlexec" => self.engine.sqlexec.to_string(),
+            "exec" => self.engine.exec.to_string(),
             "preprocache" => on_off(self.engine.preprocache_enabled()).to_string(),
             "minecache" => on_off(self.engine.minecache_enabled()).to_string(),
             "indexes" => self.db.index_policy().to_string(),
@@ -367,6 +373,24 @@ impl Session {
                     "sqlexec: {} (expression execution: compiled | interpreted | auto; \
                      results are identical for any choice)",
                     self.engine.sqlexec
+                )),
+                (Some("exec"), Some(name)) => match minerule::parse_exec(name) {
+                    // Bad names get the engine's own typed error, shaped
+                    // like the unknown-algorithm / zero-workers cases.
+                    Ok(mode) => {
+                        // Mining runs stamp the database from the engine;
+                        // plain SQL goes straight to the database, so set
+                        // both here.
+                        self.engine.exec = mode;
+                        self.db.set_exec(mode);
+                        Outcome::Output(format!("batch executor set to {mode}"))
+                    }
+                    Err(e) => Outcome::Output(e.to_string()),
+                },
+                (Some("exec"), None) => Outcome::Output(format!(
+                    "exec: {} (batch execution: vector | row | auto; \
+                     results are identical for any choice)",
+                    self.engine.exec
                 )),
                 (Some("preprocache"), Some(name)) => match minerule::parse_preprocache(name) {
                     // Bad names get the engine's own typed error, shaped
@@ -757,6 +781,39 @@ mod tests {
         let mut outputs = Vec::new();
         for mode in ["interpreted", "compiled", "auto"] {
             out(&mut s, &format!("\\set sqlexec {mode}"));
+            let select = out(&mut s, "SELECT COUNT(*) FROM Purchase WHERE price >= 100");
+            let result = out(&mut s, stmt);
+            assert!(result.contains("mined"), "{mode}: {result}");
+            out(&mut s, "DROP TABLE R");
+            outputs.push((select, result));
+        }
+        assert!(outputs.windows(2).all(|w| w[0] == w[1]), "same results");
+    }
+
+    #[test]
+    fn exec_setting() {
+        let mut s = Session::new();
+        assert!(out(&mut s, "\\set exec").contains("exec: auto"));
+        assert!(out(&mut s, "\\set exec vector").contains("batch executor set to vector"));
+        assert!(out(&mut s, "\\set").contains("exec: vector"));
+        // Bad names get the engine's typed error, stating the domain.
+        let bad = out(&mut s, "\\set exec columnar");
+        assert!(bad.contains("unknown exec mode 'columnar'"), "{bad}");
+        assert!(bad.contains("vector, row, auto"), "{bad}");
+        assert!(
+            out(&mut s, "\\set exec").contains("exec: vector"),
+            "unchanged"
+        );
+        // Both plain SQL and mining work under every mode, with identical
+        // results.
+        out(&mut s, "\\demo paper");
+        let stmt =
+            "MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD, SUPPORT, CONFIDENCE \
+             FROM Purchase GROUP BY customer \
+             EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.1";
+        let mut outputs = Vec::new();
+        for mode in ["row", "vector", "auto"] {
+            out(&mut s, &format!("\\set exec {mode}"));
             let select = out(&mut s, "SELECT COUNT(*) FROM Purchase WHERE price >= 100");
             let result = out(&mut s, stmt);
             assert!(result.contains("mined"), "{mode}: {result}");

@@ -26,6 +26,9 @@ pub enum MineError {
     /// An unrecognised SQL execution mode name was configured — a user
     /// configuration error, reported with the valid domain.
     UnknownSqlExec { name: String },
+    /// An unrecognised batch execution mode name was configured — a user
+    /// configuration error, reported with the valid domain.
+    UnknownExecMode { name: String },
     /// An unrecognised preprocess cache mode was configured — a user
     /// configuration error, reported with the valid domain.
     UnknownCacheMode { name: String },
@@ -152,6 +155,10 @@ impl fmt::Display for MineError {
             MineError::UnknownSqlExec { name } => write!(
                 f,
                 "unknown sql execution mode '{name}'; valid choices: compiled, interpreted, auto"
+            ),
+            MineError::UnknownExecMode { name } => write!(
+                f,
+                "unknown exec mode '{name}'; valid choices: vector, row, auto"
             ),
             MineError::UnknownCacheMode { name } => write!(
                 f,

@@ -987,14 +987,39 @@ mod tests {
     }
 
     #[test]
-    fn untracked_mutations_fall_back_to_a_full_mine() {
+    fn update_delta_is_remined_incrementally() {
         let engine = MineRuleEngine::new();
         let mut db = purchase_db();
         engine.execute(&mut db, &stmt_text(0.25, 0.1, "R")).unwrap();
-        // UPDATE rewrites the table wholesale: the change log cannot
-        // replay it, so the rerun must miss — and still be correct.
+        // UPDATE logs as a tracked delete+insert pair, so the rerun is
+        // served through the incremental delta path.
         db.execute("UPDATE Purchase SET price = price + 1 WHERE tr = 1")
             .unwrap();
+        let warm = engine.execute(&mut db, &stmt_text(0.25, 0.1, "R")).unwrap();
+        let snap = engine.metrics_snapshot();
+        assert_eq!(snap.counter("core.minecache.hit"), 1);
+        assert_eq!(snap.counter("core.minecache.delta"), 1);
+        assert_eq!(snap.counter("core.minecache.miss"), 1);
+        assert_eq!(
+            warm.rules,
+            cold_reference(
+                &["UPDATE Purchase SET price = price + 1 WHERE tr = 1"],
+                &stmt_text(0.25, 0.1, "R")
+            )
+        );
+    }
+
+    #[test]
+    fn unreplayable_mutations_fall_back_to_a_full_mine() {
+        let engine = MineRuleEngine::new();
+        let mut db = purchase_db();
+        engine.execute(&mut db, &stmt_text(0.25, 0.1, "R")).unwrap();
+        // Churn past the bounded change log: the cached stamp's window
+        // falls off, so the rerun must miss — and still be correct.
+        let mutations = vec!["INSERT INTO Purchase (SELECT * FROM Purchase)"; 9];
+        for sql in &mutations {
+            db.execute(sql).unwrap();
+        }
         let warm = engine.execute(&mut db, &stmt_text(0.25, 0.1, "R")).unwrap();
         let snap = engine.metrics_snapshot();
         assert_eq!(snap.counter("core.minecache.hit"), 0);
@@ -1002,10 +1027,7 @@ mod tests {
         assert_eq!(snap.counter("core.minecache.miss"), 2);
         assert_eq!(
             warm.rules,
-            cold_reference(
-                &["UPDATE Purchase SET price = price + 1 WHERE tr = 1"],
-                &stmt_text(0.25, 0.1, "R")
-            )
+            cold_reference(&mutations, &stmt_text(0.25, 0.1, "R"))
         );
     }
 

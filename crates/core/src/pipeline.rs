@@ -14,7 +14,9 @@
 
 use std::time::Duration;
 
-use relational::{Database, ExecStats, IndexPolicy, PlannerMode, SqlExec, StorageBackend};
+use relational::{
+    Database, ExecMode, ExecStats, IndexPolicy, PlannerMode, SqlExec, StorageBackend,
+};
 
 use crate::cache::PreprocessCache;
 use crate::core_op::{run_core_with_telemetry, CoreOptions, CoreOutput};
@@ -82,6 +84,12 @@ pub struct MineRuleEngine {
     /// produces bit-identical rules and preprocessing reports; this is a
     /// perf/debugging knob, enforced by `tests/sqlexec_agreement.rs`.
     pub sqlexec: SqlExec,
+    /// How the SQL server executes its hot sites for this engine's runs
+    /// (`auto` — the default — runs a site batch-at-a-time when every
+    /// program it evaluates is vector-safe). Every choice produces
+    /// bit-identical rules and row orders; this is a perf/debugging
+    /// knob, enforced by `tests/vector_agreement.rs`.
+    pub exec: ExecMode,
     /// The storage backend the database is switched to before each run
     /// (`None` — the default — leaves the database on whatever backend
     /// it already uses). Memory and paged mine bit-identical rules; the
@@ -119,6 +127,7 @@ impl Default for MineRuleEngine {
             core: CoreOptions::default(),
             table_prefix: String::new(),
             sqlexec: SqlExec::default(),
+            exec: ExecMode::default(),
             storage: None,
             planner: PlannerMode::default(),
             telemetry: Telemetry::new(),
@@ -169,6 +178,15 @@ impl MineRuleEngine {
     /// Every choice mines the same rules; this is a perf/debugging knob.
     pub fn with_sqlexec(mut self, mode: SqlExec) -> MineRuleEngine {
         self.sqlexec = mode;
+        self
+    }
+
+    /// Pin the SQL server's batch execution mode for every run of this
+    /// engine (`auto` — the default — vectorizes each hot site whose
+    /// programs are all vector-safe). Every choice mines the same rules;
+    /// this is a perf/debugging knob.
+    pub fn with_exec(mut self, mode: ExecMode) -> MineRuleEngine {
+        self.exec = mode;
         self
     }
 
@@ -283,6 +301,7 @@ impl MineRuleEngine {
     pub fn execute(&self, db: &mut Database, text: &str) -> Result<MiningOutcome> {
         self.telemetry.counter_inc("translator.statements");
         db.set_sqlexec(self.sqlexec);
+        db.set_exec(self.exec);
         db.set_planner(self.planner);
         if let Some(backend) = self.storage {
             db.set_storage(backend)?;
@@ -403,6 +422,7 @@ impl MineRuleEngine {
         self.telemetry.counter_inc("translator.statements");
         self.telemetry.counter_inc("preprocess.reused");
         db.set_sqlexec(self.sqlexec);
+        db.set_exec(self.exec);
         db.set_planner(self.planner);
         if let Some(backend) = self.storage {
             db.set_storage(backend)?;
@@ -544,6 +564,26 @@ impl MineRuleEngine {
                 before.planner_est_rows_err,
                 after.planner_est_rows_err,
             ),
+            (
+                "relational.vector.batches",
+                before.vector_batches,
+                after.vector_batches,
+            ),
+            (
+                "relational.vector.rows",
+                before.vector_rows,
+                after.vector_rows,
+            ),
+            (
+                "relational.vector.sel_narrowings",
+                before.vector_sel_narrowings,
+                after.vector_sel_narrowings,
+            ),
+            (
+                "relational.vector.fallback_batches",
+                before.vector_fallback_batches,
+                after.vector_fallback_batches,
+            ),
         ] {
             let delta = after.saturating_sub(before);
             if delta > 0 {
@@ -645,6 +685,15 @@ impl MineRuleEngine {
 /// valid domain like [`crate::MineError::UnknownAlgorithm`] does.
 pub fn parse_sqlexec(name: &str) -> Result<SqlExec> {
     SqlExec::from_name(name).ok_or_else(|| MineError::UnknownSqlExec {
+        name: name.to_string(),
+    })
+}
+
+/// Resolve a batch execution mode by name (`"vector"`, `"row"`,
+/// `"auto"`; ASCII-case-insensitive), reporting unknown names with the
+/// valid domain like [`crate::MineError::UnknownAlgorithm`] does.
+pub fn parse_exec(name: &str) -> Result<ExecMode> {
+    ExecMode::from_name(name).ok_or_else(|| MineError::UnknownExecMode {
         name: name.to_string(),
     })
 }

@@ -15,7 +15,12 @@
 
 use std::collections::HashMap;
 
-use relational::{Column, DataType, Database, PlannerMode, Schema, Table, Value};
+use relational::expr::compile::ExecCounter;
+use relational::expr::eval::QueryCtx;
+use relational::{
+    Column, ColumnBatch, DataType, Database, ExecMode, PlannerMode, Schema, Table, Value,
+    VECTOR_BATCH_ROWS,
+};
 
 use crate::directives::StatementClass;
 use crate::error::{MineError, Result};
@@ -102,6 +107,12 @@ pub fn fusible(translation: &Translation) -> bool {
 /// built directly, drawing Gid/Bid from the same catalog sequences the
 /// SQL program uses. The subsumed intermediates (`ValidGroupsView`,
 /// `DistinctGroupsInBody`) never reach the catalog.
+///
+/// Unless the batch execution mode is pinned to `row`, the scan streams
+/// the source through [`ColumnBatch`]es of [`VECTOR_BATCH_ROWS`] rows —
+/// the same batches the SQL server's vectorized operators use — bumping
+/// the `relational.vector.*` counters; key order and output tables are
+/// identical either way.
 fn run_fused_simple(db: &mut Database, translation: &Translation) -> Result<PreprocessReport> {
     let stmt = &translation.stmt;
     let names = &translation.names;
@@ -127,6 +138,11 @@ fn run_fused_simple(db: &mut Database, translation: &Translation) -> Result<Prep
     let mut body_groups: Vec<std::collections::HashSet<usize>> = Vec::new();
     // Per source row: (group slot, body slot, join-eligible).
     let mut row_slots: Vec<(usize, usize, bool)> = Vec::new();
+    // The scan reads plain columns — always vector-safe — so only an
+    // explicit `row` exec mode forces the row-at-a-time walk.
+    let batched = db.exec_mode() != ExecMode::Row;
+    let mut vector_batches = 0u64;
+    let mut vector_rows = 0u64;
     let (g_cols, b_cols) = {
         let src = &stmt.from[0].name;
         let table = db.catalog().table(src)?;
@@ -145,15 +161,11 @@ fn run_fused_simple(db: &mut Database, translation: &Translation) -> Result<Prep
         let g_cols = resolve(&stmt.group_by)?;
         let b_cols = resolve(&stmt.body.schema)?;
 
-        let key_of = |row: &[Value], cols: &[(usize, DataType)]| -> Vec<Value> {
-            cols.iter().map(|&(i, _)| row[i].clone()).collect()
-        };
         let mut group_slots: HashMap<Vec<Value>, usize> = HashMap::new();
         let mut body_slots: HashMap<Vec<Value>, usize> = HashMap::new();
-        row_slots.reserve(table.row_count());
-        for row in table.rows() {
-            let g_key = key_of(row, &g_cols);
-            let b_key = key_of(row, &b_cols);
+        let rows = table.rows();
+        row_slots.reserve(rows.len());
+        let mut take = |g_key: Vec<Value>, b_key: Vec<Value>| {
             let joinable = !g_key.iter().any(|v| v.is_null()) && !b_key.iter().any(|v| v.is_null());
             let g_slot = match group_slots.get(&g_key) {
                 Some(&s) => s,
@@ -176,9 +188,36 @@ fn run_fused_simple(db: &mut Database, translation: &Translation) -> Result<Prep
             };
             body_groups[b_slot].insert(g_slot);
             row_slots.push((g_slot, b_slot, joinable));
+        };
+        if batched {
+            // Stream the source through column batches: each chunk is
+            // pivoted into typed vectors once, then both key sets gather
+            // from the same batch lane by lane.
+            let key_cols: Vec<usize> = g_cols.iter().chain(&b_cols).map(|&(i, _)| i).collect();
+            for chunk in rows.chunks(VECTOR_BATCH_ROWS) {
+                vector_batches += 1;
+                vector_rows += chunk.len() as u64;
+                let batch = ColumnBatch::from_rows(chunk, &key_cols);
+                for lane in 0..batch.len() {
+                    let g_key = g_cols.iter().map(|&(i, _)| batch.value(i, lane)).collect();
+                    let b_key = b_cols.iter().map(|&(i, _)| batch.value(i, lane)).collect();
+                    take(g_key, b_key);
+                }
+            }
+        } else {
+            let key_of = |row: &[Value], cols: &[(usize, DataType)]| -> Vec<Value> {
+                cols.iter().map(|&(i, _)| row[i].clone()).collect()
+            };
+            for row in rows {
+                take(key_of(row, &g_cols), key_of(row, &b_cols));
+            }
         }
         (g_cols, b_cols)
     };
+    if batched {
+        db.bump(ExecCounter::VectorBatches, vector_batches);
+        db.bump(ExecCounter::VectorRows, vector_rows);
+    }
 
     // Q1 + ComputeMinGroups: bind :totg and :mingroups.
     let total_groups = group_order.len() as u64;

@@ -687,8 +687,8 @@ impl Gen<'_> {
 
     /// A tracked source mutation for the delta-rerun pattern: an INSERT
     /// into an existing or fresh group, or a row-level DELETE. (UPDATEs
-    /// are generated elsewhere; they break the table's change window and
-    /// exercise the full-mine fallback via the ordinary DML pool.)
+    /// are generated by the ordinary DML pool; they log as delete+insert
+    /// pairs and ride the same incremental delta path.)
     fn gen_delta_dml(&mut self) -> String {
         let item = self.rng.gen_range_u32(0, self.items);
         match self.rng.gen_below(3) {

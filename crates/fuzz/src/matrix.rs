@@ -17,7 +17,7 @@ use std::path::{Path, PathBuf};
 use minerule::algo::GidSetRepr;
 use minerule::reference::reference_mine;
 use minerule::{parse_mine_rule, DecodedRule, MineRuleEngine};
-use relational::{Database, IndexPolicy, PlannerMode, SqlExec, StorageBackend};
+use relational::{Database, ExecMode, IndexPolicy, PlannerMode, SqlExec, StorageBackend};
 
 use crate::{FuzzCase, Op};
 
@@ -40,12 +40,14 @@ pub struct Config {
     pub minecache: bool,
     pub storage: StorageBackend,
     pub planner: PlannerMode,
+    pub exec: ExecMode,
 }
 
 impl Config {
     /// The pinned comparison baseline: the least clever point of the
     /// matrix — interpreted expressions, no indexes, list gid-sets, one
-    /// worker, no caches, memory storage, naive planning.
+    /// worker, no caches, memory storage, naive planning, row-at-a-time
+    /// execution.
     pub fn baseline() -> Config {
         Config {
             sqlexec: SqlExec::Interpreted,
@@ -56,13 +58,14 @@ impl Config {
             minecache: false,
             storage: StorageBackend::Memory,
             planner: PlannerMode::Naive,
+            exec: ExecMode::Row,
         }
     }
 
     /// Human-readable knob listing, also used in repro headers.
     pub fn label(&self) -> String {
         format!(
-            "sqlexec={} indexes={} gidset={} workers={} preprocache={} minecache={} storage={} planner={}",
+            "sqlexec={} indexes={} gidset={} workers={} preprocache={} minecache={} storage={} planner={} exec={}",
             sqlexec_name(self.sqlexec),
             indexes_name(self.indexes),
             gidset_name(self.gidset),
@@ -71,6 +74,7 @@ impl Config {
             if self.minecache { "on" } else { "off" },
             storage_name(self.storage),
             self.planner.name(),
+            exec_name(self.exec),
         )
     }
 
@@ -79,7 +83,7 @@ impl Config {
     /// `core.shards.run`).
     fn worker_group_key(&self) -> String {
         format!(
-            "sqlexec={} indexes={} gidset={} preprocache={} minecache={} storage={} planner={}",
+            "sqlexec={} indexes={} gidset={} preprocache={} minecache={} storage={} planner={} exec={}",
             sqlexec_name(self.sqlexec),
             indexes_name(self.indexes),
             gidset_name(self.gidset),
@@ -87,13 +91,14 @@ impl Config {
             if self.minecache { "on" } else { "off" },
             storage_name(self.storage),
             self.planner.name(),
+            exec_name(self.exec),
         )
     }
 
     /// Short filesystem-safe slug for per-config scratch directories.
     fn slug(&self) -> String {
         format!(
-            "{}_{}_{}_w{}_{}_{}_{}_{}",
+            "{}_{}_{}_w{}_{}_{}_{}_{}_{}",
             sqlexec_name(self.sqlexec),
             indexes_name(self.indexes),
             gidset_name(self.gidset),
@@ -102,6 +107,7 @@ impl Config {
             if self.minecache { "m1" } else { "m0" },
             storage_name(self.storage),
             self.planner.name(),
+            exec_name(self.exec),
         )
     }
 }
@@ -136,13 +142,21 @@ fn storage_name(s: StorageBackend) -> &'static str {
     }
 }
 
+fn exec_name(m: ExecMode) -> &'static str {
+    match m {
+        ExecMode::Vector => "vector",
+        ExecMode::Row => "row",
+        ExecMode::Auto => "auto",
+    }
+}
+
 /// Which slice of the cross-product a run covers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Matrix {
     /// One configuration per axis value plus two kitchen-sink mixes
-    /// (12 configurations) — the per-`cargo test` corpus budget.
+    /// (14 configurations) — the per-`cargo test` corpus budget.
     Quick,
-    /// The full cross-product: 2 × 2 × 3 × 3 × 2 × 2 × 2 × 2 = 576
+    /// The full cross-product: 2 × 2 × 3 × 3 × 2 × 2 × 2 × 2 × 2 = 1152
     /// configurations — the fuzzing budget.
     Full,
 }
@@ -197,6 +211,15 @@ impl Matrix {
                     ..base
                 });
                 out.push(Config {
+                    exec: ExecMode::Vector,
+                    ..base
+                });
+                out.push(Config {
+                    sqlexec: SqlExec::Compiled,
+                    exec: ExecMode::Auto,
+                    ..base
+                });
+                out.push(Config {
                     sqlexec: SqlExec::Compiled,
                     indexes: IndexPolicy::Auto,
                     gidset: GidSetRepr::Auto,
@@ -205,6 +228,7 @@ impl Matrix {
                     minecache: true,
                     storage: StorageBackend::Paged,
                     planner: PlannerMode::Cost,
+                    exec: ExecMode::Auto,
                 });
                 out.push(Config {
                     sqlexec: SqlExec::Compiled,
@@ -215,6 +239,7 @@ impl Matrix {
                     minecache: true,
                     storage: StorageBackend::Memory,
                     planner: PlannerMode::Cost,
+                    exec: ExecMode::Vector,
                 });
                 out
             }
@@ -230,18 +255,21 @@ impl Matrix {
                                             [StorageBackend::Memory, StorageBackend::Paged]
                                         {
                                             for planner in [PlannerMode::Naive, PlannerMode::Cost] {
-                                                let c = Config {
-                                                    sqlexec,
-                                                    indexes,
-                                                    gidset,
-                                                    workers,
-                                                    preprocache,
-                                                    minecache,
-                                                    storage,
-                                                    planner,
-                                                };
-                                                if c != base {
-                                                    out.push(c);
+                                                for exec in [ExecMode::Row, ExecMode::Vector] {
+                                                    let c = Config {
+                                                        sqlexec,
+                                                        indexes,
+                                                        gidset,
+                                                        workers,
+                                                        preprocache,
+                                                        minecache,
+                                                        storage,
+                                                        planner,
+                                                        exec,
+                                                    };
+                                                    if c != base {
+                                                        out.push(c);
+                                                    }
                                                 }
                                             }
                                         }
@@ -441,6 +469,7 @@ fn run_config(
     db.set_sqlexec(config.sqlexec);
     db.set_index_policy(config.indexes);
     db.set_planner(config.planner);
+    db.set_exec(config.exec);
     let mut scratch: Option<PathBuf> = None;
     if config.storage == StorageBackend::Paged {
         let dir = work_dir.join(format!("{tag}_{}", config.slug()));
@@ -459,7 +488,8 @@ fn run_config(
         .with_sqlexec(config.sqlexec)
         .with_preprocache(config.preprocache)
         .with_minecache(config.minecache)
-        .with_planner(config.planner);
+        .with_planner(config.planner)
+        .with_exec(config.exec);
 
     // Setup script: outcome slot 0.
     let mut setup = String::from("ok");
@@ -755,7 +785,7 @@ mod tests {
     #[test]
     fn full_matrix_is_the_cross_product() {
         let configs = Matrix::Full.configs();
-        assert_eq!(configs.len(), 2 * 2 * 3 * 3 * 2 * 2 * 2 * 2);
+        assert_eq!(configs.len(), 2 * 2 * 3 * 3 * 2 * 2 * 2 * 2 * 2);
         assert_eq!(configs[0], Config::baseline());
         let labels: std::collections::BTreeSet<String> =
             configs.iter().map(|c| c.label()).collect();
@@ -777,6 +807,8 @@ mod tests {
             "minecache=on",
             "storage=paged",
             "planner=cost",
+            "exec=vector",
+            "exec=auto",
         ] {
             assert!(
                 joined.iter().any(|l| l.contains(needle)),

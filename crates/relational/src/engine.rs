@@ -7,7 +7,7 @@ use std::sync::Arc;
 use crate::catalog::{Catalog, View};
 use crate::error::{Error, Result};
 use crate::exec::run_select;
-use crate::expr::compile::{ExecCounter, SqlExec};
+use crate::expr::compile::{ExecCounter, ExecMode, SqlExec};
 use crate::expr::eval::{eval_expr, QueryCtx};
 use crate::expr::Expr;
 use crate::index::{HashIndex, IndexLookup, IndexPolicy, IndexRegistry};
@@ -50,6 +50,14 @@ pub struct ExecStats {
     pub planner_pushed_filters: u64,
     /// Accumulated |estimated − actual| join output rows (0 under naive).
     pub planner_est_rows_err: u64,
+    /// Column batches evaluated on the vector path (0 under row exec).
+    pub vector_batches: u64,
+    /// Rows streamed through the vector path (0 under row exec).
+    pub vector_rows: u64,
+    /// Conditional jumps that narrowed a batch's selection vector.
+    pub vector_sel_narrowings: u64,
+    /// Batches row-looped under forced vector mode (unsafe programs).
+    pub vector_fallback_batches: u64,
     /// Hash indexes built (lazily, on first use of a key column set).
     pub indexes_built: u64,
     /// Operators served by a live hash index instead of a rebuild.
@@ -98,6 +106,7 @@ pub struct Database {
     vars: HashMap<String, Value>,
     stats: ExecStats,
     sqlexec: SqlExec,
+    exec: ExecMode,
     index_policy: IndexPolicy,
     planner: PlannerMode,
     indexes: IndexRegistry,
@@ -264,6 +273,18 @@ impl Database {
     /// The current expression-execution strategy.
     pub fn sqlexec(&self) -> SqlExec {
         self.sqlexec
+    }
+
+    /// Set the row-flow strategy for subsequent statements: row-at-a-time
+    /// or vectorized column batches (results are bit-identical for every
+    /// choice; see [`ExecMode`]).
+    pub fn set_exec(&mut self, mode: ExecMode) {
+        self.exec = mode;
+    }
+
+    /// The current row-flow strategy.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec
     }
 
     /// Set the access-path policy: whether the engine may build and reuse
@@ -550,32 +571,32 @@ impl Database {
         for (c, _) in assignments {
             idxs.push(schema.resolve(None, c)?);
         }
-        let rows: Vec<Row> = {
-            let t = self.catalog.table_mut(table)?;
-            let all = t.rows().to_vec();
-            t.truncate();
-            all
-        };
-        let mut updated = 0;
-        let mut out = Vec::with_capacity(rows.len());
-        for mut row in rows {
+        // Evaluate predicate and assignments over a snapshot (needs
+        // &mut self for subqueries), then swap the matched rows in one
+        // batch so the change log records the UPDATE as a tracked
+        // delete+insert pair — downstream delta consumers (the mined-
+        // result cache) can replay it instead of refusing the window.
+        let rows: Vec<Row> = self.catalog.table(table)?.rows().to_vec();
+        let mut changes: Vec<(usize, Row)> = Vec::new();
+        for (at, row) in rows.iter().enumerate() {
             let matches = match pred {
                 None => true,
-                Some(p) => eval_expr(p, &schema, &row, self)?.is_true(),
+                Some(p) => eval_expr(p, &schema, row, self)?.is_true(),
             };
-            if matches {
-                let mut new_vals = Vec::with_capacity(assignments.len());
-                for (_, e) in assignments {
-                    new_vals.push(eval_expr(e, &schema, &row, self)?);
-                }
-                for (v, &i) in new_vals.into_iter().zip(&idxs) {
-                    row[i] = v;
-                }
-                updated += 1;
+            if !matches {
+                continue;
             }
-            out.push(row);
+            let mut new_row = row.clone();
+            let mut new_vals = Vec::with_capacity(assignments.len());
+            for (_, e) in assignments {
+                new_vals.push(eval_expr(e, &schema, row, self)?);
+            }
+            for (v, &i) in new_vals.into_iter().zip(&idxs) {
+                new_row[i] = v;
+            }
+            changes.push((at, new_row));
         }
-        self.catalog.table_mut(table)?.insert_all(out)?;
+        let updated = self.catalog.table_mut(table)?.apply_updates(changes)?;
         Ok(ExecOutcome {
             rows_affected: updated,
             result: None,
@@ -604,6 +625,10 @@ impl QueryCtx for Database {
         self.sqlexec
     }
 
+    fn exec(&self) -> ExecMode {
+        self.exec
+    }
+
     fn bump(&mut self, counter: ExecCounter, n: u64) {
         let stats = &mut self.stats;
         match counter {
@@ -617,6 +642,10 @@ impl QueryCtx for Database {
             ExecCounter::PlannerReorderedJoins => stats.planner_reordered_joins += n,
             ExecCounter::PlannerPushedFilters => stats.planner_pushed_filters += n,
             ExecCounter::PlannerEstRowsErr => stats.planner_est_rows_err += n,
+            ExecCounter::VectorBatches => stats.vector_batches += n,
+            ExecCounter::VectorRows => stats.vector_rows += n,
+            ExecCounter::VectorSelNarrowings => stats.vector_sel_narrowings += n,
+            ExecCounter::VectorFallbackBatches => stats.vector_fallback_batches += n,
         }
     }
 

@@ -9,6 +9,8 @@
 use crate::engine::Database;
 use crate::error::Result;
 use crate::exec::join::{conjuncts, resolves_in};
+use crate::expr::compile::ExecMode;
+use crate::expr::vector::expr_vector_safe;
 use crate::expr::{BinOp, Expr};
 use crate::index::IndexPolicy;
 use crate::planner::PlannerMode;
@@ -122,6 +124,24 @@ fn index_label(
         format!("({})", cols.join(","))
     };
     Some(format!("index({}.{})", table.name(), col_part))
+}
+
+/// The batch-execution tag for a site whose expression programs are
+/// `exprs`: `vector` when the executor would run it batch-at-a-time,
+/// `row` otherwise — mirroring [`crate::expr::vector::VectorPlan::plan`]
+/// (under `auto`, vectorize only compiled sites whose programs are all
+/// vector-safe; an explicit `vector` batches even fallback programs).
+fn exec_tag(db: &Database, exprs: &[&Expr]) -> &'static str {
+    let vectorized = match db.exec_mode() {
+        ExecMode::Row => false,
+        ExecMode::Vector => true,
+        ExecMode::Auto => db.sqlexec().use_compiled() && exprs.iter().all(|e| expr_vector_safe(e)),
+    };
+    if vectorized {
+        "vector"
+    } else {
+        "row"
+    }
 }
 
 /// The access path the executor would pick for one equi-join conjunct.
@@ -341,7 +361,11 @@ fn explain_select(db: &Database, stmt: &SelectStmt, indent: usize, out: &mut Str
             };
             if let Some((l, r)) = equi_sides {
                 let path = equi_access_path(db, stmt, &schemas, &pushed, l, r);
-                out.push_str(&format!("{}hash join on: {c} [{path}]", pad(indent + 1)));
+                let tag = exec_tag(db, &[l, r]);
+                out.push_str(&format!(
+                    "{}hash join on: {c} [{path}] [{tag}]",
+                    pad(indent + 1)
+                ));
                 if db.planner_mode() == PlannerMode::Cost {
                     if let Some((est, cost)) = join_estimate(db, stmt, &schemas, l, r) {
                         out.push_str(&format!(" (est {est} rows, cost {cost})"));
@@ -357,8 +381,10 @@ fn explain_select(db: &Database, stmt: &SelectStmt, indent: usize, out: &mut Str
     if !stmt.group_by.is_empty() {
         let keys: Vec<String> = stmt.group_by.iter().map(|e| e.to_string()).collect();
         let path = group_access_path(db, stmt, &schemas);
+        let key_refs: Vec<&Expr> = stmt.group_by.iter().collect();
+        let tag = exec_tag(db, &key_refs);
         out.push_str(&format!(
-            "{}hash aggregate by ({}) [{path}]",
+            "{}hash aggregate by ({}) [{path}] [{tag}]",
             pad(indent + 1),
             keys.join(", ")
         ));
@@ -462,10 +488,16 @@ mod tests {
         db.execute("INSERT INTO u VALUES (1, 7), (2, 8)").unwrap();
         let join = parse_statement("SELECT t.b FROM t, u WHERE t.a = u.a").unwrap();
         let p = explain_statement(&db, &join).unwrap();
-        assert!(p.contains("[index(u.a)] (est 2 rows, cost 6)"), "{p}");
+        assert!(
+            p.contains("[index(u.a)] [vector] (est 2 rows, cost 6)"),
+            "{p}"
+        );
         let group = parse_statement("SELECT b, COUNT(*) FROM t GROUP BY b").unwrap();
         let p = explain_statement(&db, &group).unwrap();
-        assert!(p.contains("[index(t.b)] (est 2 groups of 2 rows)"), "{p}");
+        assert!(
+            p.contains("[index(t.b)] [vector] (est 2 groups of 2 rows)"),
+            "{p}"
+        );
         // The naive planner estimates nothing.
         db.set_planner(PlannerMode::Naive);
         let p = explain_statement(&db, &join).unwrap();
@@ -480,6 +512,25 @@ mod tests {
         let p = explain_statement(&db, &stmt).unwrap();
         assert!(p.contains("hash join on: t.a = u.a [scan]"), "{p}");
         assert!(!p.contains("[index("), "no index paths under off: {p}");
+    }
+
+    #[test]
+    fn exec_tags_follow_the_batch_mode() {
+        let mut db = db();
+        let stmt = parse_statement("SELECT t.b FROM t, u WHERE t.a = u.a GROUP BY t.b").unwrap();
+        // The default (auto + compiled) vectorizes plain-column sites.
+        let p = explain_statement(&db, &stmt).unwrap();
+        assert!(
+            p.contains("hash join on: t.a = u.a [index(u.a)] [vector]"),
+            "{p}"
+        );
+        assert!(p.contains("hash aggregate by (t.b) [scan] [vector]"), "{p}");
+        // Pinning the row path re-tags every site.
+        db.set_exec(ExecMode::Row);
+        let p = explain_statement(&db, &stmt).unwrap();
+        assert!(p.contains("[index(u.a)] [row]"), "{p}");
+        assert!(p.contains("[scan] [row]"), "{p}");
+        assert!(!p.contains("[vector]"), "{p}");
     }
 
     #[test]

@@ -24,6 +24,7 @@ use std::collections::HashMap;
 use crate::error::Result;
 use crate::expr::compile::{ExecCounter, SiteEval};
 use crate::expr::eval::QueryCtx;
+use crate::expr::vector::VectorPlan;
 use crate::expr::{BinOp, Expr};
 use crate::planner::PlannerMode;
 use crate::row::Row;
@@ -144,8 +145,22 @@ fn as_equi<'a>(expr: &'a Expr) -> Option<EquiPred<'a>> {
 pub fn filter_relation(rel: &mut Relation, pred: &Expr, ctx: &mut dyn QueryCtx) -> Result<()> {
     rel.base = None; // row positions may shift; drop table provenance
     let schema = rel.schema.clone();
-    let eval = SiteEval::plan(pred, &schema, ctx);
     let before = rel.rows.len();
+    // Vector path: evaluate the predicate batch-at-a-time into a verdict
+    // column, then compact the rows in one retain pass.
+    if let Some(mut plan) = VectorPlan::plan(&[pred], &schema, ctx) {
+        let mut verdicts = [Vec::with_capacity(before)];
+        plan.eval_columns(&rel.rows, ctx, &mut verdicts)?;
+        let keep = &verdicts[0];
+        let mut i = 0;
+        rel.rows.retain(|_| {
+            i += 1;
+            keep[i - 1].is_true()
+        });
+        ctx.bump(ExecCounter::RowsFiltered, (before - rel.rows.len()) as u64);
+        return Ok(());
+    }
+    let eval = SiteEval::plan(pred, &schema, ctx);
     let mut stack = Vec::new();
     let mut err = None;
     rel.rows.retain(|row| {
@@ -167,6 +182,86 @@ pub fn filter_relation(rel: &mut Relation, pred: &Expr, ctx: &mut dyn QueryCtx) 
             Ok(())
         }
     }
+}
+
+/// Evaluate join-key expressions over `rows` into one value column per
+/// key — batch-at-a-time on the vector path, with per-row programs
+/// otherwise. Join keys are plain column references (see [`as_equi`]), so
+/// they cannot error or draw sequences and both paths produce identical
+/// columns; the build/probe loops then read the columns by row index,
+/// which also turns repeated per-tuple key evaluation into a gather.
+fn key_columns(
+    keys: &[&Expr],
+    schema: &Schema,
+    rows: &[Row],
+    ctx: &mut dyn QueryCtx,
+) -> Result<Vec<Vec<Value>>> {
+    let mut cols: Vec<Vec<Value>> = (0..keys.len())
+        .map(|_| Vec::with_capacity(rows.len()))
+        .collect();
+    if let Some(mut plan) = VectorPlan::plan(keys, schema, ctx) {
+        plan.eval_columns(rows, ctx, &mut cols)?;
+        return Ok(cols);
+    }
+    let evals: Vec<SiteEval> = keys
+        .iter()
+        .map(|k| SiteEval::plan(k, schema, ctx))
+        .collect();
+    let mut stack = Vec::new();
+    for row in rows {
+        for (e, col) in evals.iter().zip(cols.iter_mut()) {
+            col.push(e.eval(schema, row, ctx, &mut stack)?);
+        }
+    }
+    Ok(cols)
+}
+
+/// Assemble the key for row `i` from per-key columns into `key`. Returns
+/// `false` (key unusable) when any part is NULL — SQL equality semantics.
+fn gather_key(cols: &[Vec<Value>], i: usize, key: &mut Vec<Value>) -> bool {
+    key.clear();
+    for c in cols {
+        if c[i].is_null() {
+            return false;
+        }
+        key.push(c[i].clone());
+    }
+    true
+}
+
+/// One value column per connecting predicate of a cost-join step, each
+/// evaluated over its own factor's rows (the tuple loops then gather by
+/// the tuple's row index into that factor).
+fn other_key_columns(
+    other: &[(usize, &Expr)],
+    factors: &[Relation],
+    ctx: &mut dyn QueryCtx,
+) -> Result<Vec<Vec<Value>>> {
+    let mut ocols = Vec::with_capacity(other.len());
+    for (g, e) in other {
+        let mut c = key_columns(&[*e], &factors[*g].schema, &factors[*g].rows, ctx)?;
+        ocols.push(c.pop().expect("one key column"));
+    }
+    Ok(ocols)
+}
+
+/// Assemble the key for row-index tuple `t` from per-predicate columns.
+/// `false` when any part is NULL.
+fn gather_tuple_key(
+    ocols: &[Vec<Value>],
+    other: &[(usize, &Expr)],
+    t: &[u32],
+    key: &mut Vec<Value>,
+) -> bool {
+    key.clear();
+    for (c, (g, _)) in ocols.iter().zip(other) {
+        let v = &c[t[*g] as usize];
+        if v.is_null() {
+            return false;
+        }
+        key.push(v.clone());
+    }
+    true
 }
 
 /// Join the factors of a FROM list, consuming the usable conjuncts of the
@@ -359,7 +454,6 @@ fn cost_join<'a>(
     // While `tuples` is still the identity over the start factor, its
     // untouched base snapshot (if any) can serve as an index build side.
     let mut tuples_base: Option<usize> = Some(start);
-    let mut stack = Vec::new();
 
     while order.len() < n {
         // Pick the unjoined factor with the smallest estimated output.
@@ -423,14 +517,6 @@ fn cost_join<'a>(
         } else {
             let f_keys: Vec<&Expr> = conn.iter().map(|&pi| preds[pi].side(f)).collect();
             let other: Vec<(usize, &Expr)> = conn.iter().map(|&pi| preds[pi].other(f)).collect();
-            let f_evals: Vec<SiteEval> = f_keys
-                .iter()
-                .map(|k| SiteEval::plan(k, &factors[f].schema, ctx))
-                .collect();
-            let other_evals: Vec<SiteEval> = other
-                .iter()
-                .map(|(g, e)| SiteEval::plan(e, &factors[*g].schema, ctx))
-                .collect();
 
             // Access paths: either side whose rows are an untouched base
             // snapshot with plain-column keys can be served by the
@@ -467,31 +553,21 @@ fn cost_join<'a>(
                 let mut fresh: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
                 if index.is_none() {
                     fresh.reserve(factors[f].rows.len());
-                    'build: for (i, row) in factors[f].rows.iter().enumerate() {
-                        let mut k = Vec::with_capacity(f_evals.len());
-                        for e in &f_evals {
-                            let v = e.eval(&factors[f].schema, row, ctx, &mut stack)?;
-                            if v.is_null() {
-                                continue 'build;
-                            }
-                            k.push(v);
+                    let fcols = key_columns(&f_keys, &factors[f].schema, &factors[f].rows, ctx)?;
+                    for i in 0..factors[f].rows.len() {
+                        if gather_key(&fcols, i, &mut key) {
+                            fresh.entry(std::mem::take(&mut key)).or_default().push(i);
                         }
-                        fresh.entry(k).or_default().push(i);
                     }
                 }
                 let map: &HashMap<Vec<Value>, Vec<usize>> = match &index {
                     Some(ix) => &ix.map,
                     None => &fresh,
                 };
-                'probe: for t in &tuples {
-                    key.clear();
-                    for (e, (g, _)) in other_evals.iter().zip(&other) {
-                        let row = &factors[*g].rows[t[*g] as usize];
-                        let v = e.eval(&factors[*g].schema, row, ctx, &mut stack)?;
-                        if v.is_null() {
-                            continue 'probe;
-                        }
-                        key.push(v);
+                let ocols = other_key_columns(&other, &factors, ctx)?;
+                for t in &tuples {
+                    if !gather_tuple_key(&ocols, &other, t, &mut key) {
+                        continue;
                     }
                     if let Some(matches) = map.get(&key) {
                         for &bi in matches {
@@ -510,31 +586,21 @@ fn cost_join<'a>(
                 let mut fresh: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
                 if index.is_none() {
                     fresh.reserve(tuples.len());
-                    'tbuild: for (ti, t) in tuples.iter().enumerate() {
-                        let mut k = Vec::with_capacity(other_evals.len());
-                        for (e, (g, _)) in other_evals.iter().zip(&other) {
-                            let row = &factors[*g].rows[t[*g] as usize];
-                            let v = e.eval(&factors[*g].schema, row, ctx, &mut stack)?;
-                            if v.is_null() {
-                                continue 'tbuild;
-                            }
-                            k.push(v);
+                    let ocols = other_key_columns(&other, &factors, ctx)?;
+                    for (ti, t) in tuples.iter().enumerate() {
+                        if gather_tuple_key(&ocols, &other, t, &mut key) {
+                            fresh.entry(std::mem::take(&mut key)).or_default().push(ti);
                         }
-                        fresh.entry(k).or_default().push(ti);
                     }
                 }
                 let map: &HashMap<Vec<Value>, Vec<usize>> = match &index {
                     Some(ix) => &ix.map,
                     None => &fresh,
                 };
-                'fprobe: for (fi, row) in factors[f].rows.iter().enumerate() {
-                    key.clear();
-                    for e in &f_evals {
-                        let v = e.eval(&factors[f].schema, row, ctx, &mut stack)?;
-                        if v.is_null() {
-                            continue 'fprobe;
-                        }
-                        key.push(v);
+                let fcols = key_columns(&f_keys, &factors[f].schema, &factors[f].rows, ctx)?;
+                for fi in 0..factors[f].rows.len() {
+                    if !gather_key(&fcols, fi, &mut key) {
+                        continue;
                     }
                     if let Some(matches) = map.get(&key) {
                         for &ti in matches {
@@ -623,15 +689,6 @@ fn hash_join(
     ctx: &mut dyn QueryCtx,
 ) -> Result<Relation> {
     let schema = probe.schema.join(&build.schema);
-    let build_evals: Vec<SiteEval> = build_keys
-        .iter()
-        .map(|k| SiteEval::plan(k, &build.schema, ctx))
-        .collect();
-    let probe_evals: Vec<SiteEval> = probe_keys
-        .iter()
-        .map(|k| SiteEval::plan(k, &probe.schema, ctx))
-        .collect();
-    let mut stack = Vec::new();
     // Access path: when the build side is an untouched base-table
     // snapshot and every build key is a plain column, the engine's index
     // registry serves (or lazily builds) a persistent hash index over
@@ -644,34 +701,25 @@ fn hash_join(
         _ => None,
     };
     let mut fresh: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    let mut key: Vec<Value> = Vec::with_capacity(build_keys.len());
     if index.is_none() {
         fresh.reserve(build.rows.len());
-        'build: for (i, row) in build.rows.iter().enumerate() {
-            let mut key = Vec::with_capacity(build_evals.len());
-            for k in &build_evals {
-                let v = k.eval(&build.schema, row, ctx, &mut stack)?;
-                if v.is_null() {
-                    continue 'build;
-                }
-                key.push(v);
+        let bcols = key_columns(build_keys, &build.schema, &build.rows, ctx)?;
+        for i in 0..build.rows.len() {
+            if gather_key(&bcols, i, &mut key) {
+                fresh.entry(std::mem::take(&mut key)).or_default().push(i);
             }
-            fresh.entry(key).or_default().push(i);
         }
     }
     let table: &HashMap<Vec<Value>, Vec<usize>> = match &index {
         Some(ix) => &ix.map,
         None => &fresh,
     };
-    let mut key: Vec<Value> = Vec::with_capacity(probe_evals.len());
+    let pcols = key_columns(probe_keys, &probe.schema, &probe.rows, ctx)?;
     let mut pairs: Vec<(usize, usize)> = Vec::new();
-    'probe: for (pi, row) in probe.rows.iter().enumerate() {
-        key.clear();
-        for k in &probe_evals {
-            let v = k.eval(&probe.schema, row, ctx, &mut stack)?;
-            if v.is_null() {
-                continue 'probe;
-            }
-            key.push(v);
+    for pi in 0..probe.rows.len() {
+        if !gather_key(&pcols, pi, &mut key) {
+            continue;
         }
         if let Some(matches) = table.get(&key) {
             for &bi in matches {

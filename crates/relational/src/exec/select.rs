@@ -7,10 +7,12 @@ use std::hash::{Hash, Hasher};
 
 use crate::engine::Database;
 use crate::error::{Error, Result};
-use crate::exec::join::{conjuncts, filter_relation, join_factors, BaseRef, Relation};
-use crate::expr::compile::{ExecCounter, SiteEval};
+use crate::exec::join::{conjuncts, filter_relation, join_factors, resolves_in, BaseRef, Relation};
+use crate::expr::compile::{ExecCounter, ExecMode, SiteEval, SqlExec};
 use crate::expr::eval::{eval_grouped, QueryCtx};
+use crate::expr::vector::{expr_vector_safe, VectorPlan, VECTOR_BATCH_ROWS};
 use crate::expr::{AggFunc, BinOp, Expr};
+use crate::planner::PlannerMode;
 use crate::resultset::ResultSet;
 use crate::row::Row;
 use crate::sql::ast::{JoinKind, OrderItem, SelectItem, SelectStmt, SetOpKind, TableSource};
@@ -33,13 +35,43 @@ fn row_hash(row: &Row) -> u64 {
     h.finish()
 }
 
+/// Whether hash-dedup sites (DISTINCT, set operations) run their hashing
+/// pass batch-at-a-time. They evaluate no expression programs, so under
+/// `auto` the decision defers to the compiled-SQL knob, mirroring the
+/// gate in [`VectorPlan::plan`].
+fn batched_dedup(ctx: &mut dyn QueryCtx) -> bool {
+    match ctx.exec() {
+        ExecMode::Vector => true,
+        ExecMode::Row => false,
+        ExecMode::Auto => ctx.sqlexec().use_compiled(),
+    }
+}
+
+/// Hash every row of a dedup site into a column — chunked by
+/// [`VECTOR_BATCH_ROWS`] (and counted as vector batches) on the vector
+/// path, row-at-a-time otherwise. Both paths produce identical hashes.
+fn row_hash_column<T>(rows: &[T], key: impl Fn(&T) -> &Row, ctx: &mut dyn QueryCtx) -> Vec<u64> {
+    let mut hashes = Vec::with_capacity(rows.len());
+    if batched_dedup(ctx) {
+        for chunk in rows.chunks(VECTOR_BATCH_ROWS) {
+            ctx.bump(ExecCounter::VectorBatches, 1);
+            ctx.bump(ExecCounter::VectorRows, chunk.len() as u64);
+            hashes.extend(chunk.iter().map(|r| row_hash(key(r))));
+        }
+    } else {
+        hashes.extend(rows.iter().map(|r| row_hash(key(r))));
+    }
+    hashes
+}
+
 /// Keep the first occurrence of each distinct row. Rows are moved, never
 /// cloned: the seen-set stores hashes and indices into the output.
-fn dedup_rows(rows: Vec<Row>) -> Vec<Row> {
+fn dedup_rows(rows: Vec<Row>, ctx: &mut dyn QueryCtx) -> Vec<Row> {
+    let hashes = row_hash_column(&rows, |r| r, ctx);
     let mut seen: HashMap<u64, Vec<usize>> = HashMap::with_capacity(rows.len());
     let mut out: Vec<Row> = Vec::with_capacity(rows.len());
-    for row in rows {
-        let bucket = seen.entry(row_hash(&row)).or_default();
+    for (row, h) in rows.into_iter().zip(hashes) {
+        let bucket = seen.entry(h).or_default();
         if bucket.iter().any(|&i| out[i] == row) {
             continue;
         }
@@ -73,7 +105,7 @@ fn run_set_op(db: &mut Database, stmt: &SelectStmt) -> Result<ResultSet> {
         SetOpKind::Union => {
             let mut rows = left.into_rows();
             rows.extend(right.into_rows());
-            dedup_rows(rows)
+            dedup_rows(rows, db)
         }
         SetOpKind::Intersect | SetOpKind::Except => {
             let right_rows = right.into_rows();
@@ -89,7 +121,7 @@ fn run_set_op(db: &mut Database, stmt: &SelectStmt) -> Result<ResultSet> {
                     .is_some_and(|b| b.iter().any(|&i| right_rows[i] == *r));
                 member == keep_members
             });
-            dedup_rows(kept)
+            dedup_rows(kept, db)
         }
     };
     // Trailing ORDER BY: output positions or column names only.
@@ -133,23 +165,40 @@ fn run_select_arm(db: &mut Database, stmt: &SelectStmt, with_tail: bool) -> Resu
     let order_by: &[OrderItem] = if with_tail { &stmt.order_by } else { &[] };
     let limit = if with_tail { stmt.limit } else { None };
 
-    // 1. FROM: materialise factors, plan joins, push filters.
-    let mut factors = Vec::with_capacity(stmt.from.len());
-    for tref in &stmt.from {
-        let mut current = materialize_factor(db, &tref.source, tref.alias.as_deref())?;
-        // Explicit JOIN ... ON chain on this factor.
-        for join in &tref.joins {
-            let right = materialize_factor(db, &join.source, join.alias.as_deref())?;
-            current = explicit_join(db, current, right, join.kind, join.on.as_ref())?;
-        }
-        factors.push(current);
-    }
-
-    let where_conjuncts = stmt
+    let mut where_conjuncts = stmt
         .where_clause
         .as_ref()
         .map(|w| conjuncts(w))
         .unwrap_or_default();
+
+    // 1. FROM: materialise factors, plan joins, push filters. On the
+    // vector path a single-table FROM first tries the fused scan+filter,
+    // which evaluates the leading pushable conjunct over the base
+    // table's rows *before* they are cloned into a relation (consuming
+    // that conjunct from `where_conjuncts`).
+    let mut factors = Vec::with_capacity(stmt.from.len());
+    let fused = match stmt.from.as_slice() {
+        [tref] if tref.joins.is_empty() => fused_scan(
+            db,
+            &tref.source,
+            tref.alias.as_deref(),
+            &mut where_conjuncts,
+        )?,
+        _ => None,
+    };
+    if let Some(rel) = fused {
+        factors.push(rel);
+    } else {
+        for tref in &stmt.from {
+            let mut current = materialize_factor(db, &tref.source, tref.alias.as_deref())?;
+            // Explicit JOIN ... ON chain on this factor.
+            for join in &tref.joins {
+                let right = materialize_factor(db, &join.source, join.alias.as_deref())?;
+                current = explicit_join(db, current, right, join.kind, join.on.as_ref())?;
+            }
+            factors.push(current);
+        }
+    }
 
     let (mut input, residual) = if factors.is_empty() {
         (Relation::unit(), where_conjuncts)
@@ -177,47 +226,96 @@ fn run_select_arm(db: &mut Database, stmt: &SelectStmt, with_tail: bool) -> Resu
                 message: "HAVING requires GROUP BY or aggregates".into(),
             });
         }
-        // Plan every projection and order-key expression once; the row
-        // loop then runs flat programs (or the interpreter, per the
-        // session's sqlexec mode) with a reused stack.
-        let item_evals: Vec<SiteEval> = items
+        // Order keys naming an output position/alias read the projected
+        // row; the rest evaluate against the input row. Decided once —
+        // the decision is row-independent.
+        let order_plan: Vec<Option<usize>> = order_by
             .iter()
-            .map(|(e, _)| SiteEval::plan(e, &input.schema, db))
+            .map(|o| plan_output_key(&o.expr, &out_names, items.len()))
             .collect();
-        let order_evals: Vec<OrderSource> = order_by
+        let input_keys: Vec<&Expr> = order_by
             .iter()
-            .map(
-                |o| match plan_output_key(&o.expr, &out_names, items.len()) {
-                    Some(idx) => OrderSource::Output(idx),
+            .zip(&order_plan)
+            .filter(|(_, p)| p.is_none())
+            .map(|(o, _)| &o.expr)
+            .collect();
+        // Vector path: one program per projection item and input-order
+        // key, evaluated batch-at-a-time into value columns, then pivoted
+        // into output rows. Program order matches the row loop's per-row
+        // evaluation order, so the first error is the same on both paths.
+        let exprs: Vec<&Expr> = items
+            .iter()
+            .map(|(e, _)| e)
+            .chain(input_keys.iter().copied())
+            .collect();
+        if let Some(mut plan) = VectorPlan::plan(&exprs, &input.schema, db) {
+            let mut cols: Vec<Vec<Value>> = (0..exprs.len())
+                .map(|_| Vec::with_capacity(input.rows.len()))
+                .collect();
+            plan.eval_columns(&input.rows, db, &mut cols)?;
+            let mut out = Vec::with_capacity(input.rows.len());
+            for r in 0..input.rows.len() {
+                let mut o = Vec::with_capacity(items.len());
+                for c in cols[..items.len()].iter_mut() {
+                    o.push(std::mem::replace(&mut c[r], Value::Null));
+                }
+                let mut keys = Vec::with_capacity(order_plan.len());
+                let mut ki = items.len();
+                for p in &order_plan {
+                    keys.push(match p {
+                        Some(i) => o[*i].clone(),
+                        None => {
+                            ki += 1;
+                            std::mem::replace(&mut cols[ki - 1][r], Value::Null)
+                        }
+                    });
+                }
+                out.push((o, keys));
+            }
+            out
+        } else {
+            // Plan every projection and order-key expression once; the
+            // row loop then runs flat programs (or the interpreter, per
+            // the session's sqlexec mode) with a reused stack.
+            let item_evals: Vec<SiteEval> = items
+                .iter()
+                .map(|(e, _)| SiteEval::plan(e, &input.schema, db))
+                .collect();
+            let order_evals: Vec<OrderSource> = order_by
+                .iter()
+                .zip(&order_plan)
+                .map(|(o, p)| match p {
+                    Some(idx) => OrderSource::Output(*idx),
                     None => OrderSource::Input(SiteEval::plan(&o.expr, &input.schema, db)),
-                },
-            )
-            .collect();
-        let mut stack = Vec::new();
-        let mut out = Vec::with_capacity(input.rows.len());
-        for row in &input.rows {
-            let mut o = Vec::with_capacity(items.len());
-            for ev in &item_evals {
-                o.push(ev.eval(&input.schema, row, db, &mut stack)?);
+                })
+                .collect();
+            let mut stack = Vec::new();
+            let mut out = Vec::with_capacity(input.rows.len());
+            for row in &input.rows {
+                let mut o = Vec::with_capacity(items.len());
+                for ev in &item_evals {
+                    o.push(ev.eval(&input.schema, row, db, &mut stack)?);
+                }
+                let mut keys = Vec::with_capacity(order_evals.len());
+                for src in &order_evals {
+                    keys.push(match src {
+                        OrderSource::Output(i) => o[*i].clone(),
+                        OrderSource::Input(ev) => ev.eval(&input.schema, row, db, &mut stack)?,
+                    });
+                }
+                out.push((o, keys));
             }
-            let mut keys = Vec::with_capacity(order_evals.len());
-            for src in &order_evals {
-                keys.push(match src {
-                    OrderSource::Output(i) => o[*i].clone(),
-                    OrderSource::Input(ev) => ev.eval(&input.schema, row, db, &mut stack)?,
-                });
-            }
-            out.push((o, keys));
+            out
         }
-        out
     };
 
     // 5. DISTINCT — hashed row-index buckets; rows move, never clone.
     if stmt.distinct {
+        let hashes = row_hash_column(&projected, |p| &p.0, db);
         let mut seen: HashMap<u64, Vec<usize>> = HashMap::with_capacity(projected.len());
         let mut kept: Vec<(Row, Vec<Value>)> = Vec::with_capacity(projected.len());
-        for (row, keys) in projected {
-            let bucket = seen.entry(row_hash(&row)).or_default();
+        for ((row, keys), h) in projected.into_iter().zip(hashes) {
+            let bucket = seen.entry(h).or_default();
             if bucket.iter().any(|&i| kept[i].0 == row) {
                 continue;
             }
@@ -347,6 +445,142 @@ fn explicit_join(
     })
 }
 
+/// A [`QueryCtx`] detached from the database: it mirrors the engine's
+/// execution knobs and buffers counter bumps for later replay. The fused
+/// scan needs it because the vector machine evaluates while the table's
+/// rows are still borrowed from the catalog, so the database itself
+/// cannot serve as the (mutable) context. Subqueries, sequences and host
+/// variables are unreachable here — the caller gates on
+/// [`expr_vector_safe`] plus a host-variable check — so those arms error
+/// rather than carry engine state.
+struct DetachedScanCtx {
+    sqlexec: SqlExec,
+    exec: ExecMode,
+    bumps: Vec<(ExecCounter, u64)>,
+}
+
+impl QueryCtx for DetachedScanCtx {
+    fn run_subquery(&mut self, _query: &SelectStmt) -> Result<ResultSet> {
+        Err(Error::unsupported("subquery in a fused scan predicate"))
+    }
+    fn nextval(&mut self, _sequence: &str) -> Result<i64> {
+        Err(Error::unsupported(
+            "sequence draw in a fused scan predicate",
+        ))
+    }
+    fn host_var(&self, _name: &str) -> Result<Value> {
+        Err(Error::unsupported(
+            "host variable in a fused scan predicate",
+        ))
+    }
+    fn sqlexec(&self) -> SqlExec {
+        self.sqlexec
+    }
+    fn exec(&self) -> ExecMode {
+        self.exec
+    }
+    fn bump(&mut self, counter: ExecCounter, n: u64) {
+        self.bumps.push((counter, n));
+    }
+}
+
+/// Fused scan+filter: evaluate the leading pushable WHERE conjunct over
+/// a base table's rows batch-at-a-time *before* cloning them into a
+/// relation, so dropped rows (and their heap payloads) are never
+/// materialised. This is where the vector path's headline win lives —
+/// the row path must copy every row out of the catalog first and filter
+/// the copy.
+///
+/// Engages only when every observable stays identical to
+/// materialise-then-filter:
+///
+/// * single-table FROM over a named base table (views re-run queries);
+/// * the conjunct is the *first* one that resolves in the scan's schema
+///   — exactly the first predicate the row path would evaluate, so
+///   error order is preserved (later conjuncts still run through
+///   [`join_factors`] / [`filter_relation`] on the shrunken relation);
+/// * the conjunct is vector-safe and host-variable-free, so evaluation
+///   needs no engine state (see [`DetachedScanCtx`]).
+///
+/// Returns `None` (and leaves `conjuncts` untouched) whenever any gate
+/// fails; the caller then materialises the full table as before. On
+/// success the consumed conjunct is removed from `conjuncts`.
+fn fused_scan<'a>(
+    db: &mut Database,
+    source: &TableSource,
+    alias: Option<&str>,
+    conjuncts: &mut Vec<&'a Expr>,
+) -> Result<Option<Relation>> {
+    let TableSource::Named(name) = source else {
+        return Ok(None);
+    };
+    let exec = db.exec();
+    let sqlexec = db.sqlexec();
+    let engage = match exec {
+        ExecMode::Row => false,
+        ExecMode::Vector => true,
+        ExecMode::Auto => sqlexec.use_compiled(),
+    };
+    if !engage || db.catalog().view(name).is_some() {
+        return Ok(None);
+    }
+    let Ok(table) = db.catalog().table(name) else {
+        return Ok(None); // let the normal path surface the error
+    };
+    let schema = table.schema().with_qualifier(alias.unwrap_or(name));
+    let Some(lead) = conjuncts.iter().position(|c| resolves_in(c, &schema)) else {
+        return Ok(None);
+    };
+    let pred = conjuncts[lead];
+    let mut host_var = false;
+    pred.walk(&mut |e| host_var |= matches!(e, Expr::HostVar(_)));
+    if !expr_vector_safe(pred) || host_var {
+        return Ok(None);
+    }
+
+    let mut local = DetachedScanCtx {
+        sqlexec,
+        exec,
+        bumps: Vec::new(),
+    };
+    let (scanned, kept, eval) = {
+        let table = db.catalog().table(name).expect("resolved above");
+        let rows = table.rows();
+        let Some(mut plan) = VectorPlan::plan(&[pred], &schema, &mut local) else {
+            return Ok(None);
+        };
+        let mut verdicts = [Vec::with_capacity(rows.len())];
+        let eval = plan.eval_columns(rows, &mut local, &mut verdicts);
+        let kept: Vec<Row> = match &eval {
+            Ok(()) => rows
+                .iter()
+                .zip(&verdicts[0])
+                .filter(|(_, v)| v.is_true())
+                .map(|(r, _)| r.clone())
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+        (rows.len() as u64, kept, eval)
+    };
+    // Replay bookkeeping in the row path's order: the scan is counted
+    // before a filter error surfaces, filtered rows only on success.
+    db.bump(ExecCounter::RowsScanned, scanned);
+    for (counter, n) in local.bumps {
+        db.bump(counter, n);
+    }
+    eval?;
+    db.bump(ExecCounter::RowsFiltered, scanned - kept.len() as u64);
+    if db.planner() == PlannerMode::Cost {
+        db.bump(ExecCounter::PlannerPushedFilters, 1);
+    }
+    conjuncts.remove(lead);
+    Ok(Some(Relation {
+        schema,
+        rows: kept,
+        base: None, // filtered: row positions no longer match the table
+    }))
+}
+
 /// Materialise a named table or view. Base tables carry their provenance
 /// (name + version) so downstream operators can consult table indexes;
 /// views are re-evaluated queries and get none.
@@ -456,11 +690,31 @@ fn run_grouped(
         if stmt.group_by.is_empty() {
             fresh_buckets.insert(Vec::new(), (0..input.rows.len()).collect());
             fresh_order.push(Vec::new());
+        } else if let Some(mut plan) = VectorPlan::plan(&key_refs, &input.schema, db) {
+            // Vector path: key columns batch-at-a-time, then one
+            // bucketing pass. HAVING and the projection items stay on
+            // the interpreter (`eval_grouped`) on both paths: aggregates
+            // need whole-group context the flat programs cannot host.
+            let mut cols: Vec<Vec<Value>> = (0..key_refs.len())
+                .map(|_| Vec::with_capacity(input.rows.len()))
+                .collect();
+            plan.eval_columns(&input.rows, db, &mut cols)?;
+            for i in 0..input.rows.len() {
+                let key: Vec<Value> = cols
+                    .iter_mut()
+                    .map(|c| std::mem::replace(&mut c[i], Value::Null))
+                    .collect();
+                match fresh_buckets.entry(key.clone()) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push(i),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(vec![i]);
+                        fresh_order.push(key);
+                    }
+                }
+            }
         } else {
             // Key expressions are planned once for the per-row bucketing
-            // loop. HAVING and the projection items stay on the interpreter
-            // (`eval_grouped`): aggregates need whole-group context that the
-            // row-at-a-time programs cannot host.
+            // loop.
             let key_evals: Vec<SiteEval> = stmt
                 .group_by
                 .iter()

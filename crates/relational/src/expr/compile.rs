@@ -75,6 +75,53 @@ impl fmt::Display for SqlExec {
     }
 }
 
+/// Which row-flow strategy the engine uses at its hot sites: one row at
+/// a time through a [`SiteEval`], or column batches of
+/// [`VECTOR_BATCH_ROWS`](crate::expr::vector::VECTOR_BATCH_ROWS) rows
+/// through the vectorized evaluator (`expr/vector.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Always run the batch path. Programs the vector machine cannot
+    /// host (subqueries, sequence draws) fall back to row-at-a-time
+    /// evaluation per batch.
+    Vector,
+    /// Always run one row at a time (the pre-vectorization path).
+    Row,
+    /// Let the engine choose per site: the batch path when every program
+    /// at the site is vector-safe (no fallback ops, no sequence draws)
+    /// and expressions compile at all, the row path otherwise.
+    #[default]
+    Auto,
+}
+
+impl ExecMode {
+    /// Parse a mode name (`vector` | `row` | `auto`),
+    /// ASCII-case-insensitively.
+    pub fn from_name(name: &str) -> Option<ExecMode> {
+        match name.to_ascii_lowercase().as_str() {
+            "vector" => Some(ExecMode::Vector),
+            "row" => Some(ExecMode::Row),
+            "auto" => Some(ExecMode::Auto),
+            _ => None,
+        }
+    }
+
+    /// The canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecMode::Vector => "vector",
+            ExecMode::Row => "row",
+            ExecMode::Auto => "auto",
+        }
+    }
+}
+
+impl fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Work the executor reports through [`QueryCtx::bump`]. A plain no-op
 /// outside a `Database`, so unit tests with `NoCtx` cost nothing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,12 +147,23 @@ pub enum ExecCounter {
     PlannerPushedFilters,
     /// Accumulated |estimated − actual| join output rows (cost mode).
     PlannerEstRowsErr,
+    /// Column batches evaluated on the vector path.
+    VectorBatches,
+    /// Rows streamed through the vector path (selected lanes entering
+    /// batch evaluation).
+    VectorRows,
+    /// Conditional jumps that narrowed the selection vector (parked at
+    /// least one lane) during batch evaluation.
+    VectorSelNarrowings,
+    /// Batches that fell back to row-at-a-time evaluation under forced
+    /// vector mode because a site program was not vector-safe.
+    VectorFallbackBatches,
 }
 
 /// One instruction of a compiled expression program. Operand order on
 /// the stack is source order: `a op b` pushes `a` then `b`.
 #[derive(Debug, Clone)]
-enum Op {
+pub(crate) enum Op {
     /// Push a constant.
     Const(Value),
     /// Push `row[idx]` — the column reference resolved at compile time.
@@ -176,8 +234,8 @@ enum Op {
 /// input schema when any op needs the interpreter fallback.
 #[derive(Debug, Clone)]
 pub struct CompiledExpr {
-    ops: Vec<Op>,
-    fallback_schema: Option<Schema>,
+    pub(crate) ops: Vec<Op>,
+    pub(crate) fallback_schema: Option<Schema>,
 }
 
 impl CompiledExpr {
@@ -340,6 +398,16 @@ impl CompiledExpr {
     pub fn eval(&self, row: &Row, ctx: &mut dyn QueryCtx) -> Result<Value> {
         let mut stack = Vec::new();
         self.eval_with(row, ctx, &mut stack)
+    }
+
+    /// Whether the vector machine can host this program. Subquery
+    /// fallbacks need the interpreter, and sequence draws must keep the
+    /// row path's exact per-row draw interleaving.
+    pub fn vector_safe(&self) -> bool {
+        !self
+            .ops
+            .iter()
+            .any(|op| matches!(op, Op::Fallback(_) | Op::NextVal(_)))
     }
 }
 
@@ -729,5 +797,27 @@ mod tests {
         assert_eq!(SqlExec::default(), SqlExec::Auto);
         assert!(SqlExec::Auto.use_compiled());
         assert!(!SqlExec::Interpreted.use_compiled());
+    }
+
+    #[test]
+    fn exec_mode_names_round_trip() {
+        for mode in [ExecMode::Vector, ExecMode::Row, ExecMode::Auto] {
+            assert_eq!(ExecMode::from_name(mode.name()), Some(mode));
+            assert_eq!(
+                ExecMode::from_name(&mode.name().to_ascii_uppercase()),
+                Some(mode)
+            );
+        }
+        assert_eq!(ExecMode::from_name("columnar"), None);
+        assert_eq!(ExecMode::default(), ExecMode::Auto);
+    }
+
+    #[test]
+    fn vector_safety_tracks_fallback_and_sequence_ops() {
+        let s = schema();
+        let plain = parse_expression("a + 1 > 3 AND b LIKE 'he%'").unwrap();
+        assert!(CompiledExpr::compile(&plain, &s, &mut NoCtx).vector_safe());
+        let seq = parse_expression("a + counter.NEXTVAL").unwrap();
+        assert!(!CompiledExpr::compile(&seq, &s, &mut NoCtx).vector_safe());
     }
 }

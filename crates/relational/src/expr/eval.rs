@@ -10,7 +10,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 use crate::error::{Error, Result};
-use crate::expr::compile::{ExecCounter, SqlExec};
+use crate::expr::compile::{ExecCounter, ExecMode, SqlExec};
 use crate::expr::{AggFunc, BinOp, Expr, UnaryOp};
 use crate::index::HashIndex;
 use crate::planner::PlannerMode;
@@ -34,6 +34,12 @@ pub trait QueryCtx {
     /// compiles (see [`SqlExec`]).
     fn sqlexec(&self) -> SqlExec {
         SqlExec::Auto
+    }
+    /// Which row-flow strategy the hot operators should use (row-at-a-time
+    /// or column batches). Engines with a user-facing knob override this;
+    /// the default lets each site choose (see [`ExecMode`]).
+    fn exec(&self) -> ExecMode {
+        ExecMode::Auto
     }
     /// Record executor work ([`ExecCounter`]). A no-op outside an
     /// engine, so plan-level helpers can report unconditionally.

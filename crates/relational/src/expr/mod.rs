@@ -7,6 +7,7 @@
 
 pub mod compile;
 pub mod eval;
+pub mod vector;
 
 use std::fmt;
 

@@ -51,7 +51,8 @@ pub mod value;
 
 pub use engine::{Database, ExecOutcome, ExecStats};
 pub use error::{Error, ObjectKind, Result};
-pub use expr::compile::{CompiledExpr, ExecCounter, SqlExec};
+pub use expr::compile::{CompiledExpr, ExecCounter, ExecMode, SqlExec};
+pub use expr::vector::{ColumnBatch, VECTOR_BATCH_ROWS};
 pub use index::{HashIndex, IndexPolicy};
 pub use planner::PlannerMode;
 pub use resultset::ResultSet;

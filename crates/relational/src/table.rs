@@ -48,7 +48,8 @@ impl TableDelta {
 
 /// One logged mutation: the version it produced plus the rows it moved.
 /// `tracked` is false for mutations whose row-level effect is not logged
-/// (UPDATE's rewrite, TRUNCATE); a window crossing one yields no delta.
+/// (TRUNCATE); a window crossing one yields no delta. UPDATE logs as a
+/// tracked delete+insert pair via [`Table::apply_updates`].
 #[derive(Debug, Clone)]
 struct ChangeRecord {
     version: u64,
@@ -207,6 +208,61 @@ impl Table {
         removed
     }
 
+    /// Replace rows in place: each `(index, new_row)` swaps the stored
+    /// row at `index` after arity/type checking (all-or-nothing — a bad
+    /// row leaves the table untouched). The whole batch logs as one
+    /// tracked change record holding the old rows as deletions and the
+    /// new rows as insertions, so UPDATE windows stay replayable by
+    /// [`Table::changes_since`]. Returns how many rows were replaced.
+    pub fn apply_updates(&mut self, changes: Vec<(usize, Row)>) -> Result<usize> {
+        for (i, row) in &changes {
+            if *i >= self.rows.len() {
+                return Err(Error::unsupported(format!(
+                    "update index {i} out of bounds for table '{}'",
+                    self.name
+                )));
+            }
+            if row.len() != self.schema.len() {
+                return Err(Error::Arity {
+                    expected: self.schema.len(),
+                    got: row.len(),
+                });
+            }
+            for (value, column) in row.iter().zip(self.schema.columns()) {
+                if !column.dtype.admits(value) {
+                    return Err(Error::type_mismatch(format!(
+                        "column '{}' of table '{}' is {} but value is {}",
+                        column.name,
+                        self.name,
+                        column.dtype,
+                        value.type_name()
+                    )));
+                }
+            }
+        }
+        if changes.is_empty() {
+            return Ok(0);
+        }
+        let mut inserted = Vec::with_capacity(changes.len());
+        let mut deleted = Vec::with_capacity(changes.len());
+        for (i, row) in changes {
+            inserted.push(row.clone());
+            deleted.push(std::mem::replace(&mut self.rows[i], row));
+        }
+        // Distinct sketches cannot subtract: rebuild over the new rows.
+        self.stats.rebuild(&self.rows);
+        self.version = next_version();
+        self.stats.stamp(self.version);
+        let n = inserted.len();
+        self.log_change(ChangeRecord {
+            version: self.version,
+            inserted,
+            deleted,
+            tracked: true,
+        });
+        Ok(n)
+    }
+
     /// Drop every row.
     pub fn truncate(&mut self) {
         self.rows.clear();
@@ -240,7 +296,7 @@ impl Table {
     /// The row-level delta between `version` and the table's current
     /// state, or `None` when it cannot be reconstructed: the stamp is not
     /// one this table's retained log starts from, the window fell off the
-    /// bounded log, or it crosses an untracked mutation (UPDATE/TRUNCATE).
+    /// bounded log, or it crosses an untracked mutation (TRUNCATE).
     /// `Some(delta)` is exact: applying it to the `version` snapshot
     /// yields the current rows.
     pub fn changes_since(&self, version: u64) -> Option<TableDelta> {
@@ -405,6 +461,38 @@ mod tests {
         table.insert(row![-1, "y"]).unwrap();
         let delta = table.changes_since(v1).expect("fresh window after rebase");
         assert_eq!(delta.inserted, vec![row![-1, "y"]]);
+    }
+
+    #[test]
+    fn apply_updates_replaces_rows_and_logs_a_tracked_delta() {
+        let mut table = t();
+        table
+            .insert_all(vec![row![1, "x"], row![2, "y"], row![3, "x"]])
+            .unwrap();
+        let v0 = table.version();
+        let n = table
+            .apply_updates(vec![(0, row![10, "x"]), (2, row![3, "z"])])
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(table.rows()[0], row![10, "x"]);
+        assert_eq!(table.rows()[2], row![3, "z"]);
+        assert_eq!(table.stats().as_of_version(), table.version());
+        let delta = table.changes_since(v0).expect("UPDATE windows replay");
+        assert_eq!(delta.inserted, vec![row![10, "x"], row![3, "z"]]);
+        assert_eq!(delta.deleted, vec![row![1, "x"], row![3, "x"]]);
+    }
+
+    #[test]
+    fn apply_updates_is_all_or_nothing() {
+        let mut table = t();
+        table.insert(row![1, "x"]).unwrap();
+        let v0 = table.version();
+        assert!(table.apply_updates(vec![(0, row!["bad", "y"])]).is_err());
+        assert_eq!(table.version(), v0, "failed batch leaves no trace");
+        assert_eq!(table.rows()[0], row![1, "x"]);
+        // An empty batch is a no-op, not a version bump.
+        assert_eq!(table.apply_updates(Vec::new()).unwrap(), 0);
+        assert_eq!(table.version(), v0);
     }
 
     #[test]

@@ -216,6 +216,12 @@ fn tr_mine(support: f64, confidence: f64) -> String {
 const DELTA_INSERT: &str =
     "INSERT INTO Purchase VALUES (9, 'c9', 'col_shirts', DATE '1997-01-08', 25, 1)";
 
+/// An UPDATE is logged as a delete+insert pair, so it rides the same
+/// incremental delta path as the INSERT above — while genuinely changing
+/// the mined rules (transaction 1 swaps an item).
+const DELTA_UPDATE: &str =
+    "UPDATE Purchase SET item = 'wool_socks' WHERE tr = 1 AND item = 'hiking_boots'";
+
 /// Counters that prove the core operator ran (or did not).
 fn core_work(snapshot: &minerule::telemetry::MetricsSnapshot) -> Vec<(String, u64)> {
     snapshot
@@ -227,19 +233,21 @@ fn core_work(snapshot: &minerule::telemetry::MetricsSnapshot) -> Vec<(String, u6
 }
 
 /// The tentpole sequence — cold mine, loosen (clean miss + recapture),
-/// tighten support (refine), tighten confidence (refine), source delta
-/// (incremental re-mine) — must stay bit-identical to a cold mine at
-/// every stage, for every worker count, with the cache on or off. Warm
-/// stages must do zero core-operator work.
+/// tighten support (refine), tighten confidence (refine), insert delta
+/// (incremental re-mine), update delta (delete+insert re-mine) — must
+/// stay bit-identical to a cold mine at every stage, for every worker
+/// count, with the cache on or off. Warm stages must do zero
+/// core-operator work.
 #[test]
 fn mined_result_refinement_sequence_agrees_across_workers() {
     // (mutation applied before the mine, support, confidence, warm?)
-    let stages: [(Option<&str>, f64, f64, bool); 5] = [
+    let stages: [(Option<&str>, f64, f64, bool); 6] = [
         (None, 0.5, 0.4, false),               // cold capture
         (None, 0.25, 0.1, false),              // loosened support: clean miss
         (None, 0.5, 0.1, true),                // tightened support: refine
         (None, 0.5, 0.7, true),                // tightened confidence: refine
         (Some(DELTA_INSERT), 0.25, 0.1, true), // delta: incremental re-mine
+        (Some(DELTA_UPDATE), 0.25, 0.1, true), // update delta: delete+insert re-mine
     ];
     for workers in WORKERS {
         for minecache in CACHE {
@@ -291,9 +299,9 @@ fn mined_result_refinement_sequence_agrees_across_workers() {
             let snapshot = engine.metrics_snapshot();
             if minecache {
                 assert_eq!(snapshot.counter("core.minecache.miss"), 2, "{label}");
-                assert_eq!(snapshot.counter("core.minecache.hit"), 3, "{label}");
+                assert_eq!(snapshot.counter("core.minecache.hit"), 4, "{label}");
                 assert_eq!(snapshot.counter("core.minecache.refine"), 2, "{label}");
-                assert_eq!(snapshot.counter("core.minecache.delta"), 1, "{label}");
+                assert_eq!(snapshot.counter("core.minecache.delta"), 2, "{label}");
             } else {
                 for name in [
                     "core.minecache.miss",

@@ -65,12 +65,15 @@ fn explain_snapshot_is_stable_for_the_figure1_plan() {
     let mut db = purchase_db();
     let p = plan(&mut db, GROUPED);
     // Full snapshot: the plan shape is part of the observable contract.
-    // The cost planner (the default) annotates its cardinality estimates.
+    // The cost planner (the default) annotates its cardinality estimates;
+    // the default exec mode (`auto` with compiled programs) batches, so
+    // the aggregate carries a `[vector]` tag.
     assert_eq!(
         p,
         "Select\n  \
          scan Purchase [8 rows]\n  \
-         hash aggregate by (customer) [index(Purchase.customer)] (est 2 groups of 8 rows)",
+         hash aggregate by (customer) [index(Purchase.customer)] [vector] \
+         (est 2 groups of 8 rows)",
         "plan drifted"
     );
 
@@ -82,7 +85,7 @@ fn explain_snapshot_is_stable_for_the_figure1_plan() {
         p,
         "Select\n  \
          scan Purchase [8 rows]\n  \
-         hash aggregate by (customer) [index(Purchase.customer)]",
+         hash aggregate by (customer) [index(Purchase.customer)] [vector]",
         "naive plan drifted"
     );
 }
